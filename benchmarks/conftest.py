@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (Section 5).  The absolute numbers necessarily differ from the
+paper's (the substrate is a Python simulator, not S2E on the authors' testbed)
+-- the quantities to compare are the *shapes*: dataplane-specific verification
+completes within its budget while generic verification blows up as soon as
+loops, large tables or stateful elements appear; step-2 composition touches
+few paths when disproving a property and many when proving one; the longest
+router paths cost a small multiple of the common path.
+
+Every benchmark prints the rows it reproduces (so ``pytest benchmarks/
+--benchmark-only -s`` shows paper-style tables) and records the same values in
+``benchmark.extra_info`` for machine consumption.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Wall-clock budget (seconds) given to one dataplane-specific verification.
+SPECIFIC_BUDGET = float(os.environ.get("REPRO_BENCH_SPECIFIC_BUDGET", 150))
+#: Wall-clock budget (seconds) given to one generic-verification attempt; this
+#: plays the role of the paper's 12-hour abort threshold.
+GENERIC_BUDGET = float(os.environ.get("REPRO_BENCH_GENERIC_BUDGET", 20))
+
+
+@pytest.fixture
+def specific_budget() -> float:
+    return SPECIFIC_BUDGET
+
+
+@pytest.fixture
+def generic_budget() -> float:
+    return GENERIC_BUDGET
+
+
+def record(benchmark, **info) -> None:
+    """Attach reproduction numbers to the pytest-benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Section 5.3, "Longest paths in IP router": adversarial workload extraction.
+
+The paper extracts the 10 longest execution paths of a standard IP router and
+the packets that exercise them, observing that they execute about 2.5x as many
+instructions as the common path (and that the extra work is the expensive
+kind: logging and memory accesses on exception paths).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record, run_once
+from repro.dataplane.pipelines import build_ip_router
+from repro.verifier import VerifierConfig, find_longest_paths
+from repro.verifier.report import format_table
+
+
+@pytest.mark.benchmark(group="longest-paths")
+def test_longest_paths_of_ip_router(benchmark, specific_budget):
+    pipeline = build_ip_router("edge", stages=("preproc", "+DecTTL", "+DropBcast",
+                                               "+IPoption1", "+IPlookup"))
+
+    def run():
+        config = VerifierConfig(time_budget=specific_budget)
+        return find_longest_paths(pipeline, k=10, config=config)
+
+    report = run_once(benchmark, run)
+    rows = [(rank + 1, entry.ops, " -> ".join(name for name, _ in entry.path.steps))
+            for rank, entry in enumerate(report.entries)]
+    print("\nSection 5.3 -- longest paths of the IP router:")
+    print(format_table(["rank", "instructions", "path"], rows))
+    print(f"common path: {report.common_path_ops} instructions; "
+          f"amplification {report.amplification() and round(report.amplification(), 2)}x "
+          f"(paper: ~2.5x)")
+    record(benchmark,
+           longest_ops=report.longest_ops,
+           common_ops=report.common_path_ops,
+           amplification=report.amplification(),
+           combinations=report.combinations_checked)
+
+    assert report.entries, "the search must produce at least one feasible path"
+    if report.common_path_ops:
+        # The headline observation: exception paths cost a small multiple of
+        # the common path (the paper reports ~2.5x).
+        assert report.amplification() > 1.3

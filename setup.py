@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can also be installed in environments whose tooling predates PEP 660
+editable installs (``pip install -e . --no-use-pep517`` falls back to
+``setup.py develop``, which does not require the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

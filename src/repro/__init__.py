@@ -1,0 +1,67 @@
+"""Reproduction of *Software Dataplane Verification* (Dobrescu & Argyraki, NSDI 2014).
+
+The package is organised in five layers, mirroring the systems the paper
+describes or depends on:
+
+``repro.net``
+    Byte-accurate packet model: Ethernet / IPv4 / TCP / UDP / ICMP headers,
+    IP options (including LSRR), checksums, and packet buffers that can be
+    backed either by concrete bytes or by symbolic expressions.
+
+``repro.structures``
+    Verifiable data structures exposing the paper's key/value-store interface
+    (Fig. 2): pre-allocated arrays, a chained-array hash table, and a
+    /24-flattened longest-prefix-match table.
+
+``repro.dataplane``
+    A Click-like pipeline framework plus the element library used by the
+    paper's evaluation (Table 2), including the buggy Click elements needed to
+    reproduce bugs #1-#3.
+
+``repro.symex``
+    A self-contained symbolic-execution engine (the stand-in for S2E):
+    bit-vector expressions, a constraint solver, and a concolic path explorer
+    that runs the same element code the concrete dataplane runs.
+
+``repro.verifier``
+    The paper's contribution: compositional dataplane verification (pipeline
+    decomposition, loop decomposition, data-structure abstraction, mutable
+    private state analysis) for crash-freedom, bounded-execution and filtering
+    properties, plus the non-compositional "generic" baseline.
+
+See DESIGN.md for the full system inventory and the per-experiment index, and
+EXPERIMENTS.md for the paper-versus-measured comparison.
+"""
+
+from repro.dataplane.element import Element
+from repro.dataplane.pipeline import Pipeline
+from repro.net.packet import Packet
+from repro.verifier.api import (
+    FilteringProperty,
+    VerificationResult,
+    Verdict,
+    VerifierConfig,
+    find_longest_paths,
+    summarize_once,
+    verify_bounded_execution,
+    verify_crash_freedom,
+    verify_filtering,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Element",
+    "Pipeline",
+    "Packet",
+    "FilteringProperty",
+    "VerificationResult",
+    "Verdict",
+    "VerifierConfig",
+    "find_longest_paths",
+    "summarize_once",
+    "verify_bounded_execution",
+    "verify_crash_freedom",
+    "verify_filtering",
+    "__version__",
+]

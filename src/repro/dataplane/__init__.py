@@ -1,0 +1,25 @@
+"""A Click-like software dataplane: elements, pipelines, and an element library.
+
+The framework follows the paper's pipeline model (Section 2.3): elements are
+organised in a directed graph, each packet is owned by exactly one element at
+a time, elements keep private state only behind the key/value-store interface,
+and static (configuration) state is read-only for the dataplane.
+
+The element library (:mod:`repro.dataplane.elements`) contains every element
+named in the paper's Table 2 plus the buggy Click elements needed to reproduce
+the three bugs of Section 5.3.
+"""
+
+from repro.dataplane.element import Element, StateBinding
+from repro.dataplane.helpers import cost, dp_assert, concrete_cost_meter
+from repro.dataplane.pipeline import Pipeline, RunResult
+
+__all__ = [
+    "Element",
+    "StateBinding",
+    "Pipeline",
+    "RunResult",
+    "cost",
+    "dp_assert",
+    "concrete_cost_meter",
+]

@@ -1,0 +1,138 @@
+"""The packet-processing element base class.
+
+An element is the unit of composition in the paper's pipeline model: it owns
+the packet while processing it, may own *private state* (accessed only through
+the key/value-store interface) and may read *static state* (configuration such
+as a forwarding table).  Elements never share mutable state with each other --
+the only thing that travels between them is the packet object itself.
+
+``process`` is the single entry point.  Its return value describes where the
+packet(s) go next:
+
+* ``None`` -- the packet is dropped;
+* a :class:`~repro.net.packet.Packet` -- emitted on output port 0;
+* ``(port, packet)`` -- emitted on the given output port;
+* a list of ``(port, packet)`` tuples -- several packets emitted (e.g. a
+  fragmenter).
+
+Elements that contain verification-relevant structure declare it with class
+attributes:
+
+* ``STATE_KINDS`` is populated via :meth:`register_state`, telling the
+  verifier which attributes hold private or static state so that it can
+  substitute abstract stores (Section 3.3/3.4);
+* loop elements (Section 3.2) set ``LOOP_ELEMENT = True`` and implement
+  :meth:`loop_setup` / :meth:`loop_body`, with ``LOOP_META`` naming the packet
+  metadata field that carries the loop state (Condition 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.net.packet import Packet
+
+#: Normalised element output: list of (output port, packet).
+Emission = List[Tuple[int, Packet]]
+ProcessResult = Union[None, Packet, Tuple[int, Packet], Emission]
+
+
+class StateBinding:
+    """Description of one state attribute registered by an element."""
+
+    __slots__ = ("attribute", "kind")
+
+    def __init__(self, attribute: str, kind: str):
+        self.attribute = attribute
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"StateBinding({self.attribute!r}, kind={self.kind!r})"
+
+
+class Element:
+    """Base class of all packet-processing elements."""
+
+    #: Number of input/output ports (informational; used by pipeline wiring checks).
+    nports_in = 1
+    nports_out = 1
+
+    #: Loop elements (paper Section 3.2) override these.
+    LOOP_ELEMENT = False
+    LOOP_META: Optional[str] = None
+    MAX_LOOP_ITERATIONS: int = 16
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or type(self).__name__
+        self._state_bindings: List[StateBinding] = []
+
+    # -- state registration ----------------------------------------------------
+
+    def register_state(self, attribute: str, store: Any, kind: str = "private") -> Any:
+        """Attach a state object and record it for the verifier.
+
+        ``kind`` is ``"private"`` for mutable per-element state (NAT map, flow
+        table) and ``"static"`` for configuration written by the control plane
+        (forwarding table, filter rules).
+        """
+        if kind not in ("private", "static"):
+            raise ValueError(f"unknown state kind {kind!r}")
+        setattr(self, attribute, store)
+        self._state_bindings.append(StateBinding(attribute, kind))
+        return store
+
+    @property
+    def state_bindings(self) -> List[StateBinding]:
+        """The state attributes this element declared."""
+        return list(self._state_bindings)
+
+    # -- processing ---------------------------------------------------------------
+
+    def process(self, packet: Packet) -> ProcessResult:
+        """Process one packet; must be overridden."""
+        raise NotImplementedError
+
+    # Loop elements implement these two hooks; ``process`` of a loop element is
+    # expected to be equivalent to ``loop_setup`` followed by repeated
+    # ``loop_body`` calls until the body reports completion.
+    def loop_setup(self, packet: Packet) -> None:
+        """Initialise the loop-carried metadata (Condition 1)."""
+        raise NotImplementedError
+
+    def loop_body(self, packet: Packet) -> str:
+        """Execute one loop iteration; return 'continue', 'done' or 'drop'."""
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def normalize_result(result: ProcessResult) -> Emission:
+        """Normalise the value returned by ``process`` into ``[(port, packet)]``."""
+        if result is None:
+            return []
+        if isinstance(result, Packet):
+            return [(0, result)]
+        if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], Packet):
+            return [(int(result[0]), result[1])]
+        if isinstance(result, list):
+            out: Emission = []
+            for item in result:
+                if isinstance(item, Packet):
+                    out.append((0, item))
+                else:
+                    out.append((int(item[0]), item[1]))
+            return out
+        raise TypeError(f"element {type(result).__name__!r} returned an unsupported value")
+
+    def configuration(self) -> Dict[str, Any]:
+        """A human-readable snapshot of the element configuration (for reports)."""
+        skip = {"name", "_state_bindings"}
+        out = {}
+        for key, value in vars(self).items():
+            if key in skip or key.startswith("_"):
+                continue
+            out[key] = value
+        return out
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,67 @@
+"""The packet-processing element library.
+
+Every element of the paper's Table 2 is here, plus the buggy Click elements
+needed for the Section 5.3 case studies and the synthetic elements of the
+Fig. 4(c)/(d) micro-benchmarks.
+
+===============================  ==========================================
+Paper element                    This module
+===============================  ==========================================
+Classifier                       :class:`~repro.dataplane.elements.classifier.Classifier`
+CheckIPhdr                       :class:`~repro.dataplane.elements.checkipheader.CheckIPHeader`
+EthEncap / EthDecap              :class:`~repro.dataplane.elements.ether.EtherEncap` / ``EtherDecap``
+DecTTL                           :class:`~repro.dataplane.elements.decttl.DecIPTTL`
+DropBcast                        :class:`~repro.dataplane.elements.dropbroadcasts.DropBroadcasts`
+IPoptions (Click+)               :class:`~repro.dataplane.elements.ipoptions.IPOptions`
+IPlookup (Click+)                :class:`~repro.dataplane.elements.iplookup.IPLookup`
+NAT (ours)                       :class:`~repro.dataplane.elements.nat.VerifiedNat`
+TrafficMonitor (ours)            :class:`~repro.dataplane.elements.trafficmonitor.TrafficMonitor`
+Click IPFragmenter (buggy)       :class:`~repro.dataplane.elements.ipfragmenter.ClickIPFragmenter`
+Click IPRewriter / NAT (buggy)   :class:`~repro.dataplane.elements.nat.ClickNat`
+Firewall (filtering study)       :class:`~repro.dataplane.elements.ipfilter.IPFilter`
+Filter chain (Fig. 4c)           :class:`~repro.dataplane.elements.header_filter.HeaderFilter`
+Loop micro-benchmark (Fig. 4d)   :class:`~repro.dataplane.elements.microbench.SimplifiedOptionsLoop`
+===============================  ==========================================
+"""
+
+from repro.dataplane.elements.checkipheader import CheckIPHeader
+from repro.dataplane.elements.classifier import Classifier
+from repro.dataplane.elements.decttl import DecIPTTL
+from repro.dataplane.elements.dropbroadcasts import DropBroadcasts
+from repro.dataplane.elements.ether import EtherDecap, EtherEncap
+from repro.dataplane.elements.header_filter import HeaderFilter
+from repro.dataplane.elements.infra import Discard, PacketCounter, PassThrough, Sink
+from repro.dataplane.elements.ipfilter import ALLOW, DENY, FilterRule, IPFilter
+from repro.dataplane.elements.ipfragmenter import ClickIPFragmenter, IPFragmenter
+from repro.dataplane.elements.iplookup import IPLookup
+from repro.dataplane.elements.ipoptions import IPOptions
+from repro.dataplane.elements.microbench import SimplifiedOptionsLoop
+from repro.dataplane.elements.nat import ClickNat, VerifiedNat
+from repro.dataplane.elements.trafficmonitor import CounterOverflowExample, TrafficMonitor
+
+__all__ = [
+    "CheckIPHeader",
+    "Classifier",
+    "DecIPTTL",
+    "DropBroadcasts",
+    "EtherDecap",
+    "EtherEncap",
+    "HeaderFilter",
+    "Discard",
+    "PacketCounter",
+    "PassThrough",
+    "Sink",
+    "ALLOW",
+    "DENY",
+    "FilterRule",
+    "IPFilter",
+    "ClickIPFragmenter",
+    "IPFragmenter",
+    "IPLookup",
+    "IPOptions",
+    "SimplifiedOptionsLoop",
+    "ClickNat",
+    "VerifiedNat",
+    "CounterOverflowExample",
+    "TrafficMonitor",
+]

@@ -1,0 +1,69 @@
+"""CheckIPHeader: validate the IPv4 header of incoming packets.
+
+Modelled on Click's ``CheckIPHeader``: packets with a malformed IP header are
+discarded (version not 4, header length below 20 bytes, total length smaller
+than the header, header extending past the received data, optionally a bad
+checksum or a bad source address).  Well-formed packets are forwarded on port
+0 unchanged.
+
+This element is part of the "preproc" group in Fig. 4(a) and of every
+meaningful pipeline in the evaluation -- downstream elements rely on it for
+basic well-formedness (though, as bug #2 shows, not for option well-formedness
+unless the IP-options element is also present).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net import checksum as cksum
+from repro.net.addresses import ip_to_int
+from repro.net.headers import IPV4_MIN_HEADER_LEN
+from repro.net.packet import Packet
+
+
+class CheckIPHeader(Element):
+    """Drop packets whose IPv4 header is malformed."""
+
+    def __init__(self, verify_checksum: bool = False,
+                 bad_sources: Iterable[str] = ("0.0.0.0", "255.255.255.255"),
+                 name: Optional[str] = None):
+        super().__init__(name)
+        self.verify_checksum = verify_checksum
+        self.bad_sources = [ip_to_int(address) for address in bad_sources]
+
+    def process(self, packet: Packet):
+        buf = packet.buf
+        # The packet must be long enough to hold a minimal IP header at all.
+        if len(buf) < packet.ip_offset + IPV4_MIN_HEADER_LEN:
+            return None
+
+        ip = packet.ip()
+        cost(4)
+        if ip.version != 4:
+            return None
+        header_length = ip.ihl * 4
+        if header_length < IPV4_MIN_HEADER_LEN:
+            return None
+        total_length = ip.total_length
+        if total_length < header_length:
+            return None
+        # The full header must fit inside the received bytes; otherwise later
+        # elements reading options would run off the buffer.
+        if packet.ip_offset + header_length > len(buf):
+            return None
+
+        for bad in self.bad_sources:
+            if ip.src == bad:
+                return None
+
+        if self.verify_checksum:
+            cost(header_length)
+            if not cksum.verify_ip_checksum(buf, packet.ip_offset, IPV4_MIN_HEADER_LEN):
+                return None
+
+        # Record where the transport header starts, like Click's annotation.
+        packet.set_meta("ip_header_ok", 1)
+        return packet

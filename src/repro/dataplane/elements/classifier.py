@@ -1,0 +1,69 @@
+"""Classifier: dispatch packets to output ports by header patterns.
+
+Modelled on Click's ``Classifier``: the configuration is a list of patterns,
+one per output port; each pattern is a conjunction of ``(offset, mask, value)``
+clauses over the raw packet bytes.  The packet is emitted on the port of the
+first matching pattern; if no pattern matches it is dropped (Click's default)
+unless a ``default_port`` is configured.
+
+The canonical use in the paper's IP router is ethertype dispatch: IP packets
+to port 0, ARP to port 1, everything else dropped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.headers import ETHERTYPE_ARP, ETHERTYPE_IP
+from repro.net.packet import Packet
+
+#: One pattern clause: (byte offset, mask, expected value).  Multi-byte values
+#: are matched big-endian with a length inferred from the mask.
+Clause = Tuple[int, int, int]
+Pattern = Sequence[Clause]
+
+
+class Classifier(Element):
+    """Pattern-based packet classifier."""
+
+    def __init__(self, patterns: Sequence[Pattern], default_port: Optional[int] = None,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        self.patterns: List[Pattern] = [list(p) for p in patterns]
+        self.default_port = default_port
+        self.nports_out = len(self.patterns) + (1 if default_port is not None else 0)
+
+    @classmethod
+    def ethertype_classifier(cls, name: Optional[str] = None) -> "Classifier":
+        """IP traffic to port 0, ARP to port 1, everything else dropped."""
+        return cls(
+            patterns=[
+                [(12, 0xFFFF, ETHERTYPE_IP)],
+                [(12, 0xFFFF, ETHERTYPE_ARP)],
+            ],
+            name=name,
+        )
+
+    @staticmethod
+    def _clause_width(mask: int) -> int:
+        width = max(1, (mask.bit_length() + 7) // 8)
+        return width
+
+    def _matches(self, packet: Packet, pattern: Pattern) -> bool:
+        for offset, mask, value in pattern:
+            width = self._clause_width(mask)
+            observed = packet.buf.load(offset, width)
+            cost(2)
+            if (observed & mask) != (value & mask):
+                return False
+        return True
+
+    def process(self, packet: Packet):
+        for port, pattern in enumerate(self.patterns):
+            if self._matches(packet, pattern):
+                return (port, packet)
+        if self.default_port is not None:
+            return (self.default_port, packet)
+        return None

@@ -1,0 +1,39 @@
+"""DecIPTTL: decrement the IP time-to-live and drop expired packets.
+
+Modelled on Click's ``DecIPTTL``: packets arriving with TTL of 0 or 1 are
+considered expired and emitted on port 1 (where a router would normally
+generate an ICMP Time Exceeded; in the evaluation pipelines port 1 is
+unconnected, so expired packets simply leave the pipeline).  Other packets
+have their TTL decremented and the header checksum patched incrementally
+(RFC 1624), and continue on port 0.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.packet import Packet
+
+
+class DecIPTTL(Element):
+    """Decrement TTL; expired packets go to the error port."""
+
+    nports_out = 2
+
+    def process(self, packet: Packet):
+        ip = packet.ip()
+        cost(3)
+        ttl = ip.ttl
+        if ttl <= 1:
+            # Expired: a real router would emit ICMP time-exceeded here, which
+            # involves logging and allocation -- model that extra work.
+            cost(40)
+            return (1, packet)
+        ip.ttl = ttl - 1
+        # Incremental checksum update (RFC 1624): the TTL lives in the high
+        # byte of the 16-bit word at offset 8, so subtracting one from the TTL
+        # adds 0x0100 to the checksum (with end-around carry).
+        total = ip.checksum + 0x0100
+        total = (total & 0xFFFF) + (total >> 16)
+        ip.checksum = total
+        return (0, packet)

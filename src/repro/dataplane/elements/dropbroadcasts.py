@@ -1,0 +1,31 @@
+"""DropBroadcasts: discard packets that arrived as link-level broadcasts.
+
+Modelled on Click's ``DropBroadcasts``, which drops packets whose link-layer
+destination was a broadcast or multicast address (an IP router must not
+forward those).  The element checks the packet's Ethernet destination address
+and, like Click, also honours a metadata annotation set by the receiving
+driver (``link_broadcast``).
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.addresses import EtherAddress
+from repro.net.packet import Packet
+
+
+class DropBroadcasts(Element):
+    """Drop link-level broadcast/multicast packets."""
+
+    def process(self, packet: Packet):
+        cost(2)
+        if packet.get_meta("link_broadcast", 0) == 1:
+            return None
+        dst = packet.ether().dst
+        if dst == EtherAddress.BROADCAST_VALUE:
+            return None
+        # Multicast: group bit of the first destination octet.
+        if ((dst >> 40) & 0x01) == 0x01:
+            return None
+        return packet

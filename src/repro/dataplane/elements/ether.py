@@ -1,0 +1,52 @@
+"""Ethernet encapsulation / decapsulation elements.
+
+``EtherDecap`` corresponds to Click's ``Strip(14)``: it marks the link-layer
+header as consumed so that downstream elements operate on the IP header.
+``EtherEncap`` corresponds to Click's ``EtherEncap``: it (re)writes the
+link-layer header with configured addresses before transmission.
+
+Packet buffers in this reproduction are fixed-size (pre-allocated), so
+"stripping" does not move bytes: the Ethernet header area stays in place and
+decapsulation simply records the fact in the packet metadata.  This mirrors
+how high-performance dataplanes adjust a header pointer rather than copying
+the packet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.addresses import EtherAddress
+from repro.net.headers import ETHERTYPE_IP
+from repro.net.packet import Packet
+
+
+class EtherDecap(Element):
+    """Mark the Ethernet header as stripped (Click's ``Strip(14)``)."""
+
+    def process(self, packet: Packet):
+        cost(1)
+        packet.set_meta("l2_stripped", 1)
+        return packet
+
+
+class EtherEncap(Element):
+    """Write a fresh Ethernet header around the packet before transmission."""
+
+    def __init__(self, src="00:00:00:00:00:01", dst="00:00:00:00:00:02",
+                 ethertype: int = ETHERTYPE_IP, name: Optional[str] = None):
+        super().__init__(name)
+        self.src = int(EtherAddress(src))
+        self.dst = int(EtherAddress(dst))
+        self.ethertype = ethertype
+
+    def process(self, packet: Packet):
+        eth = packet.ether()
+        cost(3)
+        eth.src = self.src
+        eth.dst = self.dst
+        eth.ethertype = self.ethertype
+        packet.set_meta("l2_stripped", 0)
+        return packet

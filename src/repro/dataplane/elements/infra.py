@@ -1,0 +1,60 @@
+"""Infrastructure elements: sources, sinks, and pass-throughs.
+
+The paper's test pipelines are bracketed by a *generator* element and a *sink*
+element; what gets verified is everything in between.  The elements here are
+those brackets plus trivial helpers used in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dataplane.element import Element
+from repro.net.packet import Packet
+
+
+class Sink(Element):
+    """Terminates the pipeline and remembers the packets it swallowed."""
+
+    nports_out = 0
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self.received: List[Packet] = []
+
+    def process(self, packet: Packet):
+        self.received.append(packet)
+        return None
+
+
+class Discard(Element):
+    """Drops every packet without recording it (Click's ``Discard``)."""
+
+    nports_out = 0
+
+    def process(self, packet: Packet):
+        return None
+
+
+class PassThrough(Element):
+    """Forwards every packet unchanged (useful to pad pipelines in tests)."""
+
+    def process(self, packet: Packet):
+        return packet
+
+
+class PacketCounter(Element):
+    """Counts packets passing through (a trivially stateful diagnostic element).
+
+    The counter is ordinary Python state rather than key/value-store state, so
+    this element is deliberately *not* verifiable for mutable-state properties;
+    it exists for concrete-mode accounting in tests and examples.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self.count = 0
+
+    def process(self, packet: Packet):
+        self.count += 1
+        return packet

@@ -1,0 +1,107 @@
+"""IPFilter: a rule-based firewall element.
+
+Modelled on Click's ``IPFilter``: an ordered list of allow/deny rules matched
+against the IP source/destination prefixes, the protocol and (for TCP/UDP) the
+destination port range.  The first matching rule decides; a configurable
+default applies when nothing matches.
+
+The firewall is the downstream half of the Section 5.3 "unintended behaviour"
+case study: a pipeline in which an IP-options element (with the vulnerable
+LSRR implementation) runs *before* the firewall cannot guarantee the filtering
+property "packets from a blacklisted source are dropped", because the options
+element may have rewritten the source address by the time the firewall looks
+at it.
+
+Rules are static state, but they are ordinary, human-auditable configuration
+(a short list), so the verifier does not abstract them: filtering proofs are
+made against a specific rule set, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.headers import IP_PROTO_TCP, IP_PROTO_UDP
+from repro.net.packet import Packet
+from repro.structures.lpm import parse_prefix
+
+ALLOW = "allow"
+DENY = "deny"
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """One firewall rule; ``None`` fields are wildcards."""
+
+    action: str
+    src_prefix: Optional[str] = None
+    dst_prefix: Optional[str] = None
+    protocol: Optional[int] = None
+    dst_port_range: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self):
+        if self.action not in (ALLOW, DENY):
+            raise ValueError(f"rule action must be 'allow' or 'deny', got {self.action!r}")
+
+
+def _prefix_matches(prefix: Optional[str], address) -> bool:
+    if prefix is None:
+        return True
+    value, plen = parse_prefix(prefix)
+    if plen == 0:
+        return True
+    shift = 32 - plen
+    return (address >> shift) == (value >> shift)
+
+
+class IPFilter(Element):
+    """Ordered allow/deny rules over IP and transport headers."""
+
+    def __init__(self, rules: Sequence[FilterRule], default: str = ALLOW,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        if default not in (ALLOW, DENY):
+            raise ValueError("default must be 'allow' or 'deny'")
+        self.rules: List[FilterRule] = list(rules)
+        self.default = default
+
+    @classmethod
+    def blacklist_sources(cls, prefixes: Sequence[str], name: Optional[str] = None) -> "IPFilter":
+        """A firewall that drops the given source prefixes and allows the rest."""
+        rules = [FilterRule(action=DENY, src_prefix=prefix) for prefix in prefixes]
+        return cls(rules, default=ALLOW, name=name)
+
+    def _rule_matches(self, rule: FilterRule, packet: Packet) -> bool:
+        ip = packet.ip()
+        cost(3)
+        if not _prefix_matches(rule.src_prefix, ip.src):
+            return False
+        if not _prefix_matches(rule.dst_prefix, ip.dst):
+            return False
+        if rule.protocol is not None:
+            if ip.protocol != rule.protocol:
+                return False
+        if rule.dst_port_range is not None:
+            protocol = ip.protocol
+            if protocol != IP_PROTO_TCP and protocol != IP_PROTO_UDP:
+                return False
+            dst_port = packet.buf.load(packet.transport_offset() + 2, 2)
+            low, high = rule.dst_port_range
+            if dst_port < low:
+                return False
+            if dst_port > high:
+                return False
+        return True
+
+    def process(self, packet: Packet):
+        for rule in self.rules:
+            if self._rule_matches(rule, packet):
+                if rule.action == DENY:
+                    return None
+                return packet
+        if self.default == DENY:
+            return None
+        return packet

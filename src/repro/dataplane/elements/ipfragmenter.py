@@ -1,0 +1,171 @@
+"""IP fragmenters: the buggy Click element (bugs #1 and #2) and a fixed version.
+
+``ClickIPFragmenter`` reproduces the two bugs the paper found in Click's
+``IPFragmenter`` (Section 5.3) at the equivalent logical locations of the
+option-copying loop:
+
+* **Bug #1** (ipfragmenter.cc line 64 in Click 2.0.1): when copying an option
+  whose *copy* flag is set into the fragment header template, the loop forgets
+  to advance past the option -- so fragmenting any packet that carries a
+  copied option (LSRR, SSRR, security, ...) loops forever.
+* **Bug #2** (ipfragmenter.cc line 69): the loop advances by the option's own
+  length octet, so a zero-length option leaves the cursor in place and the
+  loop never terminates.  Pipelines that include the IP-options element are
+  protected (it discards zero-length options); pipelines without it are not.
+
+Both bugs violate bounded-execution (and are remotely triggerable, hence the
+paper calls them security vulnerabilities).  ``IPFragmenter`` is the fixed
+rewrite used when a correct fragmenter is wanted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net import checksum as cksum
+from repro.net.headers import IPV4_MIN_HEADER_LEN
+from repro.net.options import IPOPT_EOL, IPOPT_NOP
+from repro.net.packet import Packet
+
+#: copy flag of an option type octet (bit 7): the option must be replicated in
+#: every fragment.
+OPTION_COPY_FLAG = 0x80
+
+
+class _FragmenterBase(Element):
+    """Shared fragmentation logic; subclasses supply the option-walk loop."""
+
+    nports_out = 2  # port 0: fragments / small packets, port 1: DF violations
+
+    #: Upper bound on emitted fragments.  This is a deliberate
+    #: verifiable-element bound in the spirit of the paper's pre-allocated
+    #: data structures: the fragment loop has a small compile-time iteration
+    #: limit, so bounded execution of the element follows by construction, at
+    #: the cost of refusing to fragment pathologically large datagrams
+    #: (anything needing more than 16 fragments is dropped).
+    MAX_FRAGMENTS = 16
+
+    def __init__(self, mtu: int = 1500, honor_df: bool = True, name: Optional[str] = None):
+        super().__init__(name)
+        if mtu < 68:
+            raise ValueError("IPv4 requires an MTU of at least 68 bytes")
+        self.mtu = mtu
+        self.honor_df = honor_df
+
+    # Subclasses implement the option walk; it returns the length of the
+    # option area that must be copied into non-first fragments.
+    def _walk_options(self, packet: Packet, header_length) -> int:
+        raise NotImplementedError
+
+    def process(self, packet: Packet):
+        ip = packet.ip()
+        cost(4)
+        total_length = ip.total_length
+        if total_length <= self.mtu:
+            return (0, packet)
+        if self.honor_df:
+            if ip.dont_fragment == 1:
+                # A real router sends ICMP "fragmentation needed" here.
+                cost(40)
+                return (1, packet)
+
+        header_length = ip.ihl * 4
+        # Walk the options once to build the header template for fragments;
+        # this is where the Click bugs live.
+        self._walk_options(packet, header_length)
+
+        payload = total_length - header_length
+        chunk = self.mtu - header_length
+        # Fragment offsets are expressed in 8-byte units.
+        chunk = (chunk // 8) * 8
+        if chunk <= 0:
+            return None
+
+        fragments: List[Tuple[int, Packet]] = []
+        offset = 0
+        remaining = payload
+        count = 0
+        while remaining > 0:
+            count += 1
+            if count > self.MAX_FRAGMENTS:
+                return None
+            cost(20)
+            this_len = chunk if remaining > chunk else remaining
+            fragment = packet.clone()
+            fragment_ip = fragment.ip()
+            fragment_ip.total_length = header_length + this_len
+            fragment_ip.fragment_offset = offset // 8
+            fragment_ip.more_fragments = 1 if remaining > this_len else 0
+            fragment_ip.checksum = 0
+            if not fragment.buf.is_symbolic:
+                fragment_ip.checksum = cksum.ip_checksum(
+                    fragment.buf, fragment.ip_offset, IPV4_MIN_HEADER_LEN
+                )
+            fragments.append((0, fragment))
+            offset += this_len
+            remaining = remaining - this_len
+        return fragments
+
+
+class ClickIPFragmenter(_FragmenterBase):
+    """The Click 2.0.1 fragmenter with its two option-walk bugs left in place."""
+
+    def _walk_options(self, packet: Packet, header_length) -> int:
+        buf = packet.buf
+        base = packet.ip_offset
+        copied = 0
+        position = IPV4_MIN_HEADER_LEN
+        while position < header_length:
+            cost(3)
+            option_type = buf.load_byte(base + position)
+            if option_type == IPOPT_EOL:
+                break
+            if option_type == IPOPT_NOP:
+                position += 1
+                continue
+            option_length = buf.load_byte(base + position + 1)
+            if (option_type & OPTION_COPY_FLAG) == OPTION_COPY_FLAG:
+                # The option must appear in every fragment: account for it in
+                # the copied-header template.
+                copied = copied + option_length
+                cost(option_length if isinstance(option_length, int) else 8)
+                # BUG #1: the increment of ``position`` is missing on this
+                # branch (the Click programmer forgot it), so fragmenting any
+                # packet with a copied option never terminates.
+                continue
+            # BUG #2: a zero-length option leaves ``position`` unchanged, so
+            # the loop gets stuck (exercised only when no IP-options element
+            # upstream has discarded such packets).
+            position += option_length
+        return copied
+
+
+class IPFragmenter(_FragmenterBase):
+    """A fixed fragmenter: option walk validates lengths and always advances."""
+
+    def _walk_options(self, packet: Packet, header_length) -> int:
+        buf = packet.buf
+        base = packet.ip_offset
+        copied = 0
+        position = IPV4_MIN_HEADER_LEN
+        while position < header_length:
+            cost(3)
+            option_type = buf.load_byte(base + position)
+            if option_type == IPOPT_EOL:
+                break
+            if option_type == IPOPT_NOP:
+                position += 1
+                continue
+            if position + 1 >= header_length:
+                break
+            option_length = buf.load_byte(base + position + 1)
+            if option_length < 2:
+                # Malformed: stop copying rather than looping forever.
+                break
+            if (option_type & OPTION_COPY_FLAG) == OPTION_COPY_FLAG:
+                copied = copied + option_length
+                cost(8)
+            position = position + option_length
+        return copied

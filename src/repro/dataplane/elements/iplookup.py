@@ -1,0 +1,61 @@
+"""IPLookup: longest-prefix-match forwarding (the paper's rewritten element).
+
+The paper reports rewriting Click's IP-lookup element (~300 changed lines) so
+that its forwarding table is a verifiable data structure; this element is that
+rewrite: the forwarding table is a :class:`repro.structures.lpm.FlatLpmTable`
+registered as *static state*, and the element touches it only through
+``lookup``.  During arbitrary-configuration verification the verifier
+abstracts the table away (a lookup returns an unconstrained port), so the
+element's own code is all that gets symbolically executed.
+
+The route value is the output port number; ``None`` (no route and no default)
+means the packet is dropped, modelling an unreachable destination.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.packet import Packet
+from repro.structures.lpm import FlatLpmTable
+
+
+class IPLookup(Element):
+    """Forward packets according to a longest-prefix-match table."""
+
+    def __init__(self, routes: Optional[Iterable[Tuple[str, int]]] = None,
+                 nports: int = 4, first_level_bits: int = 16,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        self.nports_out = nports
+        table = FlatLpmTable(first_level_bits=first_level_bits, default=None)
+        for prefix, port in routes or []:
+            table.add_route(prefix, port)
+        self.register_state("table", table, kind="static")
+
+    def add_route(self, prefix: str, port: int) -> None:
+        """Install a route (control-plane operation)."""
+        self.table.add_route(prefix, port)
+
+    def process(self, packet: Packet):
+        ip = packet.ip()
+        cost(4)
+        destination = ip.dst
+        port = self.table.lookup(destination)
+        if port is None:
+            # No route: a real router would emit ICMP destination-unreachable,
+            # which is comparatively expensive (logging, allocation).
+            cost(40)
+            return None
+        # Dispatch on the (possibly abstracted) port value.  The explicit
+        # comparison chain keeps the emitted port concrete, which is what the
+        # pipeline graph needs to route the packet to the next element.
+        for candidate in range(self.nports_out):
+            if port == candidate:
+                packet.set_meta("fwd_port", candidate)
+                return (candidate, packet)
+        # The table returned a port outside the element's range: treat it the
+        # same way Click treats a bad gateway entry -- drop the packet.
+        return None

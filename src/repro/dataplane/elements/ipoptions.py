@@ -1,0 +1,193 @@
+"""IPOptions: process IPv4 options (the paper's verification-optimised loop element).
+
+This element walks the option area of the IP header and processes each option:
+no-ops and end-of-list terminate or advance the walk, Record Route stores the
+router address into the option, Timestamp charges its processing cost, and the
+source-route options (LSRR/SSRR) optionally emulate the historically common --
+and vulnerable -- implementation that rewrites the packet's source address
+with the router's own address (Section 5.3, "unintended behaviour").
+Malformed options (zero or truncated length) cause the packet to be discarded,
+which is exactly the behaviour that protects the buggy Click fragmenter from
+bug #2 when this element is present.
+
+**Condition 1.**  The loop-carried state -- the offset of the next option to
+process -- is stored in the packet metadata (``opt_next``) rather than in a
+local variable, so the verifier can decompose the loop: it summarises one call
+to :meth:`loop_body` with ``opt_next`` symbolic (the iteration "may start
+reading from anywhere in the IP header") and composes as many iterations as
+the configuration allows.  In the paper, making the Click element satisfy this
+condition took 26 modified lines; here the element is written this way from
+the start, and ``process`` is literally ``loop_setup`` plus repeated
+``loop_body`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.addresses import IPAddress
+from repro.net.headers import IPV4_MIN_HEADER_LEN
+from repro.net.options import IPOPT_EOL, IPOPT_LSRR, IPOPT_NOP, IPOPT_RR, IPOPT_SSRR, IPOPT_TS
+from repro.net.packet import Packet
+
+
+class IPOptions(Element):
+    """Process IPv4 options; drop packets with malformed options."""
+
+    LOOP_ELEMENT = True
+    LOOP_META = "opt_next"
+    #: the option area is at most 40 bytes, and every iteration consumes at
+    #: least one byte, so 40 iterations always suffice.
+    MAX_LOOP_ITERATIONS = 40
+
+    def __init__(self, router_address: str = "192.168.0.1",
+                 lsrr_rewrites_source: bool = True,
+                 max_options: Optional[int] = None,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        self.router_address = int(IPAddress(router_address))
+        #: emulate the vulnerable LSRR behaviour (rewrite the source address)
+        self.lsrr_rewrites_source = lsrr_rewrites_source
+        #: optionally cap how many options are processed (used by the
+        #: evaluation to grow pipelines "+IPoption1, +IPoption2, ...")
+        self.max_options = max_options
+
+    # -- loop interface (Condition 1) -------------------------------------------
+
+    def loop_setup(self, packet: Packet) -> None:
+        """Start the walk at the first option byte and reset the option count."""
+        packet.set_meta("opt_next", IPV4_MIN_HEADER_LEN)
+        packet.set_meta("opt_count", 0)
+
+    def loop_body(self, packet: Packet) -> str:
+        """Process the option at ``opt_next``; advance it; report the outcome.
+
+        Returns ``"continue"`` to keep iterating, ``"done"`` when the option
+        list is exhausted, and ``"drop"`` when the packet must be discarded.
+        """
+        ip = packet.ip()
+        buf = packet.buf
+        header_length = ip.ihl * 4
+        position = packet.get_meta("opt_next")
+        cost(3)
+
+        if position >= header_length:
+            return "done"
+        if self.max_options is not None:
+            count = packet.get_meta("opt_count", 0)
+            if count >= self.max_options:
+                return "done"
+            packet.set_meta("opt_count", count + 1)
+
+        option_type = buf.load_byte(packet.ip_offset + position)
+        if option_type == IPOPT_EOL:
+            return "done"
+        if option_type == IPOPT_NOP:
+            packet.set_meta("opt_next", position + 1)
+            return "continue"
+
+        # Every other option carries a length octet.
+        if position + 1 >= header_length:
+            return "drop"
+        option_length = buf.load_byte(packet.ip_offset + position + 1)
+        if option_length < 2:
+            # Zero (or one) length option: malformed; discard the packet.  The
+            # Click IP-options element does the same, which is why pipelines
+            # containing it are immune to fragmenter bug #2.
+            return "drop"
+        if option_length > 40:
+            # The IPv4 option area is at most 40 bytes, so no single option can
+            # be longer than that; anything larger is malformed.  (This also
+            # gives the verifier a simple per-variable bound on every offset
+            # derived from the option length.)
+            return "drop"
+        if position + option_length > header_length:
+            return "drop"
+
+        if option_type == IPOPT_RR:
+            self._record_route(packet, position, option_length)
+        elif option_type == IPOPT_LSRR or option_type == IPOPT_SSRR:
+            self._source_route(packet, position, option_length)
+        elif option_type == IPOPT_TS:
+            cost(12)
+        else:
+            # Unknown options are ignored (forwarded unchanged).
+            cost(2)
+
+        packet.set_meta("opt_next", position + option_length)
+        return "continue"
+
+    # -- option handlers -------------------------------------------------------------
+
+    def _record_route(self, packet: Packet, position: int, option_length) -> None:
+        """Record Route: store the router address at the option's pointer."""
+        buf = packet.buf
+        base = packet.ip_offset + position
+        pointer = buf.load_byte(base + 2)
+        cost(6)
+        if pointer < 4:
+            return
+        if pointer > 40:
+            # The pointer can never legitimately exceed the 40-byte option
+            # area; bail out on malformed values (and give the verifier a
+            # direct bound on the write offset below).
+            return
+        # The pointer is 1-based from the start of the option; a 4-byte slot
+        # must fit inside the option for the address to be recorded.
+        if pointer + 3 > option_length:
+            return
+        buf.store(base + pointer - 1, 4, self.router_address)
+        buf.store_byte(base + 2, pointer + 4)
+
+    def _source_route(self, packet: Packet, position: int, option_length) -> None:
+        """LSRR/SSRR: route via the listed hops.
+
+        The vulnerable (historical) implementation also replaces the packet's
+        source address with the router's own address, which defeats any
+        source-address filtering applied later in the pipeline -- the
+        "unintended behaviour" case study of Section 5.3.
+        """
+        buf = packet.buf
+        ip = packet.ip()
+        base = packet.ip_offset + position
+        pointer = buf.load_byte(base + 2)
+        cost(10)
+        if pointer < 4:
+            return
+        if pointer > 40:
+            # Malformed pointer (past the maximum option area); leave the
+            # packet alone, as with Record Route above.
+            return
+        if pointer + 3 > option_length:
+            # Source route exhausted: the packet is at (or past) its last hop.
+            return
+        # Next hop becomes the destination; record ourselves in the slot.
+        next_hop = buf.load(base + pointer - 1, 4)
+        ip.dst = next_hop
+        buf.store(base + pointer - 1, 4, self.router_address)
+        buf.store_byte(base + 2, pointer + 4)
+        if self.lsrr_rewrites_source:
+            ip.src = self.router_address
+
+    # -- element interface ----------------------------------------------------------
+
+    def process(self, packet: Packet):
+        ip = packet.ip()
+        cost(2)
+        if ip.ihl * 4 <= IPV4_MIN_HEADER_LEN:
+            return packet  # no options present
+        self.loop_setup(packet)
+        iterations = 0
+        while iterations < self.MAX_LOOP_ITERATIONS:
+            iterations += 1
+            status = self.loop_body(packet)
+            if status == "done":
+                return packet
+            if status == "drop":
+                return None
+        # The option area is at most 40 bytes and every iteration advances by
+        # at least one byte, so falling out of the loop is unreachable; treat
+        # it as a drop to stay on the safe side.
+        return None

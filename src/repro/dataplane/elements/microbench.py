@@ -1,0 +1,66 @@
+"""Synthetic elements used only by the compositionality micro-benchmarks.
+
+``SimplifiedOptionsLoop`` is the Fig. 4(d) workload: "a simplified version of
+the IP options processing loop, i.e., in each iteration, it reads some portion
+of the IP header, updates it, and advances a ``next`` variable that indicates
+where the next read should start."  Each iteration contains one data-dependent
+branch, so a loop of ``t`` iterations has on the order of ``2^t`` paths for a
+tool that executes the whole loop, but a single iteration's worth of segments
+for a tool that decomposes the loop (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.headers import IPV4_MIN_HEADER_LEN
+from repro.net.packet import Packet
+
+
+class SimplifiedOptionsLoop(Element):
+    """A configurable-depth loop over the IP header (Fig. 4(d) micro-benchmark)."""
+
+    LOOP_ELEMENT = True
+    LOOP_META = "sloop_next"
+
+    def __init__(self, iterations: int = 1, name: Optional[str] = None):
+        super().__init__(name)
+        if iterations < 1:
+            raise ValueError("the loop needs at least one iteration")
+        self.iterations = iterations
+        self.MAX_LOOP_ITERATIONS = iterations
+
+    def loop_setup(self, packet: Packet) -> None:
+        packet.set_meta("sloop_next", 0)
+
+    def loop_body(self, packet: Packet) -> str:
+        """Read a header byte at ``next``, update it, advance ``next``."""
+        buf = packet.buf
+        position = packet.get_meta("sloop_next")
+        cost(3)
+        if position >= IPV4_MIN_HEADER_LEN:
+            return "done"
+        value = buf.load_byte(packet.ip_offset + position)
+        # One data-dependent branch per iteration -- the source of the
+        # exponential path growth under whole-loop symbolic execution.
+        if value >= 0x80:
+            buf.store_byte(packet.ip_offset + position, value - 0x80)
+            cost(4)
+        else:
+            buf.store_byte(packet.ip_offset + position, value + 1)
+        packet.set_meta("sloop_next", position + 1)
+        return "continue"
+
+    def process(self, packet: Packet):
+        self.loop_setup(packet)
+        count = 0
+        while count < self.iterations:
+            count += 1
+            status = self.loop_body(packet)
+            if status == "done":
+                break
+            if status == "drop":
+                return None
+        return packet

@@ -1,0 +1,217 @@
+"""Network Address (and Port) Translation elements.
+
+``VerifiedNat`` is the paper's from-scratch NAT rewriter (Table 2, "ours",
+~870 new LoC in the original): all per-connection state lives behind the
+key/value-store interface (Condition 2), backed by the chained-array hash
+table (Condition 3), and the external-port allocator is bounded so that no
+counter can overflow.  The element can be verified for crash-freedom and
+bounded execution under arbitrary mutable-state contents.
+
+``ClickNat`` reproduces bug #3: Click's ``IPRewriter`` hits a failed assertion
+(include/click/heap.hh line 149 in Click 2.0.1) when it receives a packet
+whose source *and* destination address/port tuples both equal the rewriter's
+own public tuple -- a packet no legitimate host would send, but one any
+attacker can craft.
+
+Directionality: packets whose destination address is the public address are
+*inbound* (Internet -> private network, emitted on port 1 after translation);
+everything else is *outbound* (private -> Internet, emitted on port 0).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost, dp_assert
+from repro.net.addresses import IPAddress
+from repro.net.headers import IP_PROTO_TCP, IP_PROTO_UDP
+from repro.net.packet import Packet
+from repro.structures.hashtable import ChainedArrayHashTable
+
+#: key used in the allocator store for the next-free-port counter
+_ALLOCATOR_KEY = 0
+
+
+def _pack_flow(src_ip, src_port, dst_ip, dst_port, protocol):
+    """Pack a 5-tuple into a single integer key (works symbolically too)."""
+    key = src_ip
+    key = (key << 16) | src_port
+    key = (key << 32) | dst_ip
+    key = (key << 16) | dst_port
+    key = (key << 8) | protocol
+    return key
+
+
+class _NatBase(Element):
+    """Common NAT logic: flow lookup, port allocation, header rewriting."""
+
+    nports_out = 2  # port 0: outbound (to Internet), port 1: inbound (to LAN)
+
+    def __init__(self, public_ip: str = "1.2.3.4", port_base: int = 10000,
+                 port_pool: int = 4096, buckets: int = 1024, depth: int = 3,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        self.public_ip = int(IPAddress(public_ip))
+        self.port_base = port_base
+        self.port_pool = port_pool
+        #: outbound flow -> external port
+        self.register_state("flow_map", ChainedArrayHashTable(buckets, depth), kind="private")
+        #: external port -> (internal ip, internal port) packed
+        self.register_state("reverse_map", ChainedArrayHashTable(buckets, depth), kind="private")
+        #: next-free-port counter, kept behind the same interface
+        self.register_state("allocator", ChainedArrayHashTable(4, 1), kind="private")
+
+    # -- packet field helpers -----------------------------------------------------
+
+    @staticmethod
+    def _ports(packet: Packet):
+        transport = packet.transport_offset()
+        return packet.buf.load(transport, 2), packet.buf.load(transport + 2, 2)
+
+    @staticmethod
+    def _set_src_port(packet: Packet, value) -> None:
+        packet.buf.store(packet.transport_offset(), 2, value)
+
+    @staticmethod
+    def _set_dst_port(packet: Packet, value) -> None:
+        packet.buf.store(packet.transport_offset() + 2, 2, value)
+
+    # -- rewriting ------------------------------------------------------------------
+
+    def _allocate_port(self):
+        """Allocate the next external port; ``None`` when the pool is exhausted.
+
+        The counter is *bounded by construction*: once ``port_pool`` ports have
+        been handed out, allocation fails and the packet is dropped, so the
+        counter can never overflow its type -- this is what makes the element
+        pass the mutable-state analysis of Section 3.4.
+        """
+        if not self.allocator.test(_ALLOCATOR_KEY):
+            self.allocator.write(_ALLOCATOR_KEY, 0)
+        used = self.allocator.read(_ALLOCATOR_KEY)
+        if used >= self.port_pool:
+            return None
+        self.allocator.write(_ALLOCATOR_KEY, used + 1)
+        return self.port_base + used
+
+    def _rewrite_outbound(self, packet: Packet, external_port) -> None:
+        ip = packet.ip()
+        ip.src = self.public_ip
+        self._set_src_port(packet, external_port)
+        cost(8)
+
+    def _rewrite_inbound(self, packet: Packet, internal_ip, internal_port) -> None:
+        ip = packet.ip()
+        ip.dst = internal_ip
+        self._set_dst_port(packet, internal_port)
+        cost(8)
+
+    def _handle_new_outbound_flow(self, packet: Packet, key, src_ip, src_port,
+                                  dst_ip, dst_port):
+        """Hook so the buggy Click variant can add its assertion."""
+        external_port = self._allocate_port()
+        if external_port is None:
+            return None
+        if not self.flow_map.write(key, external_port):
+            return None
+        self.reverse_map.write(external_port, (src_ip << 16) | src_port)
+        return external_port
+
+    def _handle_unknown_inbound(self, packet: Packet, src_ip, src_port,
+                                dst_ip, dst_port, protocol):
+        """A packet addressed to the public tuple with no matching mapping.
+
+        The verifiable NAT simply drops such packets; Click's rewriter instead
+        tries to create a brand-new mapping for them (see :class:`ClickNat`),
+        which is the code path containing bug #3.
+        """
+        return None
+
+    # -- element entry point --------------------------------------------------------
+
+    def process(self, packet: Packet):
+        ip = packet.ip()
+        cost(6)
+        protocol = ip.protocol
+        if protocol != IP_PROTO_TCP:
+            if protocol != IP_PROTO_UDP:
+                # Only TCP and UDP flows are translated.
+                return None
+        src_ip = ip.src
+        dst_ip = ip.dst
+        src_port, dst_port = self._ports(packet)
+
+        if dst_ip == self.public_ip:
+            # Inbound: translate the destination back to the internal host.
+            if not self.reverse_map.test(dst_port):
+                return self._handle_unknown_inbound(
+                    packet, src_ip, src_port, dst_ip, dst_port, protocol
+                )
+            mapping = self.reverse_map.read(dst_port)
+            internal_ip = (mapping >> 16) & 0xFFFFFFFF
+            internal_port = mapping & 0xFFFF
+            self._rewrite_inbound(packet, internal_ip, internal_port)
+            return (1, packet)
+
+        # Outbound: translate the source to the public tuple.
+        key = _pack_flow(src_ip, src_port, dst_ip, dst_port, protocol)
+        if self.flow_map.test(key):
+            external_port = self.flow_map.read(key)
+        else:
+            external_port = self._handle_new_outbound_flow(
+                packet, key, src_ip, src_port, dst_ip, dst_port
+            )
+            if external_port is None:
+                return None
+        self._rewrite_outbound(packet, external_port)
+        return (0, packet)
+
+
+class VerifiedNat(_NatBase):
+    """The paper's verifiable NAT (Table 2, "ours")."""
+
+
+class ClickNat(_NatBase):
+    """Click's ``IPRewriter`` with the heap assertion of bug #3.
+
+    When a new mapping is inserted, the rewriter maintains a heap of mappings
+    ordered by expiry; inserting a mapping whose flow identifier equals the
+    rewriter's own public tuple in both directions corrupts the heap index and
+    trips ``assert(i > 0)`` at heap.hh:149.  We reproduce the assertion with
+    the equivalent trigger condition.
+    """
+
+    #: the public port the rewriter itself listens on for control traffic
+    def __init__(self, public_port: int = 10000, **kwargs):
+        super().__init__(**kwargs)
+        self.public_port = public_port
+
+    def _handle_new_outbound_flow(self, packet: Packet, key, src_ip, src_port,
+                                  dst_ip, dst_port):
+        # Bug #3: a packet whose source tuple and destination tuple both equal
+        # the NAT's public tuple drives the heap insertion index to zero.
+        if src_ip == self.public_ip:
+            if src_port == self.public_port:
+                if dst_ip == self.public_ip:
+                    if dst_port == self.public_port:
+                        cost(5)
+                        dp_assert(False, "heap.hh:149: assert(i > 0) failed")
+        return super()._handle_new_outbound_flow(
+            packet, key, src_ip, src_port, dst_ip, dst_port
+        )
+
+    def _handle_unknown_inbound(self, packet: Packet, src_ip, src_port,
+                                dst_ip, dst_port, protocol):
+        # Click's IPRewriter creates a fresh mapping for packets it has never
+        # seen -- including packets addressed to its own public tuple.  That is
+        # the path on which the hairpin packet of bug #3 reaches the heap
+        # insertion and its failing assertion.
+        key = _pack_flow(src_ip, src_port, dst_ip, dst_port, protocol)
+        external_port = self._handle_new_outbound_flow(
+            packet, key, src_ip, src_port, dst_ip, dst_port
+        )
+        if external_port is None:
+            return None
+        self._rewrite_outbound(packet, external_port)
+        return (0, packet)

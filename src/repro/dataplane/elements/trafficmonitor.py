@@ -1,0 +1,93 @@
+"""Traffic monitoring elements (per-flow statistics).
+
+``TrafficMonitor`` is the paper's second stateful element (Table 2, "ours",
+~650 new LoC in the original): it keeps per-flow packet counters behind the
+key/value-store interface and uses the *expire* operation to hand completed
+flows to the control plane (a TCP FIN marks the flow as finished).  The
+counters saturate at a configurable maximum, so the mutable-state analysis
+finds no overflow suspect.
+
+``CounterOverflowExample`` is the manufactured element of the paper's Fig. 3:
+it increments a per-flow counter without a bound.  Verification sub-step (i)
+flags the increment as a potential overflow; sub-step (ii) (the pattern
+matcher in :mod:`repro.verifier.state_patterns`) recognises the monotone
+counter pattern and concludes -- by the induction argument of Section 3.4 --
+that the overflow is reachable after ``max + 1`` packets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.element import Element
+from repro.dataplane.helpers import cost
+from repro.net.headers import IP_PROTO_TCP
+from repro.net.packet import Packet
+from repro.structures.hashtable import ChainedArrayHashTable
+
+
+def _flow_key(packet: Packet):
+    """The monitoring flow key: source, destination, protocol."""
+    ip = packet.ip()
+    key = ip.src
+    key = (key << 32) | ip.dst
+    key = (key << 8) | ip.protocol
+    return key
+
+
+class TrafficMonitor(Element):
+    """Count packets per flow; export completed flows via ``expire``."""
+
+    def __init__(self, buckets: int = 1024, depth: int = 3,
+                 counter_max: int = 0xFFFFFFFF, name: Optional[str] = None):
+        super().__init__(name)
+        self.counter_max = counter_max
+        self.register_state("flows", ChainedArrayHashTable(buckets, depth), kind="private")
+
+    def process(self, packet: Packet):
+        cost(5)
+        key = _flow_key(packet)
+        if not self.flows.test(key):
+            # A full table is not an error: the flow simply is not monitored.
+            self.flows.write(key, 0)
+        count = self.flows.read(key)
+        if count is None:
+            count = 0
+        # Saturating increment: the counter never exceeds ``counter_max``, so
+        # it provably cannot overflow its storage type.
+        if count < self.counter_max:
+            count = count + 1
+        self.flows.write(key, count)
+
+        # On TCP FIN, the flow is complete: hand the statistics to the control
+        # plane and release the slot.
+        ip = packet.ip()
+        if ip.protocol == IP_PROTO_TCP:
+            flags = packet.buf.load_byte(packet.transport_offset() + 13)
+            if (flags & 0x01) == 0x01:
+                self.flows.expire(key)
+        return packet
+
+
+class CounterOverflowExample(Element):
+    """The Fig. 3 element: an unbounded per-flow packet counter.
+
+    Kept as a separate element (not used in the meaningful pipelines) to
+    demonstrate how the mutable-state analysis detects the overflow.
+    """
+
+    def __init__(self, buckets: int = 64, depth: int = 2, name: Optional[str] = None):
+        super().__init__(name)
+        self.register_state("counters", ChainedArrayHashTable(buckets, depth), kind="private")
+
+    def process(self, packet: Packet):
+        cost(3)
+        flow_id = _flow_key(packet)
+        if not self.counters.test(flow_id):
+            self.counters.write(flow_id, 0)
+        packet_count = self.counters.read(flow_id)
+        if packet_count is None:
+            packet_count = 0
+        new_packet_count = packet_count + 1
+        self.counters.write(flow_id, new_packet_count)
+        return packet

@@ -1,0 +1,54 @@
+"""Small helpers shared by all packet-processing elements.
+
+``dp_assert`` and ``cost`` are the two hooks through which element code makes
+its crash conditions and its instruction costs visible to both the concrete
+dataplane and the verifier:
+
+* :func:`dp_assert` is the dataplane assertion.  Concretely it raises
+  :class:`repro.errors.AssertionFailure` (the SIGABRT analogue) when the
+  condition is false.  Symbolically, evaluating the condition forks the path,
+  and the false side records a crash -- which is how the verifier finds, for
+  example, the failed assertion of Click's NAT rewriter (bug #3).
+* :func:`cost` charges abstract instructions.  Real elements spend wildly
+  different amounts of work on different paths (the paper's "longest paths"
+  study found exception paths 2.5x more expensive, mostly logging and memory
+  accesses); elements use ``cost`` to model such fixed extra work that is not
+  visible as per-byte operations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssertionFailure
+from repro.symex.runtime import current_runtime
+
+
+class CostMeter:
+    """Counts abstract instructions during *concrete* execution."""
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def add(self, count: int) -> None:
+        self.total += count
+
+    def reset(self) -> None:
+        self.total = 0
+
+
+#: Module-level meter used when no symbolic runtime is active.
+concrete_cost_meter = CostMeter()
+
+
+def cost(count: int) -> None:
+    """Charge ``count`` abstract instructions to the current execution."""
+    runtime = current_runtime()
+    if runtime is not None:
+        runtime.add_ops(count)
+    else:
+        concrete_cost_meter.add(count)
+
+
+def dp_assert(condition, message: str = "dataplane assertion failed") -> None:
+    """Assert a dataplane invariant; violation is an abnormal termination."""
+    if not condition:
+        raise AssertionFailure(message)

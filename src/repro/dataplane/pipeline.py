@@ -1,0 +1,174 @@
+"""Pipelines: directed graphs of packet-processing elements.
+
+A pipeline connects element output ports to downstream elements.  The concrete
+runner (:meth:`Pipeline.run`) pushes a packet through the graph exactly the
+way user-level Click does: each element processes the packet, every emitted
+``(port, packet)`` pair is forwarded to the element connected to that port,
+and packets that reach an unconnected port leave the pipeline (they are
+collected as pipeline *outputs*, tagged with the emitting element and port).
+
+The verifier never calls :meth:`run`; it reads the same graph structure
+(:meth:`successor`, :meth:`paths_from`) to compose per-element summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DataplaneCrash
+from repro.net.packet import Packet
+from repro.dataplane.element import Element
+
+
+@dataclass
+class TraceEntry:
+    """One hop of a packet through the pipeline (concrete runs only)."""
+
+    element: str
+    input_port: int
+    emitted: List[Tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class RunResult:
+    """Outcome of pushing one packet through a pipeline."""
+
+    #: packets that left the pipeline, as ``(element name, output port, packet)``
+    outputs: List[Tuple[str, int, Packet]] = field(default_factory=list)
+    #: packets dropped inside the pipeline, as ``(element name, packet)``
+    drops: List[Tuple[str, Packet]] = field(default_factory=list)
+    #: per-element trace in processing order
+    trace: List[TraceEntry] = field(default_factory=list)
+    #: the crash that aborted the run, if any
+    crash: Optional[DataplaneCrash] = None
+
+    @property
+    def delivered(self) -> List[Packet]:
+        """Just the packets that made it out of the pipeline."""
+        return [packet for _, _, packet in self.outputs]
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+
+class Pipeline:
+    """A directed graph of elements with single-owner packet hand-off."""
+
+    def __init__(self, name: str = "pipeline"):
+        self.name = name
+        self._elements: List[Element] = []
+        self._edges: Dict[Tuple[str, int], Element] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add an element to the pipeline (without connecting it)."""
+        if any(e.name == element.name for e in self._elements):
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self._elements.append(element)
+        return element
+
+    def connect(self, source: Element, port: int, destination: Element) -> None:
+        """Connect ``source``'s output ``port`` to ``destination``'s input."""
+        if source not in self._elements:
+            self.add(source)
+        if destination not in self._elements:
+            self.add(destination)
+        self._edges[(source.name, port)] = destination
+
+    @classmethod
+    def linear(cls, elements: Iterable[Element], name: str = "pipeline") -> "Pipeline":
+        """Build a chain: port 0 of each element feeds the next element.
+
+        Ports other than 0 are left unconnected, so packets emitted there leave
+        the pipeline (e.g. error ports).  This is the shape of every pipeline
+        in the paper's evaluation.
+        """
+        pipeline = cls(name=name)
+        elements = list(elements)
+        for element in elements:
+            pipeline.add(element)
+        for upstream, downstream in zip(elements, elements[1:]):
+            pipeline.connect(upstream, 0, downstream)
+        return pipeline
+
+    # -- graph introspection -------------------------------------------------------
+
+    @property
+    def elements(self) -> List[Element]:
+        """Elements in insertion order (the order of a linear chain)."""
+        return list(self._elements)
+
+    def element(self, name: str) -> Element:
+        """Look an element up by name."""
+        for candidate in self._elements:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    def successor(self, element: Element, port: int) -> Optional[Element]:
+        """The element connected to ``element``'s output ``port`` (or ``None``)."""
+        return self._edges.get((element.name, port))
+
+    def entry(self) -> Element:
+        """The pipeline entry element (the first element added)."""
+        if not self._elements:
+            raise ValueError("empty pipeline")
+        return self._elements[0]
+
+    def connected_ports(self, element: Element) -> List[int]:
+        """Output ports of ``element`` that have a downstream element."""
+        return sorted(port for (name, port) in self._edges if name == element.name)
+
+    # -- concrete execution ------------------------------------------------------------
+
+    def run(self, packet: Packet, entry: Optional[Element] = None,
+            max_hops: int = 10000) -> RunResult:
+        """Push one packet through the pipeline and collect the outcome.
+
+        A :class:`~repro.errors.DataplaneCrash` raised by any element aborts
+        the run and is reported on the result (this is what "the dataplane
+        crashed" means concretely).
+        """
+        result = RunResult()
+        queue: List[Tuple[Element, int, Packet]] = [(entry or self.entry(), 0, packet)]
+        hops = 0
+        while queue:
+            hops += 1
+            if hops > max_hops:
+                raise RuntimeError(f"packet exceeded {max_hops} hops; wiring loop?")
+            element, in_port, current = queue.pop(0)
+            current.input_port = in_port
+            entry_trace = TraceEntry(element=element.name, input_port=in_port)
+            result.trace.append(entry_trace)
+            try:
+                emissions = Element.normalize_result(element.process(current))
+            except DataplaneCrash as crash:
+                result.crash = crash
+                return result
+            if not emissions:
+                result.drops.append((element.name, current))
+                continue
+            for port, emitted in emissions:
+                entry_trace.emitted.append((port, type(emitted).__name__))
+                downstream = self.successor(element, port)
+                if downstream is None:
+                    result.outputs.append((element.name, port, emitted))
+                else:
+                    queue.append((downstream, 0, emitted))
+        return result
+
+    def run_many(self, packets: Iterable[Packet]) -> List[RunResult]:
+        """Run a sequence of packets, stopping early only on a crash."""
+        results = []
+        for packet in packets:
+            outcome = self.run(packet)
+            results.append(outcome)
+            if outcome.crashed:
+                break
+        return results
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.name!r}, elements={[e.name for e in self._elements]})"

@@ -1,0 +1,247 @@
+"""Builders for the pipelines used in the paper's evaluation (Section 5).
+
+Three *meaningful* pipelines:
+
+* :func:`build_ip_router` -- the standard IP router of Fig. 4(a); ``edge``
+  configuration uses a small forwarding table (10 entries), ``core`` a large
+  one (100,000 entries).  The pipeline is grown element by element exactly the
+  way the figure's x-axis does (``preproc``, ``+DecTTL``, ``+DropBcast``,
+  ``+IPoption1..3``, ``+IPlookup``).
+* :func:`build_network_gateway` -- the NAT + per-flow-statistics gateway of
+  Fig. 4(b).
+* :func:`build_filter_chain` / :func:`build_loop_microbenchmark` -- the two
+  synthetic pipelines of Fig. 4(c) and Fig. 4(d).
+
+Plus the buggy pipelines of Table 3 (:func:`build_fragmenter_pipeline`,
+:func:`build_click_nat_gateway`) and the LSRR/firewall pipeline of the
+Section 5.3 "unintended behaviour" study (:func:`build_lsrr_firewall`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.dataplane.element import Element
+from repro.dataplane.elements import (
+    CheckIPHeader,
+    Classifier,
+    ClickIPFragmenter,
+    ClickNat,
+    DecIPTTL,
+    DropBroadcasts,
+    EtherDecap,
+    EtherEncap,
+    HeaderFilter,
+    IPFilter,
+    IPLookup,
+    IPOptions,
+    SimplifiedOptionsLoop,
+    TrafficMonitor,
+    VerifiedNat,
+)
+from repro.dataplane.pipeline import Pipeline
+
+#: The element-group names of the Fig. 4(a) x-axis, in order.
+IP_ROUTER_STAGES = (
+    "preproc",
+    "+DecTTL",
+    "+DropBcast",
+    "+IPoption1",
+    "+IPoption2",
+    "+IPoption3",
+    "+IPlookup",
+)
+
+
+def small_fib(nports: int = 4) -> List[Tuple[str, int]]:
+    """The 10-entry forwarding table of the *edge router* configuration."""
+    return [
+        ("10.0.0.0/8", 0),
+        ("10.1.0.0/16", 1),
+        ("10.2.0.0/16", 2),
+        ("192.168.0.0/16", 1 % nports),
+        ("192.168.10.0/24", 2 % nports),
+        ("172.16.0.0/12", 3 % nports),
+        ("8.8.8.0/24", 0),
+        ("1.0.0.0/8", 1 % nports),
+        ("2.0.0.0/8", 2 % nports),
+        ("0.0.0.0/0", 0),
+    ]
+
+
+def large_fib(entries: int = 100000, nports: int = 4, seed: int = 2014) -> List[Tuple[str, int]]:
+    """A synthetic forwarding table for the *core router* configuration.
+
+    The paper uses a 100,000-entry table; routes here are generated
+    deterministically (seeded) with prefix lengths between /8 and /16 so that
+    installation into the flattened table stays cheap.
+    """
+    rng = random.Random(seed)
+    routes: List[Tuple[str, int]] = [("0.0.0.0/0", 0)]
+    seen = set()
+    while len(routes) < entries:
+        plen = rng.randint(8, 16)
+        address = rng.randint(1, 0xDFFFFFFF) & (~((1 << (32 - plen)) - 1) & 0xFFFFFFFF)
+        if (address, plen) in seen:
+            continue
+        seen.add((address, plen))
+        octets = ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+        routes.append((f"{octets}/{plen}", rng.randrange(nports)))
+    return routes
+
+
+def ip_router_elements(stages: Sequence[str] = IP_ROUTER_STAGES,
+                       fib: Optional[Iterable[Tuple[str, int]]] = None,
+                       nports: int = 4) -> List[Element]:
+    """The element list of the standard IP router, cut at the given stages."""
+    elements: List[Element] = []
+    stages = list(stages)
+    if "preproc" in stages:
+        elements.append(Classifier.ethertype_classifier(name="classifier"))
+        elements.append(EtherDecap(name="decap"))
+        elements.append(CheckIPHeader(name="checkip"))
+    if "+DecTTL" in stages:
+        elements.append(DecIPTTL(name="decttl"))
+    if "+DropBcast" in stages:
+        elements.append(DropBroadcasts(name="dropbcast"))
+    option_stage = 0
+    for count in (1, 2, 3):
+        if f"+IPoption{count}" in stages:
+            option_stage = count
+    if option_stage:
+        elements.append(IPOptions(max_options=option_stage, name="ipoptions"))
+    if "+IPlookup" in stages:
+        lookup = IPLookup(routes=list(fib if fib is not None else small_fib(nports)),
+                          nports=nports, name="iplookup")
+        elements.append(lookup)
+        elements.append(EtherEncap(name="encap"))
+    return elements
+
+
+def _connect_all_lookup_ports(pipeline: Pipeline) -> None:
+    """Route every IPLookup output port to the element that follows it.
+
+    ``Pipeline.linear`` only wires port 0; a router's lookup element forwards
+    on several ports, all of which go through the same encapsulation (and, in
+    the Table 3 pipelines, the same fragmenter) in these single-path test
+    topologies.
+    """
+    elements = pipeline.elements
+    for index, element in enumerate(elements[:-1]):
+        if isinstance(element, IPLookup):
+            downstream = elements[index + 1]
+            for port in range(1, element.nports_out):
+                pipeline.connect(element, port, downstream)
+
+
+def build_ip_router(kind: str = "edge", stages: Sequence[str] = IP_ROUTER_STAGES,
+                    nports: int = 4, core_entries: int = 100000) -> Pipeline:
+    """Build the edge or core IP router pipeline of Fig. 4(a)."""
+    if kind not in ("edge", "core"):
+        raise ValueError("kind must be 'edge' or 'core'")
+    fib = small_fib(nports) if kind == "edge" else large_fib(core_entries, nports)
+    elements = ip_router_elements(stages, fib=fib, nports=nports)
+    pipeline = Pipeline.linear(elements, name=f"{kind}-router")
+    _connect_all_lookup_ports(pipeline)
+    return pipeline
+
+
+def build_network_gateway(stages: Sequence[str] = ("preproc", "+TrafficMonitor", "+NAT"),
+                          public_ip: str = "1.2.3.4") -> Pipeline:
+    """Build the NAT + traffic-monitoring gateway of Fig. 4(b)."""
+    elements: List[Element] = []
+    stages = list(stages)
+    if "preproc" in stages:
+        elements.append(Classifier.ethertype_classifier(name="classifier"))
+        elements.append(EtherDecap(name="decap"))
+        elements.append(CheckIPHeader(name="checkip"))
+    if "+TrafficMonitor" in stages:
+        elements.append(TrafficMonitor(name="monitor"))
+    if "+NAT" in stages:
+        elements.append(VerifiedNat(public_ip=public_ip, name="nat"))
+    return Pipeline.linear(elements, name="network-gateway")
+
+
+def build_click_nat_gateway(public_ip: str = "1.2.3.4", public_port: int = 10000) -> Pipeline:
+    """The gateway variant that uses Click's buggy IPRewriter (bug #3)."""
+    elements: List[Element] = [
+        Classifier.ethertype_classifier(name="classifier"),
+        EtherDecap(name="decap"),
+        CheckIPHeader(name="checkip"),
+        TrafficMonitor(name="monitor"),
+        ClickNat(public_ip=public_ip, public_port=public_port, name="click-nat"),
+    ]
+    return Pipeline.linear(elements, name="gateway-click-nat")
+
+
+def build_fragmenter_pipeline(with_ip_options: bool = True, mtu: int = 576,
+                              num_options: int = 1) -> Pipeline:
+    """An edge router followed by Click's buggy fragmenter (Table 3, bugs #1/#2).
+
+    ``with_ip_options=False`` builds the "edge router without options" variant,
+    where the zero-length-option packets that trigger bug #2 are not filtered
+    out before they reach the fragmenter.
+    """
+    elements: List[Element] = [
+        Classifier.ethertype_classifier(name="classifier"),
+        EtherDecap(name="decap"),
+        CheckIPHeader(name="checkip"),
+        DecIPTTL(name="decttl"),
+    ]
+    if with_ip_options:
+        elements.append(IPOptions(max_options=num_options, name="ipoptions"))
+    elements.append(IPLookup(routes=small_fib(), nports=4, name="iplookup"))
+    elements.append(ClickIPFragmenter(mtu=mtu, name="fragmenter"))
+    elements.append(EtherEncap(name="encap"))
+    pipeline = Pipeline.linear(
+        elements,
+        name="edge-router+fragmenter" + ("" if with_ip_options else " (no options)"),
+    )
+    _connect_all_lookup_ports(pipeline)
+    return pipeline
+
+
+def build_filter_chain(criteria: Sequence[str] = ("ip_dst",),
+                       values: Optional[dict] = None) -> Pipeline:
+    """The Fig. 4(c) micro-benchmark: a chain of single-field filters."""
+    defaults = {
+        "ip_dst": "10.9.9.9",
+        "ip_src": "10.8.8.8",
+        "port_dst": 9999,
+        "port_src": 8888,
+    }
+    values = {**defaults, **(values or {})}
+    elements = [
+        HeaderFilter(field, values[field], name=f"filter-{field}") for field in criteria
+    ]
+    return Pipeline.linear(elements, name="filter-chain")
+
+
+def build_loop_microbenchmark(iterations: int = 1) -> Pipeline:
+    """The Fig. 4(d) micro-benchmark: the simplified IP-options loop."""
+    return Pipeline.linear(
+        [SimplifiedOptionsLoop(iterations=iterations, name="loop")],
+        name=f"loop-microbenchmark-{iterations}",
+    )
+
+
+def build_lsrr_firewall(blacklist: Sequence[str] = ("10.66.0.0/16",),
+                        router_address: str = "192.168.0.1") -> Pipeline:
+    """The Section 5.3 "unintended behaviour" pipeline: IP options, then a firewall.
+
+    The IP-options element uses the vulnerable LSRR implementation (it rewrites
+    the packet's source address with the router's own address), so the
+    firewall's source-address blacklist can be bypassed by a packet carrying an
+    LSRR option -- which is exactly the filtering-property violation the paper's
+    tool uncovers.
+    """
+    elements: List[Element] = [
+        CheckIPHeader(name="checkip"),
+        # Processing up to two options is enough to exercise the LSRR rewrite
+        # (and keeps loop decomposition fast during verification).
+        IPOptions(router_address=router_address, lsrr_rewrites_source=True,
+                  max_options=2, name="ipoptions"),
+        IPFilter.blacklist_sources(list(blacklist), name="firewall"),
+    ]
+    return Pipeline.linear(elements, name="lsrr-firewall")

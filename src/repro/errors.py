@@ -1,0 +1,78 @@
+"""Exception hierarchy shared by the concrete dataplane and the symbolic engine.
+
+The paper's crash-freedom property (Section 4) is about *abnormal termination*:
+signals such as SIGSEGV / SIGABRT / SIGFPE in user-mode Click, or a kernel
+panic in kernel-mode Click.  In this reproduction those map onto the
+:class:`DataplaneCrash` hierarchy below:
+
+* out-of-bounds buffer or array accesses (the SIGSEGV analogue),
+* failed dataplane assertions (the SIGABRT analogue),
+* division by zero (the SIGFPE analogue).
+
+During concrete execution, these exceptions propagate out of
+``Element.process`` and terminate the pipeline run.  During symbolic
+execution, the engine catches them and records a crashing path instead.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-defined errors."""
+
+
+class DataplaneCrash(ReproError):
+    """A condition that would abnormally terminate a real software dataplane."""
+
+    #: short machine-readable crash kind, e.g. ``"assert"`` or ``"segfault"``.
+    kind = "crash"
+
+
+class AssertionFailure(DataplaneCrash):
+    """A dataplane assertion evaluated to false (SIGABRT analogue)."""
+
+    kind = "assert"
+
+
+class OutOfBoundsAccess(DataplaneCrash):
+    """A buffer or pre-allocated array access outside its bounds (SIGSEGV analogue)."""
+
+    kind = "segfault"
+
+
+class DivisionByZero(DataplaneCrash):
+    """An integer division or modulo by zero (SIGFPE analogue)."""
+
+    kind = "sigfpe"
+
+
+class ExecutionBudgetExceeded(ReproError):
+    """A single path executed more operations than the configured budget.
+
+    This is not a crash: it is the signal the engine uses to cut off paths that
+    may be stuck in an unbounded loop.  The verifier turns it into a
+    bounded-execution suspect.
+    """
+
+    def __init__(self, ops: int, budget: int):
+        super().__init__(f"execution exceeded budget: {ops} ops > {budget} allowed")
+        self.ops = ops
+        self.budget = budget
+
+
+class ConcretizationError(ReproError):
+    """Element code tried to force a symbolic value into a concrete context.
+
+    Raised, for example, when symbolic values are used as ``range()`` bounds,
+    converted with ``int()``, or used as dictionary keys.  Element code that
+    triggers this violates the paper's verifiability conditions; the verifier
+    reports it as an analysis failure rather than guessing.
+    """
+
+
+class VerificationBudgetExceeded(ReproError):
+    """The verifier or solver ran out of its exploration budget.
+
+    The paper's guarantee is "when we fail, we know it": exceeding a budget
+    never silently degrades a proof -- it yields an INCONCLUSIVE verdict.
+    """

@@ -1,0 +1,45 @@
+"""Byte-accurate packet model used by both the concrete dataplane and the verifier.
+
+The central abstraction is :class:`repro.net.packet.Packet`, which couples a
+*buffer* (a flat byte array, concrete or symbolic) with *metadata annotations*
+(the Click "annotation area"), and a set of header *views* that read and write
+multi-byte fields through the buffer using only arithmetic and bitwise
+operators.  Because views use only operators, the exact same header code runs
+over concrete ``int`` bytes during simulation and over symbolic expressions
+during verification.
+"""
+
+from repro.net.addresses import (
+    EtherAddress,
+    IPAddress,
+    ip_to_int,
+    int_to_ip,
+    mac_to_int,
+    int_to_mac,
+)
+from repro.net.buffer import ConcreteBuffer, BufferError
+from repro.net.packet import Packet
+from repro.net.headers import EthernetView, Ipv4View, TcpView, UdpView, IcmpView
+from repro.net.builder import PacketBuilder
+from repro.net import checksum
+from repro.net import options
+
+__all__ = [
+    "EtherAddress",
+    "IPAddress",
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_int",
+    "int_to_mac",
+    "ConcreteBuffer",
+    "BufferError",
+    "Packet",
+    "EthernetView",
+    "Ipv4View",
+    "TcpView",
+    "UdpView",
+    "IcmpView",
+    "PacketBuilder",
+    "checksum",
+    "options",
+]

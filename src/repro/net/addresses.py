@@ -1,0 +1,164 @@
+"""Address types and conversions for Ethernet MAC and IPv4 addresses.
+
+Addresses are stored in packets as plain integers (big-endian byte order when
+serialised into a buffer).  The small wrapper classes below exist for
+readability at configuration time -- element configuration ("static state" in
+the paper's terminology) is written by humans, so ``IPAddress("10.0.0.1")``
+reads better than ``167772161``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+def ip_to_int(address: str) -> int:
+    """Convert a dotted-quad IPv4 address string to a 32-bit integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad IPv4 address string.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_to_int(address: str) -> int:
+    """Convert a colon-separated MAC address string to a 48-bit integer.
+
+    >>> hex(mac_to_int("00:11:22:33:44:55"))
+    '0x1122334455'
+    """
+    parts = address.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part, 16)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed MAC address: {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_mac(value: int) -> str:
+    """Convert a 48-bit integer to a colon-separated MAC address string."""
+    if not 0 <= value <= 0xFFFFFFFFFFFF:
+        raise ValueError(f"MAC address out of range: {value}")
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in (40, 32, 24, 16, 8, 0))
+
+
+class IPAddress:
+    """A 32-bit IPv4 address usable wherever an ``int`` is expected."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, address: Union[str, int, "IPAddress"]):
+        if isinstance(address, IPAddress):
+            self.value = address.value
+        elif isinstance(address, str):
+            self.value = ip_to_int(address)
+        elif isinstance(address, int):
+            if not 0 <= address <= 0xFFFFFFFF:
+                raise ValueError(f"IPv4 address out of range: {address}")
+            self.value = address
+        else:
+            raise TypeError(f"cannot build IPAddress from {type(address).__name__}")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPAddress):
+            return self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        if isinstance(other, str):
+            return self.value == ip_to_int(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"IPAddress({int_to_ip(self.value)!r})"
+
+    def __str__(self) -> str:
+        return int_to_ip(self.value)
+
+
+class EtherAddress:
+    """A 48-bit Ethernet (MAC) address usable wherever an ``int`` is expected."""
+
+    BROADCAST_VALUE = 0xFFFFFFFFFFFF
+
+    __slots__ = ("value",)
+
+    def __init__(self, address: Union[str, int, "EtherAddress"]):
+        if isinstance(address, EtherAddress):
+            self.value = address.value
+        elif isinstance(address, str):
+            self.value = mac_to_int(address)
+        elif isinstance(address, int):
+            if not 0 <= address <= 0xFFFFFFFFFFFF:
+                raise ValueError(f"MAC address out of range: {address}")
+            self.value = address
+        else:
+            raise TypeError(f"cannot build EtherAddress from {type(address).__name__}")
+
+    @classmethod
+    def broadcast(cls) -> "EtherAddress":
+        """The all-ones broadcast address ``ff:ff:ff:ff:ff:ff``."""
+        return cls(cls.BROADCAST_VALUE)
+
+    def is_broadcast(self) -> bool:
+        return self.value == self.BROADCAST_VALUE
+
+    def is_multicast(self) -> bool:
+        """True when the group bit (least-significant bit of the first octet) is set."""
+        return bool((self.value >> 40) & 0x01)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EtherAddress):
+            return self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        if isinstance(other, str):
+            return self.value == mac_to_int(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"EtherAddress({int_to_mac(self.value)!r})"
+
+    def __str__(self) -> str:
+        return int_to_mac(self.value)

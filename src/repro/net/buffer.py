@@ -1,0 +1,126 @@
+"""Packet buffers.
+
+A *buffer* is a flat, fixed-length array of byte cells addressed by offset.
+The dataplane and the header views in :mod:`repro.net.headers` access buffers
+exclusively through the small interface defined here (:meth:`load_byte`,
+:meth:`store_byte`, :meth:`load`, :meth:`store`), which has two
+implementations:
+
+* :class:`ConcreteBuffer` (this module) stores plain ``int`` bytes and is used
+  when the dataplane processes real traffic.
+* :class:`repro.symex.sym_buffer.SymbolicBuffer` stores bit-vector expressions
+  and is used by the verifier; it implements the same interface, so element
+  code does not know which one it is running on.
+
+Out-of-bounds accesses raise :class:`BufferError`, which the dataplane treats
+as the software analogue of a segmentation fault (see the crash-freedom
+property in the paper, Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class BufferError(Exception):
+    """Raised on an out-of-bounds buffer access (the analogue of SIGSEGV)."""
+
+    def __init__(self, offset, length: int, message: str = "out-of-bounds buffer access"):
+        super().__init__(f"{message}: offset={offset!r} length={length}")
+        self.offset = offset
+        self.length = length
+
+
+class ConcreteBuffer:
+    """A fixed-length byte buffer holding concrete integer bytes.
+
+    The buffer does not grow: packet-processing code that needs head/tail room
+    must allocate it up front (exactly like a pre-allocated packet buffer in a
+    high-performance dataplane).  All multi-byte loads and stores are
+    big-endian (network byte order).
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Iterable[int] = (), length: int = None):
+        if length is not None:
+            self._data = bytearray(length)
+            init = bytes(data)
+            self._data[: len(init)] = init
+        else:
+            self._data = bytearray(data)
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def is_symbolic(self) -> bool:
+        """Concrete buffers never contain symbolic bytes."""
+        return False
+
+    def tobytes(self) -> bytes:
+        """Return the buffer contents as an immutable ``bytes`` object."""
+        return bytes(self._data)
+
+    def tolist(self) -> List[int]:
+        """Return the buffer contents as a list of integers."""
+        return list(self._data)
+
+    def copy(self) -> "ConcreteBuffer":
+        """Return an independent copy of this buffer."""
+        return ConcreteBuffer(self._data)
+
+    # -- single-byte access ----------------------------------------------
+
+    def _check(self, offset: int, length: int) -> None:
+        if not isinstance(offset, int):
+            raise BufferError(offset, length, "non-integer offset on concrete buffer")
+        if offset < 0 or offset + length > len(self._data):
+            raise BufferError(offset, length)
+
+    def load_byte(self, offset: int) -> int:
+        """Read one byte at ``offset``."""
+        self._check(offset, 1)
+        return self._data[offset]
+
+    def store_byte(self, offset: int, value: int) -> None:
+        """Write one byte at ``offset`` (the value is truncated to 8 bits)."""
+        self._check(offset, 1)
+        self._data[offset] = int(value) & 0xFF
+
+    # -- multi-byte access -----------------------------------------------
+
+    def load(self, offset: int, length: int) -> int:
+        """Read ``length`` bytes at ``offset`` as a big-endian unsigned integer."""
+        self._check(offset, length)
+        value = 0
+        for i in range(length):
+            value = (value << 8) | self._data[offset + i]
+        return value
+
+    def store(self, offset: int, length: int, value: int) -> None:
+        """Write ``value`` as ``length`` big-endian bytes at ``offset``."""
+        self._check(offset, length)
+        value = int(value)
+        for i in range(length):
+            shift = 8 * (length - 1 - i)
+            self._data[offset + i] = (value >> shift) & 0xFF
+
+    # -- bulk helpers ------------------------------------------------------
+
+    def load_bytes(self, offset: int, length: int) -> bytes:
+        """Read ``length`` raw bytes starting at ``offset``."""
+        self._check(offset, length)
+        return bytes(self._data[offset : offset + length])
+
+    def store_bytes(self, offset: int, data: bytes) -> None:
+        """Write raw bytes starting at ``offset``."""
+        self._check(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+
+    def __repr__(self) -> str:
+        preview = self.tobytes()[:16].hex()
+        suffix = "..." if len(self._data) > 16 else ""
+        return f"ConcreteBuffer(len={len(self._data)}, data={preview}{suffix})"

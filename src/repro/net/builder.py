@@ -1,0 +1,246 @@
+"""Convenience builder for well-formed (and deliberately malformed) packets.
+
+The builder is the concrete-mode workload generator: examples, tests and
+benchmarks use it to create the traffic they feed into pipelines, including
+the adversarial packets that exercise the bugs from Section 5.3 (packets with
+IP options, zero-length options, hairpin NAT tuples, LSRR routes, ...).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.net import checksum as cksum
+from repro.net.addresses import EtherAddress, IPAddress
+from repro.net.buffer import ConcreteBuffer
+from repro.net.headers import (
+    ETHER_HEADER_LEN,
+    ETHERTYPE_IP,
+    IP_PROTO_ICMP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    IPV4_MIN_HEADER_LEN,
+    TCP_MIN_HEADER_LEN,
+    UDP_HEADER_LEN,
+)
+from repro.net.options import pad_options
+from repro.net.packet import Packet
+
+
+def _as_int(value: Union[int, str, IPAddress, EtherAddress], kind: str) -> int:
+    if isinstance(value, (IPAddress, EtherAddress)):
+        return int(value)
+    if isinstance(value, str):
+        return int(IPAddress(value)) if kind == "ip" else int(EtherAddress(value))
+    return int(value)
+
+
+class PacketBuilder:
+    """Fluent builder producing :class:`repro.net.packet.Packet` objects.
+
+    Example::
+
+        pkt = (PacketBuilder()
+               .ethernet(src="00:00:00:00:00:01", dst="00:00:00:00:00:02")
+               .ipv4(src="10.0.0.1", dst="192.168.1.1", ttl=64)
+               .udp(src_port=1234, dst_port=53)
+               .payload(b"hello")
+               .build())
+    """
+
+    def __init__(self):
+        self._ether_src = 0x000000000001
+        self._ether_dst = 0x000000000002
+        self._ethertype = ETHERTYPE_IP
+        self._ip_src = int(IPAddress("10.0.0.1"))
+        self._ip_dst = int(IPAddress("10.0.0.2"))
+        self._ttl = 64
+        self._tos = 0
+        self._identification = 0
+        self._flags_df = 0
+        self._flags_mf = 0
+        self._frag_offset = 0
+        self._protocol: Optional[int] = None
+        self._ip_options = b""
+        self._l4: Optional[bytes] = None
+        self._payload = b""
+        self._bad_ip_checksum = False
+        self._override_total_length: Optional[int] = None
+        self._override_version: Optional[int] = None
+        self._override_ihl: Optional[int] = None
+
+    # -- layer 2 -------------------------------------------------------------
+
+    def ethernet(self, src="00:00:00:00:00:01", dst="00:00:00:00:00:02",
+                 ethertype: int = ETHERTYPE_IP) -> "PacketBuilder":
+        self._ether_src = _as_int(src, "mac")
+        self._ether_dst = _as_int(dst, "mac")
+        self._ethertype = ethertype
+        return self
+
+    # -- layer 3 -------------------------------------------------------------
+
+    def ipv4(self, src="10.0.0.1", dst="10.0.0.2", ttl: int = 64, tos: int = 0,
+             identification: int = 0, dont_fragment: int = 0,
+             more_fragments: int = 0, fragment_offset: int = 0) -> "PacketBuilder":
+        self._ip_src = _as_int(src, "ip")
+        self._ip_dst = _as_int(dst, "ip")
+        self._ttl = ttl
+        self._tos = tos
+        self._identification = identification
+        self._flags_df = dont_fragment
+        self._flags_mf = more_fragments
+        self._frag_offset = fragment_offset
+        return self
+
+    def ip_options(self, raw: bytes, pad: bool = True) -> "PacketBuilder":
+        """Attach raw IPv4 option bytes (padded to a 4-byte multiple by default)."""
+        self._ip_options = pad_options(raw) if pad else raw
+        if len(self._ip_options) > 40:
+            raise ValueError("IPv4 options cannot exceed 40 bytes")
+        return self
+
+    def bad_ip_checksum(self) -> "PacketBuilder":
+        """Deliberately corrupt the IP checksum (for CheckIPHeader tests)."""
+        self._bad_ip_checksum = True
+        return self
+
+    def override_total_length(self, value: int) -> "PacketBuilder":
+        """Force an (incorrect) total-length field value."""
+        self._override_total_length = value
+        return self
+
+    def override_version(self, value: int) -> "PacketBuilder":
+        """Force an (incorrect) IP version field value."""
+        self._override_version = value
+        return self
+
+    def override_ihl(self, value: int) -> "PacketBuilder":
+        """Force an (incorrect) IHL field value."""
+        self._override_ihl = value
+        return self
+
+    # -- layer 4 -------------------------------------------------------------
+
+    def udp(self, src_port: int = 1000, dst_port: int = 2000) -> "PacketBuilder":
+        self._protocol = IP_PROTO_UDP
+        self._l4 = bytes([
+            (src_port >> 8) & 0xFF, src_port & 0xFF,
+            (dst_port >> 8) & 0xFF, dst_port & 0xFF,
+            0, 0,  # length, patched at build time
+            0, 0,  # checksum, patched at build time
+        ])
+        return self
+
+    def tcp(self, src_port: int = 1000, dst_port: int = 2000, seq: int = 0,
+            ack: int = 0, flags: int = 0x02, window: int = 0xFFFF) -> "PacketBuilder":
+        self._protocol = IP_PROTO_TCP
+        header = bytearray(TCP_MIN_HEADER_LEN)
+        header[0] = (src_port >> 8) & 0xFF
+        header[1] = src_port & 0xFF
+        header[2] = (dst_port >> 8) & 0xFF
+        header[3] = dst_port & 0xFF
+        header[4:8] = seq.to_bytes(4, "big")
+        header[8:12] = ack.to_bytes(4, "big")
+        header[12] = (TCP_MIN_HEADER_LEN // 4) << 4
+        header[13] = flags & 0xFF
+        header[14] = (window >> 8) & 0xFF
+        header[15] = window & 0xFF
+        self._l4 = bytes(header)
+        return self
+
+    def icmp(self, icmp_type: int = 8, code: int = 0) -> "PacketBuilder":
+        self._protocol = IP_PROTO_ICMP
+        self._l4 = bytes([icmp_type, code, 0, 0, 0, 0, 0, 0])
+        return self
+
+    def raw_protocol(self, protocol: int, header: bytes = b"") -> "PacketBuilder":
+        """Use an arbitrary IP protocol number with an opaque layer-4 header."""
+        self._protocol = protocol
+        self._l4 = header
+        return self
+
+    def payload(self, data: Union[bytes, int]) -> "PacketBuilder":
+        """Set the application payload; an ``int`` means that many zero bytes."""
+        self._payload = bytes(data) if isinstance(data, int) else data
+        return self
+
+    # -- assembly --------------------------------------------------------------
+
+    def build(self) -> Packet:
+        """Assemble the packet and return it with checksums filled in."""
+        protocol = self._protocol if self._protocol is not None else IP_PROTO_UDP
+        l4 = self._l4 if self._l4 is not None else bytes(UDP_HEADER_LEN)
+
+        ip_header_len = IPV4_MIN_HEADER_LEN + len(self._ip_options)
+        ip_total_len = ip_header_len + len(l4) + len(self._payload)
+
+        total_len = ETHER_HEADER_LEN + ip_total_len
+        buf = ConcreteBuffer(length=total_len)
+        pkt = Packet(buf)
+
+        eth = pkt.ether()
+        eth.dst = self._ether_dst
+        eth.src = self._ether_src
+        eth.ethertype = self._ethertype
+
+        ip = pkt.ip()
+        ip.version = 4 if self._override_version is None else self._override_version
+        ip.ihl = (ip_header_len // 4) if self._override_ihl is None else self._override_ihl
+        ip.tos = self._tos
+        ip.total_length = (
+            ip_total_len if self._override_total_length is None else self._override_total_length
+        )
+        ip.identification = self._identification
+        ip.dont_fragment = self._flags_df
+        ip.more_fragments = self._flags_mf
+        ip.fragment_offset = self._frag_offset
+        ip.ttl = self._ttl
+        ip.protocol = protocol
+        ip.src = self._ip_src
+        ip.dst = self._ip_dst
+
+        if self._ip_options:
+            buf.store_bytes(pkt.ip_offset + IPV4_MIN_HEADER_LEN, self._ip_options)
+
+        l4_offset = pkt.ip_offset + ip_header_len
+        buf.store_bytes(l4_offset, l4)
+        if self._payload:
+            buf.store_bytes(l4_offset + len(l4), self._payload)
+
+        # Patch the UDP length field now that the payload size is known.
+        if protocol == IP_PROTO_UDP and len(l4) >= UDP_HEADER_LEN:
+            pkt.udp().length = len(l4) + len(self._payload)
+
+        # IP header checksum.
+        ip.checksum = 0
+        value = cksum.ip_checksum(buf, pkt.ip_offset, ip_header_len)
+        if self._bad_ip_checksum:
+            value = value ^ 0x00FF
+        ip.checksum = value
+
+        # Transport checksum (TCP/UDP only).
+        l4_total = len(l4) + len(self._payload)
+        if protocol in (IP_PROTO_TCP, IP_PROTO_UDP) and l4_total >= 8:
+            csum_off = 16 if protocol == IP_PROTO_TCP else 6
+            buf.store(l4_offset + csum_off, 2, 0)
+            tsum = cksum.tcp_udp_checksum(
+                buf, l4_offset, l4_total, self._ip_src, self._ip_dst, protocol
+            )
+            buf.store(l4_offset + csum_off, 2, tsum)
+
+        return pkt
+
+
+def udp_flow_packets(src: str, dst: str, src_port: int, dst_port: int,
+                     count: int, payload: bytes = b"x" * 16) -> List[Packet]:
+    """Build ``count`` identical UDP packets belonging to one flow."""
+    return [
+        PacketBuilder()
+        .ethernet()
+        .ipv4(src=src, dst=dst)
+        .udp(src_port=src_port, dst_port=dst_port)
+        .payload(payload)
+        .build()
+        for _ in range(count)
+    ]

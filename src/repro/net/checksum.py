@@ -1,0 +1,65 @@
+"""Internet checksum (RFC 1071) helpers.
+
+The functions below are written with plain arithmetic and bitwise operators so
+that they work both on concrete integers and on symbolic expressions.  The
+only requirement is that the buffer they read from implements ``load``.
+"""
+
+from __future__ import annotations
+
+
+def ones_complement_sum(buf, offset: int, length: int, initial=0):
+    """Sum 16-bit big-endian words over ``[offset, offset+length)``.
+
+    The sum is folded into 16 bits using end-around carry.  An odd trailing
+    byte is padded with a zero byte on the right, per RFC 1071.  The return
+    value may be a symbolic expression when the buffer is symbolic.
+    """
+    total = initial
+    i = 0
+    while i + 1 < length:
+        total = total + buf.load(offset + i, 2)
+        i += 2
+    if i < length:
+        total = total + (buf.load_byte(offset + i) << 8)
+    # Fold carries.  Two folds suffice for sums of up to 2^16 half-words.
+    total = (total & 0xFFFF) + (total >> 16)
+    total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def ip_checksum(buf, offset: int, length: int):
+    """Compute the IPv4 header checksum over ``length`` bytes at ``offset``.
+
+    The checksum field itself must be zeroed (or skipped by the caller) before
+    calling this function; the standard usage is to zero the field, compute,
+    then store the result.
+    """
+    return ones_complement_sum(buf, offset, length) ^ 0xFFFF
+
+
+def verify_ip_checksum(buf, offset: int, length: int):
+    """Return a truth value: does the header at ``offset`` have a valid checksum?
+
+    When the checksum field is included in the summed range, a correct header
+    sums to ``0xFFFF``.  The return value is a plain ``bool`` for concrete
+    buffers and a symbolic boolean for symbolic buffers.
+    """
+    return ones_complement_sum(buf, offset, length) == 0xFFFF
+
+
+def pseudo_header_sum(src_ip, dst_ip, protocol, payload_length):
+    """One's-complement partial sum of the TCP/UDP pseudo header."""
+    total = (src_ip >> 16) & 0xFFFF
+    total = total + (src_ip & 0xFFFF)
+    total = total + ((dst_ip >> 16) & 0xFFFF)
+    total = total + (dst_ip & 0xFFFF)
+    total = total + protocol
+    total = total + payload_length
+    return total
+
+
+def tcp_udp_checksum(buf, offset: int, length: int, src_ip, dst_ip, protocol):
+    """Compute a TCP/UDP checksum including the IPv4 pseudo header."""
+    initial = pseudo_header_sum(src_ip, dst_ip, protocol, length)
+    return ones_complement_sum(buf, offset, length, initial=initial) ^ 0xFFFF

@@ -1,0 +1,376 @@
+"""Header views over packet buffers.
+
+A *view* is a lightweight accessor object bound to a buffer and a byte offset.
+It exposes header fields as Python properties; reading a property loads the
+corresponding bytes from the buffer and writing it stores them back.  Views do
+not copy data -- they are windows onto the packet buffer, exactly like the
+header pointers Click elements keep into the packet's data.
+
+All field accessors are written with plain arithmetic/bitwise operators only,
+so they work identically whether the underlying buffer holds concrete bytes or
+symbolic expressions.
+"""
+
+from __future__ import annotations
+
+# Well-known protocol numbers / ethertypes used across the element library.
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+IP_PROTO_ICMP = 1
+IP_PROTO_TCP = 6
+IP_PROTO_UDP = 17
+
+ETHER_HEADER_LEN = 14
+IPV4_MIN_HEADER_LEN = 20
+IPV4_MAX_HEADER_LEN = 60
+TCP_MIN_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+ICMP_HEADER_LEN = 8
+
+
+class HeaderView:
+    """Base class for header views: a buffer plus a byte offset."""
+
+    __slots__ = ("buf", "offset")
+
+    def __init__(self, buf, offset):
+        self.buf = buf
+        self.offset = offset
+
+    def _get(self, rel, length):
+        return self.buf.load(self.offset + rel, length)
+
+    def _set(self, rel, length, value):
+        self.buf.store(self.offset + rel, length, value)
+
+
+class EthernetView(HeaderView):
+    """Ethernet II header: destination MAC, source MAC, ethertype."""
+
+    LENGTH = ETHER_HEADER_LEN
+
+    @property
+    def dst(self):
+        return self._get(0, 6)
+
+    @dst.setter
+    def dst(self, value):
+        self._set(0, 6, value)
+
+    @property
+    def src(self):
+        return self._get(6, 6)
+
+    @src.setter
+    def src(self, value):
+        self._set(6, 6, value)
+
+    @property
+    def ethertype(self):
+        return self._get(12, 2)
+
+    @ethertype.setter
+    def ethertype(self, value):
+        self._set(12, 2, value)
+
+
+class Ipv4View(HeaderView):
+    """IPv4 header (RFC 791), including the options area.
+
+    ``header_length`` is derived from the IHL field (``ihl * 4``); callers that
+    need the options region use ``options_offset``/``options_length``.
+    """
+
+    @property
+    def version(self):
+        return (self.buf.load_byte(self.offset + 0) >> 4) & 0x0F
+
+    @version.setter
+    def version(self, value):
+        byte0 = self.buf.load_byte(self.offset + 0)
+        self.buf.store_byte(self.offset + 0, ((value & 0x0F) << 4) | (byte0 & 0x0F))
+
+    @property
+    def ihl(self):
+        """Header length in 32-bit words (5..15)."""
+        return self.buf.load_byte(self.offset + 0) & 0x0F
+
+    @ihl.setter
+    def ihl(self, value):
+        byte0 = self.buf.load_byte(self.offset + 0)
+        self.buf.store_byte(self.offset + 0, (byte0 & 0xF0) | (value & 0x0F))
+
+    @property
+    def header_length(self):
+        """Header length in bytes (``ihl * 4``)."""
+        return self.ihl * 4
+
+    @property
+    def tos(self):
+        return self.buf.load_byte(self.offset + 1)
+
+    @tos.setter
+    def tos(self, value):
+        self.buf.store_byte(self.offset + 1, value)
+
+    @property
+    def total_length(self):
+        return self._get(2, 2)
+
+    @total_length.setter
+    def total_length(self, value):
+        self._set(2, 2, value)
+
+    @property
+    def identification(self):
+        return self._get(4, 2)
+
+    @identification.setter
+    def identification(self, value):
+        self._set(4, 2, value)
+
+    @property
+    def flags(self):
+        """The 3 flag bits (reserved, DF, MF)."""
+        return (self._get(6, 2) >> 13) & 0x7
+
+    @flags.setter
+    def flags(self, value):
+        frag = self._get(6, 2) & 0x1FFF
+        self._set(6, 2, ((value & 0x7) << 13) | frag)
+
+    @property
+    def dont_fragment(self):
+        return (self._get(6, 2) >> 14) & 0x1
+
+    @dont_fragment.setter
+    def dont_fragment(self, value):
+        word = self._get(6, 2)
+        self._set(6, 2, (word & 0xBFFF) | ((value & 0x1) << 14))
+
+    @property
+    def more_fragments(self):
+        return (self._get(6, 2) >> 13) & 0x1
+
+    @more_fragments.setter
+    def more_fragments(self, value):
+        word = self._get(6, 2)
+        self._set(6, 2, (word & 0xDFFF) | ((value & 0x1) << 13))
+
+    @property
+    def fragment_offset(self):
+        """Fragment offset in 8-byte units."""
+        return self._get(6, 2) & 0x1FFF
+
+    @fragment_offset.setter
+    def fragment_offset(self, value):
+        word = self._get(6, 2)
+        self._set(6, 2, (word & 0xE000) | (value & 0x1FFF))
+
+    @property
+    def ttl(self):
+        return self.buf.load_byte(self.offset + 8)
+
+    @ttl.setter
+    def ttl(self, value):
+        self.buf.store_byte(self.offset + 8, value)
+
+    @property
+    def protocol(self):
+        return self.buf.load_byte(self.offset + 9)
+
+    @protocol.setter
+    def protocol(self, value):
+        self.buf.store_byte(self.offset + 9, value)
+
+    @property
+    def checksum(self):
+        return self._get(10, 2)
+
+    @checksum.setter
+    def checksum(self, value):
+        self._set(10, 2, value)
+
+    @property
+    def src(self):
+        return self._get(12, 4)
+
+    @src.setter
+    def src(self, value):
+        self._set(12, 4, value)
+
+    @property
+    def dst(self):
+        return self._get(16, 4)
+
+    @dst.setter
+    def dst(self, value):
+        self._set(16, 4, value)
+
+    @property
+    def options_offset(self):
+        """Absolute buffer offset of the first option byte."""
+        return self.offset + IPV4_MIN_HEADER_LEN
+
+    @property
+    def options_length(self):
+        """Number of option bytes (``header_length - 20``)."""
+        return self.header_length - IPV4_MIN_HEADER_LEN
+
+
+class TcpView(HeaderView):
+    """TCP header (RFC 793), fixed part only."""
+
+    @property
+    def src_port(self):
+        return self._get(0, 2)
+
+    @src_port.setter
+    def src_port(self, value):
+        self._set(0, 2, value)
+
+    @property
+    def dst_port(self):
+        return self._get(2, 2)
+
+    @dst_port.setter
+    def dst_port(self, value):
+        self._set(2, 2, value)
+
+    @property
+    def seq(self):
+        return self._get(4, 4)
+
+    @seq.setter
+    def seq(self, value):
+        self._set(4, 4, value)
+
+    @property
+    def ack(self):
+        return self._get(8, 4)
+
+    @ack.setter
+    def ack(self, value):
+        self._set(8, 4, value)
+
+    @property
+    def data_offset(self):
+        """Header length in 32-bit words."""
+        return (self.buf.load_byte(self.offset + 12) >> 4) & 0x0F
+
+    @data_offset.setter
+    def data_offset(self, value):
+        byte12 = self.buf.load_byte(self.offset + 12)
+        self.buf.store_byte(self.offset + 12, ((value & 0x0F) << 4) | (byte12 & 0x0F))
+
+    @property
+    def flags(self):
+        """The 8 TCP flag bits (CWR ECE URG ACK PSH RST SYN FIN)."""
+        return self.buf.load_byte(self.offset + 13)
+
+    @flags.setter
+    def flags(self, value):
+        self.buf.store_byte(self.offset + 13, value)
+
+    # Individual flag bits, read-only convenience accessors.
+    @property
+    def fin(self):
+        return self.flags & 0x01
+
+    @property
+    def syn(self):
+        return (self.flags >> 1) & 0x01
+
+    @property
+    def rst(self):
+        return (self.flags >> 2) & 0x01
+
+    @property
+    def ack_flag(self):
+        return (self.flags >> 4) & 0x01
+
+    @property
+    def window(self):
+        return self._get(14, 2)
+
+    @window.setter
+    def window(self, value):
+        self._set(14, 2, value)
+
+    @property
+    def checksum(self):
+        return self._get(16, 2)
+
+    @checksum.setter
+    def checksum(self, value):
+        self._set(16, 2, value)
+
+
+class UdpView(HeaderView):
+    """UDP header (RFC 768)."""
+
+    LENGTH = UDP_HEADER_LEN
+
+    @property
+    def src_port(self):
+        return self._get(0, 2)
+
+    @src_port.setter
+    def src_port(self, value):
+        self._set(0, 2, value)
+
+    @property
+    def dst_port(self):
+        return self._get(2, 2)
+
+    @dst_port.setter
+    def dst_port(self, value):
+        self._set(2, 2, value)
+
+    @property
+    def length(self):
+        return self._get(4, 2)
+
+    @length.setter
+    def length(self, value):
+        self._set(4, 2, value)
+
+    @property
+    def checksum(self):
+        return self._get(6, 2)
+
+    @checksum.setter
+    def checksum(self, value):
+        self._set(6, 2, value)
+
+
+class IcmpView(HeaderView):
+    """ICMP header (RFC 792), fixed part only."""
+
+    LENGTH = ICMP_HEADER_LEN
+
+    @property
+    def type(self):
+        return self.buf.load_byte(self.offset + 0)
+
+    @type.setter
+    def type(self, value):
+        self.buf.store_byte(self.offset + 0, value)
+
+    @property
+    def code(self):
+        return self.buf.load_byte(self.offset + 1)
+
+    @code.setter
+    def code(self, value):
+        self.buf.store_byte(self.offset + 1, value)
+
+    @property
+    def checksum(self):
+        return self._get(2, 2)
+
+    @checksum.setter
+    def checksum(self, value):
+        self._set(2, 2, value)

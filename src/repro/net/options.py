@@ -1,0 +1,105 @@
+"""IPv4 option encoding helpers.
+
+Only what the paper's evaluation needs: End-of-options, No-op, Record Route,
+Timestamp, and the two source-route options (LSRR and SSRR).  LSRR is the
+option behind the "unintended behaviour" case study in Section 5.3.
+
+The helpers here are used when *building* packets (concrete mode) and when
+interpreting counter-example packets produced by the verifier.  The IP-options
+*elements* in :mod:`repro.dataplane.elements` parse options directly from the
+buffer so that they can run symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+# Option type octets (copy flag | class | number).
+IPOPT_EOL = 0  # end of option list
+IPOPT_NOP = 1  # no operation
+IPOPT_RR = 7  # record route
+IPOPT_TS = 68  # timestamp
+IPOPT_SEC = 130  # security (historic)
+IPOPT_LSRR = 131  # loose source and record route
+IPOPT_SSRR = 137  # strict source and record route
+
+#: Options that carry a pointer octet at offset 2 (RR, LSRR, SSRR, TS).
+POINTER_OPTIONS = frozenset({IPOPT_RR, IPOPT_TS, IPOPT_LSRR, IPOPT_SSRR})
+
+#: Single-byte options (no length octet).
+SINGLE_BYTE_OPTIONS = frozenset({IPOPT_EOL, IPOPT_NOP})
+
+
+def encode_option(opt_type: int, data: bytes = b"") -> bytes:
+    """Encode one IPv4 option as raw bytes.
+
+    Single-byte options (EOL, NOP) must not carry data; every other option is
+    encoded as ``type, length, data`` where length covers the whole option.
+    """
+    if opt_type in SINGLE_BYTE_OPTIONS:
+        if data:
+            raise ValueError("EOL/NOP options carry no data")
+        return bytes([opt_type])
+    length = 2 + len(data)
+    if length > 255:
+        raise ValueError("option too long")
+    return bytes([opt_type, length]) + data
+
+
+def encode_lsrr(route: List[str], pointer: int = 4) -> bytes:
+    """Encode a Loose Source and Record Route option.
+
+    ``route`` is the list of dotted-quad hop addresses; ``pointer`` is the
+    1-based offset of the next hop slot (4 means "first hop not yet visited").
+    """
+    from repro.net.addresses import ip_to_int
+
+    data = bytes([pointer])
+    for hop in route:
+        value = ip_to_int(hop)
+        data += bytes([(value >> s) & 0xFF for s in (24, 16, 8, 0)])
+    return bytes([IPOPT_LSRR, 3 + len(route) * 4]) + data
+
+
+def encode_record_route(slots: int, pointer: int = 4) -> bytes:
+    """Encode a Record Route option with ``slots`` empty 4-byte address slots."""
+    data = bytes([pointer]) + bytes(4 * slots)
+    return bytes([IPOPT_RR, 3 + 4 * slots]) + data
+
+
+def pad_options(raw: bytes) -> bytes:
+    """Pad an option list with EOL bytes to a multiple of 4 bytes."""
+    remainder = len(raw) % 4
+    if remainder:
+        raw += bytes([IPOPT_EOL]) * (4 - remainder)
+    return raw
+
+
+def decode_options(raw: bytes) -> List[Tuple[int, bytes]]:
+    """Decode an option byte string into ``(type, body)`` tuples.
+
+    Raises :class:`ValueError` on malformed options (zero length, truncation)
+    -- this is the strict behaviour a well-formed-packet parser would have; the
+    dataplane elements deliberately re-implement their own, sometimes buggy,
+    parsing.
+    """
+    out: List[Tuple[int, bytes]] = []
+    i = 0
+    while i < len(raw):
+        opt_type = raw[i]
+        if opt_type == IPOPT_EOL:
+            break
+        if opt_type == IPOPT_NOP:
+            out.append((IPOPT_NOP, b""))
+            i += 1
+            continue
+        if i + 1 >= len(raw):
+            raise ValueError("truncated option (missing length octet)")
+        length = raw[i + 1]
+        if length < 2:
+            raise ValueError(f"illegal option length {length}")
+        if i + length > len(raw):
+            raise ValueError("truncated option (body exceeds option area)")
+        out.append((opt_type, raw[i + 2 : i + length]))
+        i += length
+    return out

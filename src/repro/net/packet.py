@@ -1,0 +1,132 @@
+"""The packet object passed between pipeline elements.
+
+In the paper's state taxonomy (Table 1) the packet object is the only mutable
+state that ever changes ownership: exactly one element owns it at a time, and
+ownership moves down the pipeline.  A :class:`Packet` bundles
+
+* ``buf`` -- the byte buffer holding the wire data (concrete or symbolic);
+* ``meta`` -- the *annotation area*, a small string-keyed map of metadata
+  values (Click's annotations).  Condition 1 of the paper requires loop-carried
+  element state to live here, so that loop decomposition can make it symbolic;
+* bookkeeping fields (``input_port``, header offsets).
+
+Header views (:mod:`repro.net.headers`) are created on demand by the accessor
+methods below; they are windows onto ``buf`` and never copy data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.net.buffer import ConcreteBuffer
+from repro.net.headers import (
+    ETHER_HEADER_LEN,
+    EthernetView,
+    IcmpView,
+    Ipv4View,
+    TcpView,
+    UdpView,
+)
+
+
+class Packet:
+    """A packet owned by exactly one element at a time."""
+
+    __slots__ = ("buf", "meta", "input_port", "mac_offset", "ip_offset")
+
+    def __init__(
+        self,
+        buf,
+        meta: Optional[Dict[str, Any]] = None,
+        input_port: int = 0,
+        mac_offset: int = 0,
+        ip_offset: Optional[int] = None,
+    ):
+        self.buf = buf
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
+        self.input_port = input_port
+        self.mac_offset = mac_offset
+        # By default the IP header starts right after the Ethernet header.
+        self.ip_offset = ip_offset if ip_offset is not None else mac_offset + ETHER_HEADER_LEN
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: bytes, **kwargs) -> "Packet":
+        """Build a packet over a concrete buffer holding ``data``."""
+        return cls(ConcreteBuffer(data), **kwargs)
+
+    def clone(self) -> "Packet":
+        """Deep-copy the packet (buffer and annotations).
+
+        Cloning creates a *new* packet object with its own buffer, so the clone
+        can be handed to a different element without violating the single-owner
+        rule (used by e.g. the IP fragmenter, which emits several fragments for
+        one input packet).
+        """
+        new = Packet(
+            self.buf.copy(),
+            meta=dict(self.meta),
+            input_port=self.input_port,
+            mac_offset=self.mac_offset,
+            ip_offset=self.ip_offset,
+        )
+        return new
+
+    # -- sizes ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.buf)
+
+    @property
+    def length(self) -> int:
+        """Total buffer length in bytes."""
+        return len(self.buf)
+
+    # -- header views --------------------------------------------------------
+
+    def ether(self) -> EthernetView:
+        """View of the Ethernet header."""
+        return EthernetView(self.buf, self.mac_offset)
+
+    def ip(self) -> Ipv4View:
+        """View of the IPv4 header (at ``ip_offset``)."""
+        return Ipv4View(self.buf, self.ip_offset)
+
+    def transport_offset(self):
+        """Absolute offset of the transport header (``ip_offset + IHL*4``).
+
+        The result may be symbolic when the IHL field is symbolic.
+        """
+        return self.ip_offset + self.ip().header_length
+
+    def tcp(self) -> TcpView:
+        """View of the TCP header following the IP header."""
+        return TcpView(self.buf, self.transport_offset())
+
+    def udp(self) -> UdpView:
+        """View of the UDP header following the IP header."""
+        return UdpView(self.buf, self.transport_offset())
+
+    def icmp(self) -> IcmpView:
+        """View of the ICMP header following the IP header."""
+        return IcmpView(self.buf, self.transport_offset())
+
+    # -- annotations ----------------------------------------------------------
+
+    def set_meta(self, key: str, value: Any) -> None:
+        """Set an annotation (metadata) value."""
+        self.meta[key] = value
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        """Read an annotation (metadata) value."""
+        return self.meta.get(key, default)
+
+    def has_meta(self, key: str) -> bool:
+        return key in self.meta
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(len={len(self.buf)}, input_port={self.input_port}, "
+            f"meta_keys={sorted(self.meta)})"
+        )

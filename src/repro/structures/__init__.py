@@ -1,0 +1,29 @@
+"""Verifiable dataplane data structures (paper Section 3.3).
+
+The paper's Conditions 2 and 3 require elements to keep their state in data
+structures that (a) expose a key/value-store interface (Fig. 2: ``read``,
+``write``, ``test``, ``expire``) and (b) are built from verifiable building
+blocks such as pre-allocated arrays.  This package provides:
+
+* :class:`repro.structures.array.PreallocatedArray` -- the building block;
+* :class:`repro.structures.hashtable.ChainedArrayHashTable` -- the paper's
+  hash table (a sequence of ``N`` pre-allocated arrays; the n-th colliding key
+  goes to the n-th array, and the write fails once all ``N`` are taken);
+* :class:`repro.structures.lpm.FlatLpmTable` -- a longest-prefix-match table
+  flattened onto arrays (Gupta et al., "flattening to /24"), used by the
+  verifiable IP-lookup element;
+* :class:`repro.structures.interface.KeyValueStore` -- the abstract interface.
+"""
+
+from repro.structures.array import PreallocatedArray
+from repro.structures.hashtable import ChainedArrayHashTable
+from repro.structures.interface import KeyValueStore
+from repro.structures.lpm import FlatLpmTable, Route
+
+__all__ = [
+    "PreallocatedArray",
+    "ChainedArrayHashTable",
+    "KeyValueStore",
+    "FlatLpmTable",
+    "Route",
+]

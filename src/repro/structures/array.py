@@ -1,0 +1,72 @@
+"""Pre-allocated, bounds-checked arrays (the verifiable building block).
+
+The paper argues for arrays as the main building block of dataplane state
+because (a) they give O(1), allocation-free access at line rate, and (b) their
+semantics are simple enough to verify: an in-bounds write cannot crash and
+executes a bounded number of instructions.  :class:`PreallocatedArray` models
+exactly that: its storage is allocated once at construction time and an access
+outside the bounds raises :class:`repro.errors.OutOfBoundsAccess` -- the
+software analogue of the segmentation fault the verifier must prove absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+from repro.errors import OutOfBoundsAccess
+
+
+class PreallocatedArray:
+    """A fixed-capacity array whose storage never grows or moves."""
+
+    __slots__ = ("_slots", "_capacity")
+
+    def __init__(self, capacity: int, fill: Any = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._slots: List[Any] = [fill] * capacity
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots allocated at construction time."""
+        return self._capacity
+
+    def _check(self, index: int) -> None:
+        if not isinstance(index, int):
+            raise OutOfBoundsAccess(
+                f"array indexed with non-concrete index of type {type(index).__name__}"
+            )
+        if index < 0 or index >= self._capacity:
+            raise OutOfBoundsAccess(f"index {index} outside array of capacity {self._capacity}")
+
+    def get(self, index: int) -> Any:
+        """Read slot ``index`` (bounds-checked)."""
+        self._check(index)
+        return self._slots[index]
+
+    def set(self, index: int, value: Any) -> None:
+        """Write slot ``index`` (bounds-checked)."""
+        self._check(index)
+        self._slots[index] = value
+
+    def __getitem__(self, index: int) -> Any:
+        return self.get(index)
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        self.set(index, value)
+
+    def __len__(self) -> int:
+        return self._capacity
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._slots)
+
+    def fill(self, value: Any) -> None:
+        """Overwrite every slot with ``value`` (control-plane reset)."""
+        for i in range(self._capacity):
+            self._slots[i] = value
+
+    def __repr__(self) -> str:
+        used = sum(1 for s in self._slots if s is not None)
+        return f"PreallocatedArray(capacity={self._capacity}, used={used})"

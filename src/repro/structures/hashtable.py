@@ -1,0 +1,147 @@
+"""The paper's verifiable hash table: a chain of N pre-allocated arrays.
+
+Section 3.3: *"Our hash table is a sequence of N such arrays; when adding the
+n-th key/value pair that hashes to the same index, if n <= N, the new pair is
+stored in the n-th array, otherwise it cannot be added (the write operation
+returns False)."*
+
+Compared with a conventional hash table built on dynamically growing linked
+lists, this trades memory (N copies of the bucket array) for verifiability:
+every operation touches at most ``N`` fixed slots, never allocates, and can be
+proved crash-free and bounded by inspection of a handful of array accesses.
+The NAT element in the paper uses ``N = 3``, which makes the probability of
+refusing a connection negligible; that is also the default here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.structures.array import PreallocatedArray
+from repro.structures.interface import KeyValueStore
+from repro.symex.values import is_symbolic
+
+
+def _default_hash(key: int, buckets: int) -> int:
+    """A deterministic multiplicative hash over integer keys.
+
+    Knuth's multiplicative constant over 64 bits, reduced modulo the bucket
+    count.  Determinism matters: the verifier and the tests rely on being able
+    to reproduce bucket placement exactly.
+    """
+    key = int(key) & 0xFFFFFFFFFFFFFFFF
+    return ((key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF) % buckets
+
+
+class ChainedArrayHashTable(KeyValueStore):
+    """Hash table built from ``depth`` pre-allocated bucket arrays.
+
+    Each of the ``depth`` arrays has ``buckets`` slots; a slot holds either
+    ``None`` or a ``(key, value)`` pair.  Lookups probe the same bucket index
+    in each array in order, so every operation costs at most ``depth`` slot
+    accesses -- a compile-time bound, which is what makes the structure easy to
+    verify for crash-freedom and bounded execution.
+    """
+
+    def __init__(self, buckets: int = 1024, depth: int = 3, hash_function=None):
+        if buckets <= 0 or depth <= 0:
+            raise ValueError("buckets and depth must be positive")
+        self.buckets = buckets
+        self.depth = depth
+        self._hash = hash_function or _default_hash
+        self._arrays: List[PreallocatedArray] = [PreallocatedArray(buckets) for _ in range(depth)]
+        self._count = 0
+
+    # -- hashing -----------------------------------------------------------------
+
+    def _bucket_of(self, key) -> int:
+        if is_symbolic(key):
+            # A symbolic key reaching the *real* data structure means the
+            # caller is running non-abstracted symbolic execution (the generic
+            # baseline).  Model what a symbolic-execution engine does with the
+            # real code: branch over every possible bucket index.  This is the
+            # source of the state explosion the paper reports for stateful
+            # elements under generic verification.
+            index = key % self.buckets
+            for candidate in range(self.buckets):
+                if index == candidate:
+                    return candidate
+            return self.buckets - 1
+        return self._hash(key, self.buckets)
+
+    def _keys_equal(self, a, b):
+        return a == b
+
+    # -- KeyValueStore interface ----------------------------------------------------
+
+    def read(self, key) -> Optional[Any]:
+        """Return the value stored for ``key`` or ``None``."""
+        bucket = self._bucket_of(key)
+        for array in self._arrays:
+            slot = array.get(bucket)
+            if slot is not None and self._keys_equal(slot[0], key):
+                return slot[1]
+        return None
+
+    def write(self, key, value) -> bool:
+        """Insert or update; return ``False`` when all ``depth`` slots are taken."""
+        bucket = self._bucket_of(key)
+        # Update in place when the key is already present.
+        for array in self._arrays:
+            slot = array.get(bucket)
+            if slot is not None and self._keys_equal(slot[0], key):
+                array.set(bucket, (key, value))
+                return True
+        # Otherwise claim the first free slot in chain order.
+        for array in self._arrays:
+            if array.get(bucket) is None:
+                array.set(bucket, (key, value))
+                self._count += 1
+                return True
+        return False
+
+    def test(self, key) -> bool:
+        """Membership test."""
+        bucket = self._bucket_of(key)
+        for array in self._arrays:
+            slot = array.get(bucket)
+            if slot is not None and self._keys_equal(slot[0], key):
+                return True
+        return False
+
+    def expire(self, key) -> Optional[Any]:
+        """Remove ``key`` and return its value (``None`` when absent)."""
+        bucket = self._bucket_of(key)
+        for array in self._arrays:
+            slot = array.get(bucket)
+            if slot is not None and self._keys_equal(slot[0], key):
+                array.set(bucket, None)
+                self._count -= 1
+                return slot[1]
+        return None
+
+    # -- control-plane helpers ---------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        for array in self._arrays:
+            for slot in array:
+                if slot is not None:
+                    yield slot
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries the table can ever hold."""
+        return self.buckets * self.depth
+
+    def load_factor(self) -> float:
+        """Fraction of slots currently occupied."""
+        return self._count / self.capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"ChainedArrayHashTable(buckets={self.buckets}, depth={self.depth}, "
+            f"entries={self._count})"
+        )

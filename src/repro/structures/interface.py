@@ -1,0 +1,56 @@
+"""The key/value-store interface of Fig. 2 in the paper.
+
+Any private state an element keeps must be accessed exclusively through this
+interface (Condition 2).  During verification the interface is *abstracted*:
+the verifier substitutes an :class:`repro.verifier.abstraction.AbstractStore`
+that returns fresh symbolic values for reads and journals writes, so the
+symbolic-execution engine never has to reason about the data-structure
+implementation.  The implementations themselves are verified separately (see
+``tests/property`` for the exhaustive/property-based checks standing in for
+that separate verification).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, Optional, Tuple
+
+
+class KeyValueStore(ABC):
+    """Abstract key/value store: ``read``, ``write``, ``test``, ``expire``."""
+
+    @abstractmethod
+    def read(self, key) -> Optional[Any]:
+        """Return the value stored for ``key``, or ``None`` when absent."""
+
+    @abstractmethod
+    def write(self, key, value) -> bool:
+        """Store ``value`` under ``key``.
+
+        Returns ``True`` on success and ``False`` when the (pre-allocated)
+        structure has no room for the key -- the paper's hash table returns
+        ``False`` once all ``N`` slots for the key's hash bucket are taken.
+        """
+
+    @abstractmethod
+    def test(self, key) -> bool:
+        """Membership test."""
+
+    @abstractmethod
+    def expire(self, key) -> Optional[Any]:
+        """Remove ``key`` and hand its value back to the control plane.
+
+        Returns the expired value (``None`` when the key was absent).  In the
+        paper, expiration is the signal that a ``{key, value}`` pair will no
+        longer be touched by the dataplane and may be collected by control
+        software (e.g. exporting the statistics of a completed flow).
+        """
+
+    # Optional helpers shared by the concrete implementations ----------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over stored ``(key, value)`` pairs (control-plane use only)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError

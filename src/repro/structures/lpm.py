@@ -1,0 +1,206 @@
+"""A verifiable longest-prefix-match (LPM) table flattened onto arrays.
+
+The paper's IP-lookup element replaces Click's trie-based forwarding table
+with one built on pre-allocated arrays, using "the idea of 'flattening' of all
+entries to /24 prefixes" (Gupta, Lin, McKeown -- the DIR-24-8 scheme).  This
+module implements the two-level variant of that scheme:
+
+* a first-level array indexed by the top ``first_level_bits`` bits of the
+  destination address (24 in the paper; 16 by default here purely to keep the
+  Python memory footprint reasonable -- the lookup cost and the verifiability
+  argument are identical and the level width is configurable);
+* second-level 256-entry arrays for the address ranges that contain routes
+  longer than the first level.
+
+Every lookup touches at most two array slots, so crash-freedom and bounded
+execution follow from the bounds checks of :class:`PreallocatedArray`.
+
+When a *symbolic* destination address reaches :meth:`lookup` (which only
+happens under the non-compositional "generic" baseline -- the dataplane
+verifier abstracts data structures away), the table behaves the way a symbolic
+execution engine confronts the real code: it considers every installed route,
+branching per route, which is exactly the state explosion Fig. 4(a) reports
+for the core-router pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.net.addresses import ip_to_int
+from repro.structures.array import PreallocatedArray
+from repro.symex.values import is_symbolic
+
+
+@dataclass(frozen=True)
+class Route:
+    """One forwarding-table entry: ``prefix/plen -> value``."""
+
+    prefix: int
+    plen: int
+    value: Any
+
+    def matches(self, address: int) -> bool:
+        """Concrete prefix match."""
+        if self.plen == 0:
+            return True
+        shift = 32 - self.plen
+        return (address >> shift) == (self.prefix >> shift)
+
+    def __repr__(self) -> str:
+        from repro.net.addresses import int_to_ip
+
+        return f"Route({int_to_ip(self.prefix)}/{self.plen} -> {self.value!r})"
+
+
+def parse_prefix(prefix: str) -> Tuple[int, int]:
+    """Parse ``"10.1.0.0/16"`` into ``(prefix_int, plen)``."""
+    if "/" in prefix:
+        address, _, plen_str = prefix.partition("/")
+        plen = int(plen_str)
+    else:
+        address, plen = prefix, 32
+    if not 0 <= plen <= 32:
+        raise ValueError(f"illegal prefix length in {prefix!r}")
+    value = ip_to_int(address)
+    if plen < 32:
+        value &= ~((1 << (32 - plen)) - 1) & 0xFFFFFFFF
+    return value, plen
+
+
+class FlatLpmTable:
+    """Longest-prefix-match table flattened onto pre-allocated arrays."""
+
+    def __init__(self, first_level_bits: int = 16, default: Any = None):
+        if not 8 <= first_level_bits <= 24:
+            raise ValueError("first_level_bits must be between 8 and 24")
+        self.first_level_bits = first_level_bits
+        self.default = default
+        self._level1 = PreallocatedArray(1 << first_level_bits)
+        self._level2: List[PreallocatedArray] = []
+        self._routes: List[Route] = []
+
+    # -- route installation (control plane / static state) ---------------------
+
+    def add_route(self, prefix: str, value: Any) -> None:
+        """Install ``prefix -> value``; longer prefixes win on overlap.
+
+        Prefixes longer than ``first_level_bits + 8`` cannot be represented at
+        the table's flattening granularity and are rejected (the paper's /24
+        flattening has the same granularity limit).
+        """
+        prefix_int, plen = parse_prefix(prefix)
+        if plen > self.first_level_bits + 8:
+            raise ValueError(
+                f"prefix length /{plen} exceeds the table granularity "
+                f"(/{self.first_level_bits + 8}); use a wider first level"
+            )
+        self._routes.append(Route(prefix_int, plen, value))
+        self._install(Route(prefix_int, plen, value))
+
+    def set_default(self, value: Any) -> None:
+        """Set the value returned when no route matches."""
+        self.default = value
+
+    def _install(self, route: Route) -> None:
+        l1_bits = self.first_level_bits
+        shift = 32 - l1_bits
+        if route.plen <= l1_bits:
+            # The route covers one or more whole first-level slots.
+            span = 1 << (l1_bits - route.plen)
+            base = route.prefix >> shift
+            for i in range(span):
+                slot = self._level1.get(base + i)
+                if slot is not None and slot[0] == "leaf" and slot[2] > route.plen:
+                    continue  # an existing, longer route already covers this slot
+                if slot is not None and slot[0] == "table":
+                    self._fill_level2(slot[1], route)
+                    continue
+                self._level1.set(base + i, ("leaf", route.value, route.plen))
+        else:
+            # The route is longer than the first level: expand that slot into a
+            # second-level 256-entry array (or reuse the existing one).
+            index = route.prefix >> shift
+            slot = self._level1.get(index)
+            if slot is None or slot[0] == "leaf":
+                table_index = len(self._level2)
+                l2_bits = min(32 - l1_bits, 8)
+                level2 = PreallocatedArray(1 << l2_bits)
+                backfill = slot if slot is not None else ("leaf", self.default, -1)
+                for i in range(len(level2)):
+                    level2.set(i, (backfill[1], backfill[2]))
+                self._level2.append(level2)
+                self._level1.set(index, ("table", table_index))
+                slot = self._level1.get(index)
+            self._fill_level2(slot[1], route)
+
+    def _fill_level2(self, table_index: int, route: Route) -> None:
+        level2 = self._level2[table_index]
+        l2_bits = 32 - self.first_level_bits
+        l2_bits = min(l2_bits, 8)
+        if route.plen <= self.first_level_bits:
+            span = len(level2)
+            base = 0
+        else:
+            remaining = route.plen - self.first_level_bits
+            span = 1 << max(0, l2_bits - remaining)
+            base = (route.prefix >> (32 - self.first_level_bits - l2_bits)) & ((1 << l2_bits) - 1)
+            base &= ~(span - 1)
+        for i in range(span):
+            current = level2.get(base + i)
+            if current is not None and current[1] > route.plen:
+                continue
+            level2.set(base + i, (route.value, route.plen))
+
+    # -- lookup (data plane) ------------------------------------------------------
+
+    def lookup(self, address):
+        """Return the value of the longest matching route (or the default)."""
+        if is_symbolic(address):
+            return self._symbolic_lookup(address)
+        l1_bits = self.first_level_bits
+        slot = self._level1.get((int(address) >> (32 - l1_bits)) & ((1 << l1_bits) - 1))
+        if slot is None:
+            return self.default
+        if slot[0] == "leaf":
+            return slot[1]
+        level2 = self._level2[slot[1]]
+        l2_bits = min(32 - l1_bits, 8)
+        index = (int(address) >> (32 - l1_bits - l2_bits)) & ((1 << l2_bits) - 1)
+        entry = level2.get(index)
+        if entry is None:
+            return self.default
+        return entry[0]
+
+    def _symbolic_lookup(self, address):
+        """What naive symbolic execution does to a forwarding table.
+
+        Consider the routes in longest-prefix-first order and branch on each
+        prefix comparison.  Each installed route adds a branch point, which is
+        why generic verification of the core-router pipeline (100k routes)
+        never completes.
+        """
+        for route in sorted(self._routes, key=lambda r: -r.plen):
+            if route.plen == 0:
+                return route.value
+            shift = 32 - route.plen
+            if (address >> shift) == (route.prefix >> shift):
+                return route.value
+        return self.default
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def routes(self) -> List[Route]:
+        """The installed routes, in installation order."""
+        return list(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatLpmTable(routes={len(self._routes)}, "
+            f"first_level_bits={self.first_level_bits})"
+        )

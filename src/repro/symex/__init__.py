@@ -1,0 +1,49 @@
+"""A self-contained symbolic-execution engine for Python dataplane code.
+
+This package is the reproduction's substitute for S2E (the symbolic-execution
+platform the paper builds on).  It provides:
+
+* :mod:`repro.symex.exprs` -- bit-vector and boolean expression trees;
+* :mod:`repro.symex.simplify` -- substitution/simplification (used heavily by
+  the verifier's composition step);
+* :mod:`repro.symex.intervals` -- interval reasoning used for pruning;
+* :mod:`repro.symex.solver` -- a sound, budget-bounded constraint solver;
+* :mod:`repro.symex.values` -- symbolic value wrappers that let ordinary
+  element code run symbolically;
+* :mod:`repro.symex.sym_buffer` -- symbolic packet buffers;
+* :mod:`repro.symex.runtime` / :mod:`repro.symex.explorer` -- the path
+  exploration machinery producing per-path constraints, outputs and
+  instruction counts.
+"""
+
+from repro.symex import exprs
+from repro.symex.explorer import ExplorationResult, PathExplorer, PathResult
+from repro.symex.runtime import SymbolicRuntime, activate, current_runtime
+from repro.symex.simplify import simplify, substitute
+from repro.symex.solver import SAT, UNKNOWN, UNSAT, Solver, SolverResult
+from repro.symex.sym_buffer import SymbolicBuffer
+from repro.symex.values import SymBool, SymVal, is_symbolic, make_symbolic, unwrap, wrap
+
+__all__ = [
+    "exprs",
+    "ExplorationResult",
+    "PathExplorer",
+    "PathResult",
+    "SymbolicRuntime",
+    "activate",
+    "current_runtime",
+    "simplify",
+    "substitute",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "Solver",
+    "SolverResult",
+    "SymbolicBuffer",
+    "SymBool",
+    "SymVal",
+    "is_symbolic",
+    "make_symbolic",
+    "unwrap",
+    "wrap",
+]

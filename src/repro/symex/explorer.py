@@ -1,0 +1,199 @@
+"""Exhaustive path exploration over dataplane code (the S2E stand-in).
+
+The :class:`PathExplorer` repeatedly runs a target callable under a
+:class:`repro.symex.runtime.SymbolicRuntime`, each time forcing a different
+prefix of branch decisions, until every feasible combination of decisions has
+been executed (or a budget is hit).  Each run yields one :class:`PathResult`,
+the reproduction's equivalent of an S2E execution state: the path constraint,
+the outputs the code produced, whether it crashed, and how many abstract
+instructions it executed.
+
+The paper uses the term *segment* for a path through a single element and
+*path* for a path through the whole pipeline; both are produced by this same
+explorer (over an element in verification step 1, over the full pipeline in
+the generic baseline).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import DataplaneCrash, ExecutionBudgetExceeded, VerificationBudgetExceeded
+from repro.net.buffer import BufferError
+from repro.symex import exprs as E
+from repro.symex.runtime import Decision, JournalEntry, SymbolicRuntime, activate
+from repro.symex.solver import Solver
+
+
+@dataclass
+class PathResult:
+    """One explored execution path (an S2E "state")."""
+
+    #: conjunction atoms of the path constraint
+    constraints: List[E.BoolExpr]
+    #: branch decisions taken along the path
+    decisions: List[Decision]
+    #: the value returned by the explored callable (``None`` for crashed paths)
+    output: Any
+    #: the crash that terminated this path, if any
+    crash: Optional[DataplaneCrash]
+    #: True when the path exceeded the per-path operation budget
+    #: (bounded-execution suspect; may indicate an infinite loop)
+    budget_exceeded: bool
+    #: abstract instruction count of this path
+    ops: int
+    #: journal of abstracted side effects (data-structure reads/writes, ...)
+    journal: List[JournalEntry] = field(default_factory=list)
+    #: a non-dataplane Python error raised by the analysed code, if any
+    #: (reported as an analysis failure, never silently dropped)
+    analysis_error: Optional[BaseException] = None
+    #: symbols created through ``runtime.fresh_symbol`` along this path
+    fresh_symbols: List = field(default_factory=list)
+
+    @property
+    def path_constraint(self) -> E.BoolExpr:
+        """The path constraint as a single conjunction."""
+        return E.bool_and(*self.constraints)
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+
+@dataclass
+class ExplorationResult:
+    """All paths of one exploration plus completeness accounting."""
+
+    paths: List[PathResult]
+    #: False when exploration stopped because of a budget, meaning the set of
+    #: paths is not guaranteed to be exhaustive (the verifier then refuses to
+    #: emit a proof).
+    complete: bool
+    #: number of runtime states created (the unit reported in Fig. 4(c))
+    states: int
+    #: True when exploration was cut short by the wall-clock budget -- the
+    #: reproduction's analogue of the paper's "exceeds 12 hours, aborted"
+    timed_out: bool = False
+
+    @property
+    def crashing_paths(self) -> List[PathResult]:
+        return [p for p in self.paths if p.crashed]
+
+    @property
+    def unbounded_paths(self) -> List[PathResult]:
+        return [p for p in self.paths if p.budget_exceeded]
+
+    def max_ops(self) -> int:
+        """The largest instruction count over all explored paths."""
+        return max((p.ops for p in self.paths), default=0)
+
+
+class PathExplorer:
+    """Enumerate all feasible execution paths of a callable."""
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        max_paths: int = 4096,
+        max_ops_per_path: int = 100000,
+        branch_check_nodes: int = 1500,
+        feasibility_checks: bool = True,
+        time_budget: Optional[float] = None,
+    ):
+        self.solver = solver or Solver()
+        self.max_paths = max_paths
+        self.max_ops_per_path = max_ops_per_path
+        self.branch_check_nodes = branch_check_nodes
+        self.feasibility_checks = feasibility_checks
+        #: wall-clock budget in seconds for one call to :meth:`explore`
+        self.time_budget = time_budget
+
+    def explore(self, target: Callable[[SymbolicRuntime], Any]) -> ExplorationResult:
+        """Run ``target`` under every feasible combination of branch decisions.
+
+        ``target`` receives the active runtime (so it can create fresh symbols
+        or record journal entries) and returns an arbitrary output object that
+        is preserved on the corresponding :class:`PathResult`.
+        """
+        pending: List[List[bool]] = [[]]
+        paths: List[PathResult] = []
+        complete = True
+        states = 0
+        timed_out = False
+        deadline = None
+        if self.time_budget is not None:
+            deadline = time.monotonic() + self.time_budget
+
+        while pending:
+            if len(paths) >= self.max_paths:
+                complete = False
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                complete = False
+                timed_out = True
+                break
+            prefix = pending.pop()
+            runtime = SymbolicRuntime(
+                solver=self.solver,
+                forced_decisions=prefix,
+                max_ops=self.max_ops_per_path,
+                branch_check_nodes=self.branch_check_nodes,
+                feasibility_checks=self.feasibility_checks,
+                deadline=deadline,
+            )
+            states += 1
+            crash: Optional[DataplaneCrash] = None
+            analysis_error: Optional[BaseException] = None
+            budget_exceeded = False
+            output: Any = None
+            with activate(runtime):
+                try:
+                    output = target(runtime)
+                except DataplaneCrash as exc:
+                    crash = exc
+                except BufferError as exc:
+                    crash = _buffer_error_to_crash(exc)
+                except ExecutionBudgetExceeded:
+                    budget_exceeded = True
+                except VerificationBudgetExceeded:
+                    complete = False
+                    timed_out = True
+                except RecursionError as exc:  # runaway element code
+                    analysis_error = exc
+                except (ArithmeticError, LookupError, TypeError, ValueError) as exc:
+                    analysis_error = exc
+
+            paths.append(
+                PathResult(
+                    constraints=list(runtime.path_constraints),
+                    decisions=list(runtime.decisions),
+                    output=output,
+                    crash=crash,
+                    budget_exceeded=budget_exceeded,
+                    ops=runtime.op_count,
+                    journal=list(runtime.journal),
+                    analysis_error=analysis_error,
+                    fresh_symbols=list(runtime.fresh_symbols),
+                )
+            )
+
+            # Schedule the unexplored direction of every *free* decision this
+            # run made beyond its forced prefix.
+            for index in range(len(prefix), len(runtime.decisions)):
+                decision = runtime.decisions[index]
+                if not decision.both_feasible:
+                    continue
+                flipped = [d.taken for d in runtime.decisions[:index]]
+                flipped.append(not decision.taken)
+                pending.append(flipped)
+
+        return ExplorationResult(paths=paths, complete=complete, states=states,
+                                 timed_out=timed_out)
+
+
+def _buffer_error_to_crash(exc: BufferError) -> DataplaneCrash:
+    from repro.errors import OutOfBoundsAccess
+
+    return OutOfBoundsAccess(str(exc))

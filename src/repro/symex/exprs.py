@@ -1,0 +1,794 @@
+"""Bit-vector and boolean expression trees for the symbolic-execution engine.
+
+The verifier manipulates three kinds of objects:
+
+* **bit-vector expressions** (:class:`BV` subclasses) -- unsigned integers of a
+  fixed width, combined with modular arithmetic and bitwise operators;
+* **boolean expressions** (:class:`BoolExpr` subclasses) -- path-constraint
+  atoms built from bit-vector comparisons and boolean connectives;
+* **models** -- assignments from symbol names to concrete integers, produced by
+  the solver and turned back into counter-example packets.
+
+Expressions are immutable.  The module-level *smart constructors*
+(:func:`bv_add`, :func:`bv_and`, :func:`cmp_eq`, :func:`bool_and`, ...) perform
+constant folding and cheap algebraic simplification so that expression trees
+stay small during path exploration; the heavier, substitution-based
+simplification used during pipeline composition lives in
+:mod:`repro.symex.simplify`.
+
+Everything here is self-contained (no solver, no runtime) so it can be reused
+by any component that needs to talk about packet contents symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple, Union
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+
+def mask_for(width: int) -> int:
+    """All-ones mask for a bit-vector of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def width_for_value(value: int) -> int:
+    """Smallest standard width (8/16/32/64/128) able to hold ``value``."""
+    bits = max(1, int(value).bit_length())
+    for width in (8, 16, 32, 64, 128):
+        if bits <= width:
+            return width
+    raise ValueError(f"constant too large for supported widths: {value}")
+
+
+# --------------------------------------------------------------------------
+# expression classes
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Common base class of bit-vector and boolean expressions."""
+
+    __slots__ = ("_hash",)
+
+    def children(self) -> Tuple["Expr", ...]:
+        """The sub-expressions of this node (empty for leaves)."""
+        return ()
+
+    # Subclasses implement structural equality through a key tuple.
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:  # structural equality
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        h = getattr(self, "_hash", None)
+        if h is None:
+            h = hash((type(self).__name__,) + self._key())
+            object.__setattr__(self, "_hash", h)
+        return h
+
+
+class BV(Expr):
+    """Base class of bit-vector expressions; every node carries a width."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"bit-vector width must be positive, got {width}")
+        object.__setattr__(self, "width", width)
+
+
+class BVConst(BV):
+    """A concrete bit-vector constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, width: int):
+        super().__init__(width)
+        object.__setattr__(self, "value", int(value) & mask_for(width))
+
+    def _key(self):
+        return (self.value, self.width)
+
+    def __repr__(self):
+        return f"BVConst({self.value:#x}, w{self.width})"
+
+
+class BVSym(BV):
+    """A named symbolic bit-vector variable (e.g. one packet byte)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, width: int):
+        super().__init__(width)
+        object.__setattr__(self, "name", name)
+
+    def _key(self):
+        return (self.name, self.width)
+
+    def __repr__(self):
+        return f"BVSym({self.name}, w{self.width})"
+
+
+#: Binary bit-vector operators understood by the engine.
+BV_OPS = ("add", "sub", "mul", "udiv", "urem", "and", "or", "xor", "shl", "lshr")
+
+
+class BVBinOp(BV):
+    """A binary operation over two bit-vector expressions of equal width."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: BV, right: BV):
+        if op not in BV_OPS:
+            raise ValueError(f"unknown bit-vector operator {op!r}")
+        if left.width != right.width:
+            raise ValueError(f"operand width mismatch: {left.width} vs {right.width}")
+        super().__init__(left.width)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _key(self):
+        return (self.op, self.left, self.right, self.width)
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BVNot(BV):
+    """Bitwise complement of a bit-vector expression."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BV):
+        super().__init__(arg.width)
+        object.__setattr__(self, "arg", arg)
+
+    def children(self):
+        return (self.arg,)
+
+    def _key(self):
+        return (self.arg, self.width)
+
+    def __repr__(self):
+        return f"(~{self.arg!r})"
+
+
+class BVIte(BV):
+    """If-then-else over bit-vectors: ``cond ? then : orelse``."""
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond: "BoolExpr", then: BV, orelse: BV):
+        if then.width != orelse.width:
+            raise ValueError("ITE branch width mismatch")
+        super().__init__(then.width)
+        object.__setattr__(self, "cond", cond)
+        object.__setattr__(self, "then", then)
+        object.__setattr__(self, "orelse", orelse)
+
+    def children(self):
+        return (self.cond, self.then, self.orelse)
+
+    def _key(self):
+        return (self.cond, self.then, self.orelse, self.width)
+
+    def __repr__(self):
+        return f"Ite({self.cond!r}, {self.then!r}, {self.orelse!r})"
+
+
+class BVZeroExt(BV):
+    """Zero-extension of a bit-vector to a wider width."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BV, width: int):
+        if width < arg.width:
+            raise ValueError("zero-extension must not shrink the value")
+        super().__init__(width)
+        object.__setattr__(self, "arg", arg)
+
+    def children(self):
+        return (self.arg,)
+
+    def _key(self):
+        return (self.arg, self.width)
+
+    def __repr__(self):
+        return f"ZExt({self.arg!r}, w{self.width})"
+
+
+class BVTrunc(BV):
+    """Truncation of a bit-vector to a narrower width (keeps low bits)."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BV, width: int):
+        if width > arg.width:
+            raise ValueError("truncation must not widen the value")
+        super().__init__(width)
+        object.__setattr__(self, "arg", arg)
+
+    def children(self):
+        return (self.arg,)
+
+    def _key(self):
+        return (self.arg, self.width)
+
+    def __repr__(self):
+        return f"Trunc({self.arg!r}, w{self.width})"
+
+
+class BoolExpr(Expr):
+    """Base class of boolean (constraint) expressions."""
+
+    __slots__ = ()
+
+
+class BoolConst(BoolExpr):
+    """The constants ``True`` and ``False``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", bool(value))
+
+    def _key(self):
+        return (self.value,)
+
+    def __repr__(self):
+        return f"BoolConst({self.value})"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+#: Comparison operators (all unsigned).
+CMP_OPS = ("eq", "ne", "ult", "ule", "ugt", "uge")
+
+_CMP_NEGATION = {"eq": "ne", "ne": "eq", "ult": "uge", "ule": "ugt", "ugt": "ule", "uge": "ult"}
+
+
+class Cmp(BoolExpr):
+    """An unsigned comparison between two bit-vector expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: BV, right: BV):
+        if op not in CMP_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        if left.width != right.width:
+            raise ValueError(f"comparison width mismatch: {left.width} vs {right.width}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BoolAnd(BoolExpr):
+    """Conjunction of boolean expressions."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[BoolExpr, ...]):
+        object.__setattr__(self, "args", tuple(args))
+
+    def children(self):
+        return self.args
+
+    def _key(self):
+        return (self.args,)
+
+    def __repr__(self):
+        return "And(" + ", ".join(repr(a) for a in self.args) + ")"
+
+
+class BoolOr(BoolExpr):
+    """Disjunction of boolean expressions."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[BoolExpr, ...]):
+        object.__setattr__(self, "args", tuple(args))
+
+    def children(self):
+        return self.args
+
+    def _key(self):
+        return (self.args,)
+
+    def __repr__(self):
+        return "Or(" + ", ".join(repr(a) for a in self.args) + ")"
+
+
+class BoolNot(BoolExpr):
+    """Negation of a boolean expression."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BoolExpr):
+        object.__setattr__(self, "arg", arg)
+
+    def children(self):
+        return (self.arg,)
+
+    def _key(self):
+        return (self.arg,)
+
+    def __repr__(self):
+        return f"Not({self.arg!r})"
+
+
+# --------------------------------------------------------------------------
+# smart constructors (cheap simplification on the fly)
+# --------------------------------------------------------------------------
+
+ExprLike = Union[int, BV]
+
+
+def bv_const(value: int, width: int) -> BVConst:
+    """Build a bit-vector constant of the given width (value is truncated)."""
+    return BVConst(value, width)
+
+
+def bv_sym(name: str, width: int) -> BVSym:
+    """Build a named symbolic bit-vector variable."""
+    return BVSym(name, width)
+
+
+def as_bv(value: ExprLike, width: int = None) -> BV:
+    """Coerce a Python int (or an existing BV) into a bit-vector expression."""
+    if isinstance(value, BV):
+        return value
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return BVConst(value, width if width is not None else width_for_value(value))
+    raise TypeError(f"cannot interpret {type(value).__name__} as a bit-vector")
+
+
+def coerce_pair(a: ExprLike, b: ExprLike) -> Tuple[BV, BV]:
+    """Coerce two operands to bit-vectors of a common width (zero-extending)."""
+    if isinstance(a, BV) and isinstance(b, BV):
+        width = max(a.width, b.width)
+    elif isinstance(a, BV):
+        width = max(a.width, width_for_value(int(b)))
+    elif isinstance(b, BV):
+        width = max(b.width, width_for_value(int(a)))
+    else:
+        width = max(width_for_value(int(a)), width_for_value(int(b)))
+    return zero_extend(as_bv(a, width), width), zero_extend(as_bv(b, width), width)
+
+
+def zero_extend(expr: BV, width: int) -> BV:
+    """Zero-extend ``expr`` to ``width`` bits (no-op when already that wide)."""
+    if expr.width == width:
+        return expr
+    if expr.width > width:
+        raise ValueError("zero_extend cannot shrink a value; use truncate")
+    if isinstance(expr, BVConst):
+        return BVConst(expr.value, width)
+    return BVZeroExt(expr, width)
+
+
+def truncate(expr: BV, width: int) -> BV:
+    """Truncate ``expr`` to its low ``width`` bits (no-op when already narrow)."""
+    if expr.width == width:
+        return expr
+    if expr.width < width:
+        raise ValueError("truncate cannot widen a value; use zero_extend")
+    if isinstance(expr, BVConst):
+        return BVConst(expr.value, width)
+    return BVTrunc(expr, width)
+
+
+def _fold(op: str, a: int, b: int, width: int) -> int:
+    mask = mask_for(width)
+    if op == "add":
+        return (a + b) & mask
+    if op == "sub":
+        return (a - b) & mask
+    if op == "mul":
+        return (a * b) & mask
+    if op == "udiv":
+        return (a // b) & mask if b != 0 else mask  # all-ones, like many ISAs
+    if op == "urem":
+        return (a % b) & mask if b != 0 else a
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return (a << b) & mask if b < width else 0
+    if op == "lshr":
+        return (a >> b) & mask if b < width else 0
+    raise ValueError(op)
+
+
+def bv_binop(op: str, a: ExprLike, b: ExprLike) -> BV:
+    """Build ``a op b`` with constant folding and identity simplification."""
+    left, right = coerce_pair(a, b)
+    width = left.width
+    if isinstance(left, BVConst) and isinstance(right, BVConst):
+        return BVConst(_fold(op, left.value, right.value, width), width)
+
+    # Identity / absorbing element simplifications.
+    if isinstance(right, BVConst):
+        rv = right.value
+        if rv == 0 and op in ("add", "sub", "or", "xor", "shl", "lshr"):
+            return left
+        if rv == 0 and op in ("mul", "and"):
+            return BVConst(0, width)
+        if rv == 1 and op in ("mul", "udiv"):
+            return left
+        if rv == mask_for(width) and op == "and":
+            return left
+        if rv == mask_for(width) and op == "or":
+            return BVConst(mask_for(width), width)
+    if isinstance(left, BVConst):
+        lv = left.value
+        if lv == 0 and op in ("add", "or", "xor"):
+            return right
+        if lv == 0 and op in ("mul", "and", "shl", "lshr", "udiv", "urem"):
+            return BVConst(0, width)
+        if lv == 1 and op == "mul":
+            return right
+        if lv == mask_for(width) and op == "and":
+            return right
+    if op == "sub" and left == right:
+        return BVConst(0, width)
+    if op == "xor" and left == right:
+        return BVConst(0, width)
+    return BVBinOp(op, left, right)
+
+
+def bv_add(a, b):
+    """``a + b`` (modular)."""
+    return bv_binop("add", a, b)
+
+
+def bv_sub(a, b):
+    """``a - b`` (modular)."""
+    return bv_binop("sub", a, b)
+
+
+def bv_mul(a, b):
+    """``a * b`` (modular)."""
+    return bv_binop("mul", a, b)
+
+
+def bv_udiv(a, b):
+    """Unsigned ``a // b``."""
+    return bv_binop("udiv", a, b)
+
+
+def bv_urem(a, b):
+    """Unsigned ``a % b``."""
+    return bv_binop("urem", a, b)
+
+
+def bv_and(a, b):
+    """Bitwise ``a & b``."""
+    return bv_binop("and", a, b)
+
+
+def bv_or(a, b):
+    """Bitwise ``a | b``."""
+    return bv_binop("or", a, b)
+
+
+def bv_xor(a, b):
+    """Bitwise ``a ^ b``."""
+    return bv_binop("xor", a, b)
+
+
+def bv_shl(a, b):
+    """Logical shift left."""
+    return bv_binop("shl", a, b)
+
+
+def bv_lshr(a, b):
+    """Logical shift right."""
+    return bv_binop("lshr", a, b)
+
+
+def bv_not(a: ExprLike) -> BV:
+    """Bitwise complement."""
+    expr = as_bv(a)
+    if isinstance(expr, BVConst):
+        return BVConst(~expr.value, expr.width)
+    if isinstance(expr, BVNot):
+        return expr.arg
+    return BVNot(expr)
+
+
+def bv_ite(cond: BoolExpr, then: ExprLike, orelse: ExprLike) -> BV:
+    """If-then-else with constant-condition folding."""
+    t, o = coerce_pair(then, orelse)
+    if isinstance(cond, BoolConst):
+        return t if cond.value else o
+    if t == o:
+        return t
+    return BVIte(cond, t, o)
+
+
+def _cmp_fold(op: str, a: int, b: int) -> bool:
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "ult":
+        return a < b
+    if op == "ule":
+        return a <= b
+    if op == "ugt":
+        return a > b
+    if op == "uge":
+        return a >= b
+    raise ValueError(op)
+
+
+def cmp(op: str, a: ExprLike, b: ExprLike) -> BoolExpr:
+    """Build the comparison ``a op b`` with constant folding."""
+    left, right = coerce_pair(a, b)
+    if isinstance(left, BVConst) and isinstance(right, BVConst):
+        return BoolConst(_cmp_fold(op, left.value, right.value))
+    if left == right:
+        return BoolConst(_cmp_fold(op, 0, 0))
+    # Unsigned range tautologies/contradictions against the domain bounds.
+    maximum = mask_for(left.width)
+    if isinstance(right, BVConst):
+        if right.value == 0 and op == "ult":
+            return FALSE
+        if right.value == 0 and op == "uge":
+            return TRUE
+        if right.value == maximum and op == "ugt":
+            return FALSE
+        if right.value == maximum and op == "ule":
+            return TRUE
+    if isinstance(left, BVConst):
+        if left.value == 0 and op == "ugt":
+            return FALSE
+        if left.value == 0 and op == "ule":
+            return TRUE
+        if left.value == maximum and op == "ult":
+            return FALSE
+        if left.value == maximum and op == "uge":
+            return TRUE
+    return Cmp(op, left, right)
+
+
+def cmp_eq(a, b):
+    """``a == b``."""
+    return cmp("eq", a, b)
+
+
+def cmp_ne(a, b):
+    """``a != b``."""
+    return cmp("ne", a, b)
+
+
+def cmp_ult(a, b):
+    """Unsigned ``a < b``."""
+    return cmp("ult", a, b)
+
+
+def cmp_ule(a, b):
+    """Unsigned ``a <= b``."""
+    return cmp("ule", a, b)
+
+
+def cmp_ugt(a, b):
+    """Unsigned ``a > b``."""
+    return cmp("ugt", a, b)
+
+
+def cmp_uge(a, b):
+    """Unsigned ``a >= b``."""
+    return cmp("uge", a, b)
+
+
+def bool_not(arg: BoolExpr) -> BoolExpr:
+    """Negation, pushing through constants, double negation and comparisons."""
+    if isinstance(arg, BoolConst):
+        return BoolConst(not arg.value)
+    if isinstance(arg, BoolNot):
+        return arg.arg
+    if isinstance(arg, Cmp):
+        return Cmp(_CMP_NEGATION[arg.op], arg.left, arg.right)
+    return BoolNot(arg)
+
+
+def bool_and(*args: BoolExpr) -> BoolExpr:
+    """N-ary conjunction with constant folding and flattening."""
+    flat = []
+    for arg in args:
+        if isinstance(arg, BoolConst):
+            if not arg.value:
+                return FALSE
+            continue
+        if isinstance(arg, BoolAnd):
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    # Deduplicate while preserving order.
+    seen = []
+    for arg in flat:
+        if arg not in seen:
+            seen.append(arg)
+    if not seen:
+        return TRUE
+    if len(seen) == 1:
+        return seen[0]
+    return BoolAnd(tuple(seen))
+
+
+def bool_or(*args: BoolExpr) -> BoolExpr:
+    """N-ary disjunction with constant folding and flattening."""
+    flat = []
+    for arg in args:
+        if isinstance(arg, BoolConst):
+            if arg.value:
+                return TRUE
+            continue
+        if isinstance(arg, BoolOr):
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    seen = []
+    for arg in flat:
+        if arg not in seen:
+            seen.append(arg)
+    if not seen:
+        return FALSE
+    if len(seen) == 1:
+        return seen[0]
+    return BoolOr(tuple(seen))
+
+
+def bool_ite(cond: BoolExpr, then: BoolExpr, orelse: BoolExpr) -> BoolExpr:
+    """Boolean if-then-else, expressed with and/or/not."""
+    return bool_or(bool_and(cond, then), bool_and(bool_not(cond), orelse))
+
+
+# --------------------------------------------------------------------------
+# traversal, evaluation
+# --------------------------------------------------------------------------
+
+
+def free_symbols(expr: Expr) -> Set[BVSym]:
+    """Collect every :class:`BVSym` occurring in ``expr``."""
+    out: Set[BVSym] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BVSym):
+            out.add(node)
+        else:
+            stack.extend(node.children())
+    return out
+
+
+def free_symbols_of(exprs: Iterable[Expr]) -> Set[BVSym]:
+    """Collect the symbols of several expressions at once."""
+    out: Set[BVSym] = set()
+    for expr in exprs:
+        out |= free_symbols(expr)
+    return out
+
+
+def constants_in(expr: Expr) -> Set[int]:
+    """Collect every constant value appearing in ``expr`` (used for solver hints)."""
+    out: Set[int] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BVConst):
+            out.add(node.value)
+        stack.extend(node.children())
+    return out
+
+
+def evaluate(expr: Expr, model: Dict[str, int]):
+    """Evaluate ``expr`` under a complete assignment of its symbols.
+
+    Bit-vector expressions evaluate to ``int``; boolean expressions to ``bool``.
+    Missing symbols raise ``KeyError`` -- the solver always provides complete
+    models for the symbols it was asked about.
+    """
+    if isinstance(expr, BVConst):
+        return expr.value
+    if isinstance(expr, BVSym):
+        return model[expr.name] & mask_for(expr.width)
+    if isinstance(expr, BVBinOp):
+        return _fold(expr.op, evaluate(expr.left, model), evaluate(expr.right, model), expr.width)
+    if isinstance(expr, BVNot):
+        return (~evaluate(expr.arg, model)) & mask_for(expr.width)
+    if isinstance(expr, BVIte):
+        return evaluate(expr.then, model) if evaluate(expr.cond, model) else evaluate(expr.orelse, model)
+    if isinstance(expr, BVZeroExt):
+        return evaluate(expr.arg, model)
+    if isinstance(expr, BVTrunc):
+        return evaluate(expr.arg, model) & mask_for(expr.width)
+    if isinstance(expr, BoolConst):
+        return expr.value
+    if isinstance(expr, Cmp):
+        return _cmp_fold(expr.op, evaluate(expr.left, model), evaluate(expr.right, model))
+    if isinstance(expr, BoolAnd):
+        return all(evaluate(a, model) for a in expr.args)
+    if isinstance(expr, BoolOr):
+        return any(evaluate(a, model) for a in expr.args)
+    if isinstance(expr, BoolNot):
+        return not evaluate(expr.arg, model)
+    raise TypeError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def is_concrete(expr: Expr) -> bool:
+    """True when ``expr`` contains no symbolic variables."""
+    return not free_symbols(expr)
+
+
+def byte_lanes(expr: BV):
+    """Decompose ``expr`` into disjoint byte lanes: ``{bit shift -> 8-bit expr}``.
+
+    Packet headers are read by or-ing together shifted, zero-extended bytes;
+    recognising that shape lets the solver and the interval refiner treat a
+    multi-byte field comparison as per-byte information.  Returns ``None``
+    when the expression does not have the byte-lane shape.
+    """
+    if isinstance(expr, BVZeroExt):
+        return byte_lanes(expr.arg)
+    if expr.width == 8:
+        return {0: expr}
+    if isinstance(expr, BVConst):
+        return {shift: BVConst((expr.value >> shift) & 0xFF, 8)
+                for shift in range(0, expr.width, 8)}
+    if isinstance(expr, BVBinOp) and expr.op == "shl" and isinstance(expr.right, BVConst):
+        shift = expr.right.value
+        if shift % 8 != 0:
+            return None
+        inner = byte_lanes(expr.left)
+        if inner is None:
+            return None
+        return {slot + shift: value for slot, value in inner.items()}
+    if isinstance(expr, BVBinOp) and expr.op == "or":
+        left = byte_lanes(expr.left)
+        right = byte_lanes(expr.right)
+        if left is None or right is None:
+            return None
+        overlap = set(left) & set(right)
+        # An overlapping lane is only harmless when one side contributes zero.
+        for slot in overlap:
+            lval, rval = left[slot], right[slot]
+            if isinstance(lval, BVConst) and lval.value == 0:
+                left.pop(slot)
+            elif isinstance(rval, BVConst) and rval.value == 0:
+                right.pop(slot)
+            else:
+                return None
+        merged = dict(left)
+        merged.update(right)
+        return merged
+    return None

@@ -1,0 +1,437 @@
+"""Unsigned interval arithmetic over bit-vector expressions.
+
+The solver uses intervals in two ways:
+
+* as a cheap *pre-filter*: if interval analysis alone shows a constraint set
+  cannot be satisfied, the solver answers UNSAT without searching;
+* as a *pruning rule* during search: after each tentative assignment the
+  remaining constraints are re-checked over intervals, and the branch is
+  abandoned as soon as any constraint becomes definitely false.
+
+Interval arithmetic here is deliberately conservative: any operation whose
+result range is awkward to bound precisely (wrapping additions, bitwise
+or/xor, shifts by symbolic amounts, ...) falls back to the full range of the
+result width.  Conservatism keeps the analysis sound -- it may fail to prune,
+but it never prunes a satisfiable branch.
+
+Packet-processing expressions share large sub-trees (loads at symbolic offsets
+expand into if-then-else chains over the packet bytes, and those chains appear
+in many constraints of the same path), so evaluation is organised around
+:class:`IntervalContext`, which memoises per-node results for one fixed
+variable environment.  The module-level functions (:func:`interval_of`,
+:func:`constraint_status`, :func:`refine_with_constraint`) are thin wrappers
+that create a throw-away context; performance-sensitive callers (the solver)
+hold on to a context for as long as the environment does not change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.symex import exprs as E
+
+
+class Interval:
+    """A closed unsigned interval ``[lo, hi]``; ``lo > hi`` means empty."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int):
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def full(cls, width: int) -> "Interval":
+        return cls(0, E.mask_for(width))
+
+    @classmethod
+    def point(cls, value: int) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def empty(cls) -> "Interval":
+        return cls(1, 0)
+
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def size(self) -> int:
+        return 0 if self.is_empty() else self.hi - self.lo + 1
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def union(self, other: "Interval") -> "Interval":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __eq__(self, other):
+        return isinstance(other, Interval) and (self.lo, self.hi) == (other.lo, other.hi)
+
+    def __repr__(self):
+        return f"[{self.lo}, {self.hi}]"
+
+
+def _clamp(interval: Interval, width: int) -> Interval:
+    """Clamp an interval into the representable range of ``width`` bits.
+
+    If the interval crosses the wrap-around boundary the result is the full
+    range (conservative).
+    """
+    mask = E.mask_for(width)
+    if interval.is_empty():
+        return interval
+    if interval.lo < 0 or interval.hi > mask:
+        return Interval(0, mask)
+    return interval
+
+
+def _next_pow2_minus1(value: int) -> int:
+    """Smallest ``2^k - 1`` that is >= ``value`` (tight bound for or/xor)."""
+    if value <= 0:
+        return 0
+    return (1 << value.bit_length()) - 1
+
+
+class IntervalContext:
+    """Memoised interval evaluation for one fixed variable environment."""
+
+    __slots__ = ("env", "_intervals", "_statuses")
+
+    def __init__(self, env: Optional[Dict[str, Interval]] = None):
+        #: symbol name -> currently known interval (missing = full range)
+        self.env: Dict[str, Interval] = env if env is not None else {}
+        self._intervals: Dict[int, Interval] = {}
+        self._statuses: Dict[int, Optional[bool]] = {}
+
+    # -- cache management ----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop memoised results (call after narrowing the environment)."""
+        self._intervals.clear()
+        self._statuses.clear()
+
+    def set_interval(self, name: str, interval: Interval) -> None:
+        """Update a symbol's interval and invalidate dependent results."""
+        self.env[name] = interval
+        self.invalidate()
+
+    # -- interval evaluation ----------------------------------------------------------
+
+    def interval(self, expr: E.BV) -> Interval:
+        """A sound over-approximation of the values ``expr`` can take."""
+        key = id(expr)
+        cached = self._intervals.get(key)
+        if cached is not None:
+            return cached
+        result = self._interval_uncached(expr)
+        self._intervals[key] = result
+        return result
+
+    def _interval_uncached(self, expr: E.BV) -> Interval:
+        if isinstance(expr, E.BVConst):
+            return Interval.point(expr.value)
+        if isinstance(expr, E.BVSym):
+            known = self.env.get(expr.name)
+            full = Interval.full(expr.width)
+            return known.intersect(full) if known is not None else full
+        if isinstance(expr, E.BVZeroExt):
+            return self.interval(expr.arg)
+        if isinstance(expr, E.BVTrunc):
+            inner = self.interval(expr.arg)
+            mask = E.mask_for(expr.width)
+            if inner.hi <= mask:
+                return inner
+            return Interval.full(expr.width)
+        if isinstance(expr, E.BVNot):
+            return Interval.full(expr.width)
+        if isinstance(expr, E.BVIte):
+            # A decided condition selects one branch; this is what collapses
+            # the if-then-else chains of symbolic-offset reads once the offset
+            # is pinned by the environment.
+            condition = self.status(expr.cond)
+            if condition is True:
+                return self.interval(expr.then)
+            if condition is False:
+                return self.interval(expr.orelse)
+            return self.interval(expr.then).union(self.interval(expr.orelse))
+        if isinstance(expr, E.BVBinOp):
+            return self._binop_interval(expr)
+        return Interval.full(expr.width)
+
+    def _binop_interval(self, expr: E.BVBinOp) -> Interval:
+        width = expr.width
+        a = self.interval(expr.left)
+        b = self.interval(expr.right)
+        if a.is_empty() or b.is_empty():
+            return Interval.empty()
+        op = expr.op
+        if op == "add":
+            return _clamp(Interval(a.lo + b.lo, a.hi + b.hi), width)
+        if op == "sub":
+            return _clamp(Interval(a.lo - b.hi, a.hi - b.lo), width)
+        if op == "mul":
+            return _clamp(Interval(a.lo * b.lo, a.hi * b.hi), width)
+        if op == "udiv":
+            if b.lo > 0:
+                return _clamp(Interval(a.lo // b.hi, a.hi // b.lo), width)
+            return Interval.full(width)
+        if op == "urem":
+            if b.lo > 0:
+                return Interval(0, min(a.hi, b.hi - 1))
+            return Interval(0, max(a.hi, b.hi))
+        if op == "and":
+            if a.is_point() and b.is_point():
+                return Interval.point(a.lo & b.lo)
+            # the result can never exceed either operand's maximum
+            return Interval(0, min(a.hi, b.hi))
+        if op == "or":
+            if a.is_point() and b.is_point():
+                return Interval.point(a.lo | b.lo)
+            # a | b is at least each operand and never exceeds a + b (no carry
+            # can appear that addition would not also produce).
+            upper = min(E.mask_for(width), a.hi + b.hi)
+            return Interval(max(a.lo, b.lo), upper)
+        if op == "xor":
+            if a.is_point() and b.is_point():
+                return Interval.point(a.lo ^ b.lo)
+            upper = min(E.mask_for(width), a.hi + b.hi)
+            return Interval(0, upper)
+        if op == "shl":
+            if b.is_point() and b.lo < width:
+                return _clamp(Interval(a.lo << b.lo, a.hi << b.lo), width)
+            return Interval.full(width)
+        if op == "lshr":
+            if b.is_point() and b.lo < width:
+                return Interval(a.lo >> b.lo, a.hi >> b.lo)
+            return Interval(0, a.hi)
+        return Interval.full(width)
+
+    # -- constraint classification ---------------------------------------------------------
+
+    def status(self, constraint: E.BoolExpr) -> Optional[bool]:
+        """True / False when the constraint is decided over intervals, else None."""
+        key = id(constraint)
+        if key in self._statuses:
+            return self._statuses[key]
+        result = self._status_uncached(constraint)
+        self._statuses[key] = result
+        return result
+
+    def _status_uncached(self, constraint: E.BoolExpr) -> Optional[bool]:
+        if isinstance(constraint, E.BoolConst):
+            return constraint.value
+        if isinstance(constraint, E.BoolNot):
+            inner = self.status(constraint.arg)
+            return None if inner is None else (not inner)
+        if isinstance(constraint, E.BoolAnd):
+            undecided = False
+            for arg in constraint.args:
+                result = self.status(arg)
+                if result is False:
+                    return False
+                if result is None:
+                    undecided = True
+            return None if undecided else True
+        if isinstance(constraint, E.BoolOr):
+            undecided = False
+            for arg in constraint.args:
+                result = self.status(arg)
+                if result is True:
+                    return True
+                if result is None:
+                    undecided = True
+            return None if undecided else False
+        if isinstance(constraint, E.Cmp):
+            return self._cmp_status(constraint)
+        return None
+
+    def _cmp_status(self, constraint: E.Cmp) -> Optional[bool]:
+        a = self.interval(constraint.left)
+        b = self.interval(constraint.right)
+        if a.is_empty() or b.is_empty():
+            return False
+        op = constraint.op
+        if op == "ugt":
+            a, b, op = b, a, "ult"
+        elif op == "uge":
+            a, b, op = b, a, "ule"
+        if op == "eq":
+            if a.is_point() and b.is_point():
+                return a.lo == b.lo
+            if a.hi < b.lo or b.hi < a.lo:
+                return False
+            return None
+        if op == "ne":
+            if a.is_point() and b.is_point():
+                return a.lo != b.lo
+            if a.hi < b.lo or b.hi < a.lo:
+                return True
+            return None
+        if op == "ult":
+            if a.hi < b.lo:
+                return True
+            if a.lo >= b.hi:
+                return False
+            return None
+        if op == "ule":
+            if a.hi <= b.lo:
+                return True
+            if a.lo > b.hi:
+                return False
+            return None
+        return None
+
+    # -- refinement ------------------------------------------------------------------------
+
+    def refine(self, constraint: E.BoolExpr) -> bool:
+        """Narrow symbol intervals using simple comparison constraints.
+
+        Only the common "symbol compared against a constant-valued expression"
+        shapes are refined; everything else is left untouched.  Returns ``True``
+        when at least one interval was narrowed.
+        """
+        changed = False
+        if isinstance(constraint, E.BoolAnd):
+            for arg in constraint.args:
+                changed |= self.refine(arg)
+            return changed
+        if not isinstance(constraint, E.Cmp):
+            return False
+
+        left, right, op = constraint.left, constraint.right, constraint.op
+        if isinstance(right, E.BVSym) and not isinstance(left, E.BVSym):
+            flip = {"eq": "eq", "ne": "ne", "ult": "ugt", "ule": "uge", "ugt": "ult", "uge": "ule"}
+            left, right, op = right, left, flip[op]
+        sym = left
+        # Unwrap zero-extensions and decided if-then-else selections: once the
+        # selector of a symbolic-offset read is pinned, the read *is* a single
+        # packet byte and can be refined like any other symbol.
+        while True:
+            if isinstance(sym, E.BVZeroExt):
+                sym = sym.arg
+                continue
+            if isinstance(sym, E.BVIte):
+                selected = self.status(sym.cond)
+                if selected is True:
+                    sym = sym.then
+                    continue
+                if selected is False:
+                    sym = sym.orelse
+                    continue
+            break
+        if not isinstance(sym, E.BVSym):
+            return self._refine_byte_lanes(sym, right, op)
+        other = self.interval(right)
+        if other.is_empty():
+            return False
+        current = self.env.get(sym.name, Interval.full(sym.width))
+        if op == "eq":
+            new = current.intersect(other)
+        elif op == "ult":
+            new = current.intersect(Interval(0, other.hi - 1))
+        elif op == "ule":
+            new = current.intersect(Interval(0, other.hi))
+        elif op == "ugt":
+            new = current.intersect(Interval(other.lo + 1, E.mask_for(sym.width)))
+        elif op == "uge":
+            new = current.intersect(Interval(other.lo, E.mask_for(sym.width)))
+        elif op == "ne" and other.is_point():
+            if current.is_point() and current.lo == other.lo:
+                new = Interval.empty()
+            elif current.lo == other.lo:
+                new = Interval(current.lo + 1, current.hi)
+            elif current.hi == other.lo:
+                new = Interval(current.lo, current.hi - 1)
+            else:
+                new = current
+        else:
+            return False
+        if new != current:
+            self.set_interval(sym.name, new)
+            return True
+        return False
+
+    def _refine_byte_lanes(self, left: E.BV, right: E.BV, op: str) -> bool:
+        """Refine the most-significant lane of a multi-byte field comparison.
+
+        For a byte-lane expression (a header field assembled from shifted
+        bytes) compared against a constant, the top lane is bounded by the
+        corresponding byte of the constant: ``field >= C`` implies
+        ``top >= C >> shift`` and ``field <= C`` implies ``top <= C >> shift``.
+        This is what lets interval reasoning conclude, for example, that a
+        packet longer than the MTU has a large length high byte.
+        """
+        target = self.interval(right)
+        if not target.is_point():
+            return False
+        lanes = E.byte_lanes(left)
+        if not lanes or len(lanes) <= 1:
+            return False
+        top_shift = max(lanes)
+        lane_expr = lanes[top_shift]
+        while isinstance(lane_expr, E.BVZeroExt):
+            lane_expr = lane_expr.arg
+        if not isinstance(lane_expr, E.BVSym):
+            return False
+        top_byte = (target.lo >> top_shift) & 0xFF
+        current = self.env.get(lane_expr.name, Interval.full(lane_expr.width))
+        if op in ("uge", "ugt"):
+            new = current.intersect(Interval(top_byte, E.mask_for(lane_expr.width)))
+        elif op in ("ule", "ult"):
+            new = current.intersect(Interval(0, top_byte))
+        elif op == "eq":
+            new = current.intersect(Interval(top_byte, top_byte))
+        else:
+            return False
+        if new != current:
+            self.set_interval(lane_expr.name, new)
+            return True
+        return False
+
+    def propagate(self, constraints, max_rounds: int = 4) -> bool:
+        """Refine repeatedly until a fixed point (or ``max_rounds``).
+
+        Returns ``False`` when some symbol's interval became empty (the
+        constraint set is unsatisfiable).
+        """
+        for _ in range(max_rounds):
+            changed = False
+            for constraint in constraints:
+                changed |= self.refine(constraint)
+            if any(interval.is_empty() for interval in self.env.values()):
+                return False
+            if not changed:
+                break
+        return True
+
+
+# ---------------------------------------------------------------------------
+# compatibility wrappers (simple call sites and tests use these directly)
+# ---------------------------------------------------------------------------
+
+
+def interval_of(expr: E.BV, env: Optional[Dict[str, Interval]] = None) -> Interval:
+    """Compute a sound over-approximation of the values ``expr`` can take."""
+    return IntervalContext(env if env is not None else {}).interval(expr)
+
+
+def constraint_status(constraint: E.BoolExpr,
+                      env: Optional[Dict[str, Interval]] = None) -> Optional[bool]:
+    """Classify a constraint over intervals (True / False / undecided)."""
+    return IntervalContext(env if env is not None else {}).status(constraint)
+
+
+def refine_with_constraint(constraint: E.BoolExpr, env: Dict[str, Interval]) -> bool:
+    """Narrow symbol intervals in ``env`` in place; returns True when narrowed."""
+    context = IntervalContext(env)
+    return context.refine(constraint)

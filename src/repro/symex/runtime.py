@@ -1,0 +1,228 @@
+"""The symbolic-execution runtime: branch decisions, budgets, and journaling.
+
+A :class:`SymbolicRuntime` plays the role S2E's execution engine plays in the
+paper: it drives one execution path at a time through the element code,
+recording the path constraint and forking information.  Element code never
+talks to the runtime directly -- it manipulates :class:`repro.symex.values`
+wrappers, whose operators consult the *currently active* runtime (a module
+global managed by :func:`activate`).
+
+The runtime also hosts the two counters the evaluation section needs:
+
+* ``op_count`` -- the number of abstract "instructions" executed on this path
+  (the reproduction's stand-in for the x86 instruction counts used for the
+  bounded-execution property and the latency-envelope discussion);
+* ``journal`` -- a log of data-structure and private-state accesses recorded by
+  the abstraction layer (Section 3.3/3.4), consumed by the verifier.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ExecutionBudgetExceeded, VerificationBudgetExceeded
+from repro.symex import exprs as E
+from repro.symex.simplify import simplify
+from repro.symex.solver import Solver
+
+# The active runtime.  ``None`` means concrete execution: symbolic wrappers are
+# then never created, and dataplane helpers fall back to concrete behaviour.
+_ACTIVE: Optional["SymbolicRuntime"] = None
+
+
+def current_runtime() -> Optional["SymbolicRuntime"]:
+    """Return the active symbolic runtime, or ``None`` during concrete runs."""
+    return _ACTIVE
+
+
+class activate:
+    """Context manager installing a runtime as the active one."""
+
+    def __init__(self, runtime: "SymbolicRuntime"):
+        self.runtime = runtime
+        self._previous: Optional[SymbolicRuntime] = None
+
+    def __enter__(self) -> "SymbolicRuntime":
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.runtime
+        return self.runtime
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+@dataclass
+class Decision:
+    """One branch decision taken along a path."""
+
+    #: the branch condition as evaluated at the branch point
+    condition: E.BoolExpr
+    #: which way this path went
+    taken: bool
+    #: whether the *other* direction was also feasible at the branch point
+    #: (the explorer only schedules alternatives for such decisions)
+    both_feasible: bool
+
+
+@dataclass
+class JournalEntry:
+    """A record of an abstracted side effect (data-structure access, cost hint...)."""
+
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+
+class SymbolicRuntime:
+    """Drives a single execution path and records its constraint and effects."""
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        forced_decisions: Optional[List[bool]] = None,
+        max_ops: int = 100000,
+        branch_check_nodes: int = 1500,
+        feasibility_checks: bool = True,
+        deadline: Optional[float] = None,
+    ):
+        self.solver = solver or Solver()
+        self.forced_decisions = list(forced_decisions or [])
+        self.max_ops = max_ops
+        self.branch_check_nodes = branch_check_nodes
+        self.feasibility_checks = feasibility_checks
+        #: absolute ``time.monotonic()`` deadline; exceeding it aborts the
+        #: whole analysis (the paper's "12 hours later we gave up" situation)
+        self.deadline = deadline
+
+        self.path_constraints: List[E.BoolExpr] = []
+        self._constraint_index: set = set()
+        self.decisions: List[Decision] = []
+        self.op_count = 0
+        self.journal: List[JournalEntry] = []
+        self._fresh_counters: dict = {}
+        #: symbols created through :meth:`fresh_symbol` on this path, in order.
+        #: The verifier uses this to rename per-instance symbols (e.g. values
+        #: read from abstracted data structures) when the same segment summary
+        #: is composed more than once along a pipeline path.
+        self.fresh_symbols: List[E.BVSym] = []
+
+    # -- instruction accounting ------------------------------------------------
+
+    def add_ops(self, count: int = 1) -> None:
+        """Charge ``count`` abstract instructions to the current path."""
+        self.op_count += count
+        if self.op_count > self.max_ops:
+            raise ExecutionBudgetExceeded(self.op_count, self.max_ops)
+        if self.deadline is not None and (self.op_count & 0x3F) == 0:
+            if time.monotonic() > self.deadline:
+                raise VerificationBudgetExceeded(
+                    "analysis wall-clock budget exhausted on this path"
+                )
+
+    # -- symbols ----------------------------------------------------------------
+
+    def fresh_symbol(self, hint: str, width: int) -> E.BVSym:
+        """Create a fresh symbolic variable with a deterministic unique name."""
+        count = self._fresh_counters.get(hint, 0)
+        self._fresh_counters[hint] = count + 1
+        symbol = E.bv_sym(f"{hint}#{count}", width)
+        self.fresh_symbols.append(symbol)
+        return symbol
+
+    # -- journaling --------------------------------------------------------------
+
+    def record(self, kind: str, **detail: Any) -> None:
+        """Append an entry to the side-effect journal."""
+        self.journal.append(JournalEntry(kind=kind, detail=detail))
+
+    # -- path constraints ----------------------------------------------------------
+
+    def _add_constraint(self, condition: E.BoolExpr) -> None:
+        """Record a path-constraint atom, skipping duplicates.
+
+        Loops re-test the same conditions on every iteration; recording each
+        occurrence once keeps constraint lists (and solver queries) small even
+        on paths that iterate hundreds of times.
+        """
+        if condition in self._constraint_index:
+            return
+        self._constraint_index.add(condition)
+        self.path_constraints.append(condition)
+
+    def assume(self, condition: E.BoolExpr) -> None:
+        """Add a constraint without branching (used for input assumptions)."""
+        condition = simplify(condition)
+        if isinstance(condition, E.BoolConst):
+            if not condition.value:
+                raise ValueError("assumption is trivially false")
+            return
+        self._add_constraint(condition)
+
+    def branch(self, condition: E.BoolExpr) -> bool:
+        """Decide a symbolic branch and return the direction this path takes.
+
+        Forced decisions (replay of a scheduled prefix) are honoured first;
+        beyond the prefix the runtime prefers the *true* direction when both
+        directions are feasible.  Feasibility of the untaken direction is what
+        the path explorer uses to schedule further paths.
+        """
+        self.add_ops(1)
+        condition = simplify(condition)
+        if isinstance(condition, E.BoolConst):
+            return condition.value
+
+        index = len(self.decisions)
+        if index < len(self.forced_decisions):
+            taken = self.forced_decisions[index]
+            # Alternatives of forced decisions were already scheduled when the
+            # decision was first seen, so they are never re-scheduled.
+            self.decisions.append(Decision(condition, taken, both_feasible=False))
+            self._add_constraint(condition if taken else E.bool_not(condition))
+            return taken
+
+        # A condition already implied by the recorded path constraint does not
+        # need fresh feasibility checks (typical for loops re-testing their
+        # guard): follow the recorded direction.
+        if condition in self._constraint_index:
+            self.decisions.append(Decision(condition, True, both_feasible=False))
+            return True
+        negated = E.bool_not(condition)
+        if negated in self._constraint_index:
+            self.decisions.append(Decision(condition, False, both_feasible=False))
+            return False
+
+        taken, both = self._pick_direction(condition)
+        self.decisions.append(Decision(condition, taken, both_feasible=both))
+        self._add_constraint(condition if taken else E.bool_not(condition))
+        return taken
+
+    def _pick_direction(self, condition: E.BoolExpr) -> Tuple[bool, bool]:
+        """Choose a feasible direction; report whether both are feasible."""
+        if not self.feasibility_checks:
+            return True, True
+        true_side = self.path_constraints + [condition]
+        false_side = self.path_constraints + [E.bool_not(condition)]
+        true_result = self.solver.check(true_side, max_nodes=self.branch_check_nodes)
+        false_result = self.solver.check(false_side, max_nodes=self.branch_check_nodes)
+        true_ok = not true_result.is_unsat
+        false_ok = not false_result.is_unsat
+        if true_ok and false_ok:
+            return True, True
+        if true_ok:
+            return True, False
+        if false_ok:
+            return False, False
+        # Both sides look infeasible -- the path constraint itself must be
+        # unsatisfiable (possible when over-approximated branches were taken
+        # earlier).  Continue down the "true" side; the final feasibility check
+        # in the verifier will discard the path.
+        return True, False
+
+    # -- convenience ------------------------------------------------------------
+
+    def path_constraint(self) -> E.BoolExpr:
+        """The conjunction of all constraints recorded so far."""
+        return E.bool_and(*self.path_constraints)

@@ -1,0 +1,111 @@
+"""Substitution and recursive simplification over expression trees.
+
+These routines implement the algebra used by the verifier's composition step
+(Section 3.1, step 2 of the paper): the path constraint of a downstream
+segment is *rewritten over the upstream symbolic state* by substituting, for
+each symbol, the expression the upstream segment left in it, and the result is
+re-simplified.  In the paper's toy example this is exactly the computation
+
+    C*4(in) = C2(in) AND C3(S2(in)[out]) = (in >= 0) AND (in < 0) = False.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.symex import exprs as E
+
+
+def substitute(expr: E.Expr, mapping: Mapping[str, E.BV]) -> E.Expr:
+    """Replace every symbol named in ``mapping`` with its replacement expression.
+
+    Replacements are made simultaneously (the replacement expressions are not
+    themselves re-substituted), and the tree is rebuilt with the smart
+    constructors so that the result is constant-folded on the way up.  Widths
+    are reconciled by zero-extending or truncating replacements to the width of
+    the symbol they replace, matching the usual semantics of storing a value
+    into a fixed-width location.
+    """
+    cache: Dict[int, E.Expr] = {}
+
+    def rewrite(node: E.Expr) -> E.Expr:
+        key = id(node)
+        if key in cache:
+            return cache[key]
+        result = _rewrite_node(node, mapping, rewrite)
+        cache[key] = result
+        return result
+
+    return rewrite(expr)
+
+
+def _coerce_width(expr: E.BV, width: int) -> E.BV:
+    if expr.width == width:
+        return expr
+    if expr.width < width:
+        return E.zero_extend(expr, width)
+    return E.truncate(expr, width)
+
+
+def _rewrite_node(node: E.Expr, mapping: Mapping[str, E.BV], rewrite) -> E.Expr:
+    if isinstance(node, E.BVSym):
+        replacement = mapping.get(node.name)
+        if replacement is None:
+            return node
+        return _coerce_width(E.as_bv(replacement, node.width), node.width)
+    if isinstance(node, (E.BVConst, E.BoolConst)):
+        return node
+    if isinstance(node, E.BVBinOp):
+        return E.bv_binop(node.op, rewrite(node.left), rewrite(node.right))
+    if isinstance(node, E.BVNot):
+        return E.bv_not(rewrite(node.arg))
+    if isinstance(node, E.BVIte):
+        return E.bv_ite(rewrite(node.cond), rewrite(node.then), rewrite(node.orelse))
+    if isinstance(node, E.BVZeroExt):
+        return E.zero_extend(rewrite(node.arg), node.width)
+    if isinstance(node, E.BVTrunc):
+        return E.truncate(rewrite(node.arg), node.width)
+    if isinstance(node, E.Cmp):
+        return E.cmp(node.op, rewrite(node.left), rewrite(node.right))
+    if isinstance(node, E.BoolAnd):
+        return E.bool_and(*[rewrite(a) for a in node.args])
+    if isinstance(node, E.BoolOr):
+        return E.bool_or(*[rewrite(a) for a in node.args])
+    if isinstance(node, E.BoolNot):
+        return E.bool_not(rewrite(node.arg))
+    raise TypeError(f"cannot substitute into node {type(node).__name__}")
+
+
+#: Global memo for :func:`simplify`.  Expressions are immutable and hashable,
+#: so caching by value is safe; the cache is bounded to keep memory in check.
+_SIMPLIFY_CACHE: Dict[E.Expr, E.Expr] = {}
+_SIMPLIFY_CACHE_LIMIT = 200000
+
+
+def simplify(expr: E.Expr) -> E.Expr:
+    """Rebuild ``expr`` bottom-up through the smart constructors.
+
+    This folds constants that appeared after substitution and applies the
+    algebraic identities implemented by the constructors.  It is idempotent,
+    and results are memoised (the solver re-simplifies the same path-constraint
+    atoms on every feasibility query).
+    """
+    cached = _SIMPLIFY_CACHE.get(expr)
+    if cached is not None:
+        return cached
+    result = substitute(expr, {})
+    if len(_SIMPLIFY_CACHE) >= _SIMPLIFY_CACHE_LIMIT:
+        _SIMPLIFY_CACHE.clear()
+    _SIMPLIFY_CACHE[expr] = result
+    _SIMPLIFY_CACHE[result] = result
+    return result
+
+
+def partial_evaluate(expr: E.Expr, model: Mapping[str, int]) -> E.Expr:
+    """Evaluate ``expr`` as far as possible under a *partial* assignment.
+
+    Symbols present in ``model`` are replaced by constants; the rest remain
+    symbolic.  Useful for solver debugging and for rendering counter-examples.
+    """
+    replacements = {name: E.bv_const(value, 64) for name, value in model.items()}
+    return substitute(expr, replacements)

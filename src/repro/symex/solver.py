@@ -1,0 +1,429 @@
+"""A self-contained constraint solver for dataplane path constraints.
+
+The paper relies on the constraint solver embedded in S2E/KLEE (STP/Z3).  This
+reproduction ships its own solver, specialised for the constraints that packet
+processing actually produces: comparisons of (combinations of) packet bytes
+against constants, equalities between header fields, small sums (checksums),
+and bounded counters.  The solver is:
+
+* **sound** -- a SAT answer always comes with a model that satisfies every
+  constraint (the model is re-checked by evaluation before being returned),
+  and an UNSAT answer is only produced when the search provably exhausted the
+  space;
+* **incomplete by budget** -- when the search budget is exhausted the solver
+  answers UNKNOWN, which the verifier propagates as an INCONCLUSIVE verdict
+  ("when we fail, we know it").
+
+Algorithm: simplification, then interval propagation, then depth-first search
+over the constrained symbols with forward checking.  Candidate values are
+drawn from the constants mentioned in the constraints (and their byte
+decompositions), interval endpoints, and finally interval bisection, so that
+equality-heavy dataplane constraints are usually solved after a handful of
+probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.symex import exprs as E
+from repro.symex.intervals import Interval, IntervalContext
+from repro.symex.simplify import simplify, substitute
+
+#: Possible answers from :meth:`Solver.check`.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a satisfiability query."""
+
+    status: str
+    model: Optional[Dict[str, int]] = None
+    #: number of search nodes explored (for benchmarking / evaluation counters)
+    nodes: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == UNKNOWN
+
+
+@dataclass
+class SolverStats:
+    """Cumulative statistics across queries (exposed for the evaluation)."""
+
+    queries: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    nodes: int = 0
+    cache_hits: int = 0
+
+
+class _Budget:
+    """Mutable search-node budget shared across a recursive search."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, limit: int):
+        self.remaining = limit
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+class Solver:
+    """Decide satisfiability of conjunctions of boolean constraints."""
+
+    def __init__(self, max_nodes: int = 20000, cache_size: int = 4096):
+        self.max_nodes = max_nodes
+        self.stats = SolverStats()
+        self._cache: Dict[tuple, SolverResult] = {}
+        self._cache_size = cache_size
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self, constraints: Iterable[E.BoolExpr],
+              max_nodes: Optional[int] = None) -> SolverResult:
+        """Check whether the conjunction of ``constraints`` is satisfiable."""
+        self.stats.queries += 1
+        simplified = self._preprocess(constraints)
+        if simplified is None:  # a constraint folded to False
+            self.stats.unsat += 1
+            return SolverResult(UNSAT)
+        if not simplified:
+            self.stats.sat += 1
+            return SolverResult(SAT, model={})
+
+        key = tuple(simplified)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+
+        result = self._solve(simplified, max_nodes or self.max_nodes)
+        if result.status == SAT:
+            self.stats.sat += 1
+        elif result.status == UNSAT:
+            self.stats.unsat += 1
+        else:
+            self.stats.unknown += 1
+        self.stats.nodes += result.nodes
+
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
+
+    def is_feasible(self, constraints: Iterable[E.BoolExpr]) -> bool:
+        """Convenience wrapper: treat UNKNOWN as feasible (over-approximation).
+
+        This is the safe direction for the verifier's step 2: a path we cannot
+        prove infeasible must be assumed feasible.
+        """
+        return not self.check(constraints).is_unsat
+
+    def model(self, constraints: Iterable[E.BoolExpr]) -> Optional[Dict[str, int]]:
+        """Return a satisfying assignment, or ``None`` if UNSAT/UNKNOWN."""
+        result = self.check(constraints)
+        return result.model if result.is_sat else None
+
+    # -- preprocessing ---------------------------------------------------------
+
+    def _preprocess(self, constraints: Iterable[E.BoolExpr]) -> Optional[List[E.BoolExpr]]:
+        """Simplify and flatten; return None if any constraint is trivially false."""
+        out: List[E.BoolExpr] = []
+        seen: Set[E.BoolExpr] = set()
+        stack = [simplify(c) for c in constraints]
+        while stack:
+            c = stack.pop()
+            if isinstance(c, E.BoolConst):
+                if not c.value:
+                    return None
+                continue
+            if isinstance(c, E.BoolAnd):
+                stack.extend(c.args)
+                continue
+            split = _split_field_equality(c)
+            if split is not None:
+                stack.extend(split)
+                continue
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+        out.reverse()
+        return out
+
+    # -- search ----------------------------------------------------------------
+
+    def _solve(self, constraints: List[E.BoolExpr], max_nodes: int) -> SolverResult:
+        symbols = sorted(E.free_symbols_of(constraints), key=lambda s: s.name)
+        env: Dict[str, Interval] = {s.name: Interval.full(s.width) for s in symbols}
+
+        # Initial propagation: refine intervals until a fixed point (bounded).
+        context = IntervalContext(env)
+        if not context.propagate(constraints, max_rounds=8):
+            return SolverResult(UNSAT)
+
+        status = self._status_all(constraints, context)
+        if status is False:
+            return SolverResult(UNSAT)
+        if status is True:
+            model = {name: iv.lo for name, iv in env.items()}
+            return SolverResult(SAT, model=model)
+
+        candidates = self._candidate_values(constraints, symbols)
+        budget = _Budget(max_nodes)
+        order = self._variable_order(constraints, symbols)
+        satisfied = {
+            index for index, constraint in enumerate(constraints)
+            if context.status(constraint) is True
+        }
+        constraint_vars = [
+            {s.name for s in E.free_symbols(constraint)} for constraint in constraints
+        ]
+        model = self._search({}, order, constraints, constraint_vars, env,
+                             candidates, budget, satisfied)
+        nodes = max_nodes - budget.remaining
+        if model is not None:
+            # Soundness check: the model must actually satisfy every constraint.
+            assert all(E.evaluate(c, model) for c in constraints), "solver returned bad model"
+            return SolverResult(SAT, model=model, nodes=nodes)
+        if budget.remaining <= 0:
+            return SolverResult(UNKNOWN, nodes=nodes)
+        return SolverResult(UNSAT, nodes=nodes)
+
+    def _status_all(self, constraints: Sequence[E.BoolExpr], context: IntervalContext):
+        decided_true = True
+        for constraint in constraints:
+            result = context.status(constraint)
+            if result is False:
+                return False
+            if result is None:
+                decided_true = False
+        return True if decided_true else None
+
+    def _variable_order(self, constraints: Sequence[E.BoolExpr],
+                        symbols: Sequence[E.BVSym]) -> List[E.BVSym]:
+        """Assign most-referenced symbols first (cheap fail-first heuristic)."""
+        counts: Dict[str, int] = {s.name: 0 for s in symbols}
+        for c in constraints:
+            for s in E.free_symbols(c):
+                counts[s.name] = counts.get(s.name, 0) + 1
+        return sorted(symbols, key=lambda s: (-counts.get(s.name, 0), s.name))
+
+    def _candidate_values(self, constraints: Sequence[E.BoolExpr],
+                          symbols: Sequence[E.BVSym]) -> Dict[str, List[int]]:
+        """Per-symbol candidate values derived from constraint constants.
+
+        Every constant mentioned anywhere in the constraints is decomposed into
+        its bytes and 16-bit halves; each symbol's candidate list keeps the
+        values that fit its width.  This makes equalities against multi-byte
+        header constants (ethertype, IP addresses, ports) solvable in a few
+        probes even though the constraints are expressed over individual bytes.
+        """
+        raw: Set[int] = set()
+        for c in constraints:
+            raw |= E.constants_in(c)
+        derived: Set[int] = set()
+        for value in raw:
+            derived.add(value)
+            derived.add(value + 1)
+            if value > 0:
+                derived.add(value - 1)
+            for shift in (8, 16, 24, 32, 40, 48, 56):
+                derived.add((value >> shift) & 0xFF)
+                derived.add((value >> shift) & 0xFFFF)
+            derived.add(value & 0xFF)
+            derived.add(value & 0xFFFF)
+        out: Dict[str, List[int]] = {}
+        for sym in symbols:
+            mask = E.mask_for(sym.width)
+            values = {v for v in derived if 0 <= v <= mask}
+            values |= {0, 1, mask}
+            out[sym.name] = sorted(values)
+        return out
+
+    def _search(self, assignment: Dict[str, int], order: List[E.BVSym],
+                constraints: Sequence[E.BoolExpr], constraint_vars: List[Set[str]],
+                env: Dict[str, Interval],
+                candidates: Dict[str, List[int]], budget: _Budget,
+                satisfied: Set[int]) -> Optional[Dict[str, int]]:
+        """Depth-first search with forward checking over intervals.
+
+        ``satisfied`` holds the indices of constraints already decided *true*
+        on the path from the root of the search tree; interval environments
+        only ever narrow as the search descends, so such constraints stay true
+        and need not be re-examined -- this is what keeps forward checking
+        affordable when path constraints contain large shared expressions.
+        """
+        if not budget.spend():
+            return None
+        # Re-derive the interval environment from the current assignment.
+        local_env = dict(env)
+        for name, value in assignment.items():
+            local_env[name] = Interval.point(value)
+        context = IntervalContext(local_env)
+        pending = [
+            (index, constraint) for index, constraint in enumerate(constraints)
+            if index not in satisfied
+        ]
+        if not context.propagate([c for _, c in pending], max_rounds=2):
+            return None
+        now_satisfied = set(satisfied)
+        undecided_indices = []
+        for index, constraint in pending:
+            result = context.status(constraint)
+            if result is False:
+                return None
+            if result is True:
+                now_satisfied.add(index)
+            else:
+                undecided_indices.append(index)
+
+        if len(assignment) == len(order):
+            model = dict(assignment)
+            if all(E.evaluate(c, model) for c in constraints):
+                return model
+            return None
+        if not undecided_indices:
+            # Remaining symbols are unconstrained within their intervals.
+            model = dict(assignment)
+            for sym in order:
+                if sym.name not in model:
+                    model[sym.name] = local_env.get(sym.name, Interval.full(sym.width)).lo
+            if all(E.evaluate(c, model) for c in constraints):
+                return model
+            # Fall through to explicit search if the cheap completion failed.
+
+        # Prefer assigning a variable that can actually decide an undecided
+        # constraint; assigning unrelated variables only multiplies the search.
+        relevant: Set[str] = set()
+        for index in undecided_indices:
+            relevant |= constraint_vars[index]
+        sym = None
+        for candidate_sym in order:
+            if candidate_sym.name in assignment:
+                continue
+            if candidate_sym.name in relevant:
+                sym = candidate_sym
+                break
+            if sym is None:
+                sym = candidate_sym
+        if sym is None or (relevant and sym.name not in relevant):
+            for candidate_sym in order:
+                if candidate_sym.name not in assignment:
+                    sym = candidate_sym
+                    break
+        interval = local_env.get(sym.name, Interval.full(sym.width))
+        if interval.is_empty():
+            return None
+
+        def descend(value: int) -> Optional[Dict[str, int]]:
+            assignment[sym.name] = value
+            result = self._search(assignment, order, constraints, constraint_vars,
+                                  local_env, candidates, budget, now_satisfied)
+            del assignment[sym.name]
+            return result
+
+        tried: Set[int] = set()
+        for value in candidates.get(sym.name, []):
+            if budget.remaining <= 0:
+                return None
+            if not interval.contains(value) or value in tried:
+                continue
+            tried.add(value)
+            result = descend(value)
+            if result is not None:
+                return result
+
+        # Exhaustive sweep for small domains; bisection probing for large ones.
+        if interval.size() <= 256:
+            for value in range(interval.lo, interval.hi + 1):
+                if budget.remaining <= 0:
+                    return None
+                if value in tried:
+                    continue
+                result = descend(value)
+                if result is not None:
+                    return result
+            return None
+
+        probes = self._bisection_probes(interval)
+        for value in probes:
+            if budget.remaining <= 0:
+                return None
+            if value in tried:
+                continue
+            tried.add(value)
+            result = descend(value)
+            if result is not None:
+                return result
+        # Could not find a value with the probing strategy: report failure for
+        # this branch.  For very wide domains this is where incompleteness can
+        # creep in, so exhaust the budget to force an UNKNOWN answer instead of
+        # an unsound UNSAT.
+        budget.remaining = 0
+        return None
+
+    def _bisection_probes(self, interval: Interval, count: int = 33) -> List[int]:
+        """A spread of probe values across a wide interval (endpoints first)."""
+        probes = [interval.lo, interval.hi]
+        lo, hi = interval.lo, interval.hi
+        step = max(1, (hi - lo) // (count - 1))
+        probes.extend(range(lo, hi, step))
+        seen: Set[int] = set()
+        out: List[int] = []
+        for p in probes:
+            if p not in seen and interval.contains(p):
+                seen.add(p)
+                out.append(p)
+        return out
+
+
+def _split_field_equality(constraint: E.BoolExpr) -> Optional[List[E.BoolExpr]]:
+    """Split ``<byte-lane expression> == <constant>`` into per-byte equalities.
+
+    Interval propagation then solves each byte immediately (the canonical case
+    is an ethertype or address equality over a multi-byte header field).
+    """
+    if not isinstance(constraint, E.Cmp) or constraint.op != "eq":
+        return None
+    left, right = constraint.left, constraint.right
+    if isinstance(left, E.BVConst) and not isinstance(right, E.BVConst):
+        left, right = right, left
+    if not isinstance(right, E.BVConst):
+        return None
+    slots = E.byte_lanes(left)
+    if slots is None or len(slots) <= 1:
+        return None
+    atoms: List[E.BoolExpr] = []
+    covered_mask = 0
+    for shift, value in slots.items():
+        expected = (right.value >> shift) & 0xFF
+        covered_mask |= 0xFF << shift
+        atoms.append(E.cmp_eq(value, E.bv_const(expected, 8)))
+    # Bits of the constant outside any lane must be zero, otherwise the
+    # equality cannot hold at all.
+    if right.value & ~covered_mask & E.mask_for(left.width):
+        return [E.FALSE]
+    return atoms
+
+
+# A module-level default solver instance, shared where per-call configuration
+# is not needed (the verifier creates its own instances with custom budgets).
+default_solver = Solver()

@@ -1,0 +1,266 @@
+"""Symbolic packet buffers.
+
+A :class:`SymbolicBuffer` implements the same load/store interface as
+:class:`repro.net.buffer.ConcreteBuffer`, but its cells hold bit-vector
+expressions.  A fully symbolic buffer models the paper's "arbitrary input
+packet": every byte is an unconstrained 8-bit symbol.
+
+Two aspects deserve attention:
+
+* **Symbolic offsets.**  Packet-processing code sometimes reads at an offset
+  that is itself symbolic (the IP-options ``next`` pointer is the canonical
+  example).  A read at a symbolic offset is encoded as a nested if-then-else
+  over the offset's feasible range, so the *value* is precise without forking
+  one path per possible offset; forking then only happens when the element
+  branches on the value.  Writes at symbolic offsets update every cell in the
+  feasible range with a guarded if-then-else.
+* **Bounds checking.**  If an access's offset range crosses the end of the
+  buffer, the buffer asks the runtime to branch on the bounds condition and
+  raises :class:`repro.errors.OutOfBoundsAccess` on the violating side -- this
+  is how the verifier discovers segmentation-fault-style crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.errors import OutOfBoundsAccess
+from repro.symex import exprs as E
+from repro.symex.intervals import Interval, interval_of
+from repro.symex.runtime import current_runtime
+from repro.symex.values import SymBool, SymVal, unwrap, wrap
+
+#: Safety valve on the size of if-then-else chains built for symbolic offsets.
+MAX_SYMBOLIC_RANGE = 512
+
+CellValue = Union[int, E.BV]
+
+
+class SymbolicBuffer:
+    """A fixed-length byte buffer whose cells may hold symbolic expressions."""
+
+    __slots__ = ("_cells", "_prefix")
+
+    def __init__(self, cells: List[CellValue], prefix: str = "pkt"):
+        self._cells = list(cells)
+        self._prefix = prefix
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def fully_symbolic(cls, length: int, prefix: str = "pkt") -> "SymbolicBuffer":
+        """A buffer of ``length`` unconstrained symbolic bytes."""
+        return cls([E.bv_sym(f"{prefix}[{i}]", 8) for i in range(length)], prefix=prefix)
+
+    @classmethod
+    def from_concrete(cls, data: bytes, prefix: str = "pkt") -> "SymbolicBuffer":
+        """A buffer initialised with concrete bytes (still writable symbolically)."""
+        return cls(list(data), prefix=prefix)
+
+    @classmethod
+    def mixed(cls, data: bytes, symbolic_ranges, prefix: str = "pkt") -> "SymbolicBuffer":
+        """Concrete bytes with selected ranges replaced by fresh symbols.
+
+        ``symbolic_ranges`` is an iterable of ``(start, length)`` pairs.
+        """
+        cells: List[CellValue] = list(data)
+        for start, length in symbolic_ranges:
+            for i in range(start, start + length):
+                cells[i] = E.bv_sym(f"{prefix}[{i}]", 8)
+        return cls(cells, prefix=prefix)
+
+    # -- introspection --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def is_symbolic(self) -> bool:
+        return True
+
+    def copy(self) -> "SymbolicBuffer":
+        return SymbolicBuffer(self._cells, prefix=self._prefix)
+
+    def cell_expr(self, index: int) -> E.BV:
+        """The raw expression stored in cell ``index`` (constants are wrapped)."""
+        cell = self._cells[index]
+        return cell if isinstance(cell, E.BV) else E.bv_const(cell, 8)
+
+    def symbol_names(self) -> List[str]:
+        """Names of the symbols currently stored directly in cells."""
+        return [c.name for c in self._cells if isinstance(c, E.BVSym)]
+
+    def concretize(self, model: Dict[str, int], default: int = 0) -> bytes:
+        """Materialise concrete bytes under a solver model.
+
+        Symbols missing from the model take ``default`` -- the solver only
+        names symbols that actually matter to the constraints.
+        """
+        out = bytearray()
+        for cell in self._cells:
+            if isinstance(cell, E.BV):
+                names = {s.name for s in E.free_symbols(cell)}
+                filled = dict(model)
+                for name in names:
+                    filled.setdefault(name, default)
+                out.append(E.evaluate(cell, filled) & 0xFF)
+            else:
+                out.append(cell & 0xFF)
+        return bytes(out)
+
+    # -- bounds handling ---------------------------------------------------------------
+
+    def _offset_range(self, offset, length: int) -> Interval:
+        expr = unwrap(offset)
+        if isinstance(expr, int):
+            return Interval(expr, expr)
+        return interval_of(expr)
+
+    def _check_bounds(self, offset, length: int) -> None:
+        """Branch (if needed) on whether the access stays inside the buffer."""
+        size = len(self._cells)
+        expr = unwrap(offset)
+        if isinstance(expr, int):
+            if expr < 0 or expr + length > size:
+                raise OutOfBoundsAccess(
+                    f"access of {length} byte(s) at offset {expr} exceeds buffer of {size}"
+                )
+            return
+        rng = interval_of(expr)
+        if rng.lo >= 0 and rng.hi + length <= size:
+            return
+        if rng.lo + length > size and rng.hi + length > size and rng.lo >= size:
+            raise OutOfBoundsAccess(
+                f"access of {length} byte(s) at symbolic offset in {rng} exceeds buffer of {size}"
+            )
+        limit = size - length
+        in_bounds = SymBool(E.cmp_ule(expr, E.bv_const(max(limit, 0), expr.width)))
+        if not bool(in_bounds):
+            raise OutOfBoundsAccess(
+                f"access of {length} byte(s) at symbolic offset may exceed buffer of {size}"
+            )
+
+    # -- single-byte access ----------------------------------------------------------
+
+    def load_byte(self, offset):
+        """Read one byte; the offset may be concrete or symbolic."""
+        self._charge()
+        self._check_bounds(offset, 1)
+        expr = unwrap(offset)
+        if isinstance(expr, int):
+            return wrap(self.cell_expr(expr)) if isinstance(self._cells[expr], E.BV) else self._cells[expr]
+        return wrap(self._symbolic_load(expr))
+
+    def store_byte(self, offset, value) -> None:
+        """Write one byte; offset and value may be concrete or symbolic."""
+        self._charge()
+        self._check_bounds(offset, 1)
+        off_expr = unwrap(offset)
+        val_expr = unwrap(value)
+        if isinstance(val_expr, int):
+            val_expr = val_expr & 0xFF
+        else:
+            val_expr = E.truncate(val_expr, 8) if val_expr.width > 8 else val_expr
+        if isinstance(off_expr, int):
+            self._cells[off_expr] = val_expr
+            return
+        self._symbolic_store(off_expr, val_expr)
+
+    # -- multi-byte access --------------------------------------------------------------
+
+    def load(self, offset, length: int):
+        """Read ``length`` bytes at ``offset`` as a big-endian unsigned value."""
+        self._charge(length)
+        self._check_bounds(offset, length)
+        off_expr = unwrap(offset)
+        width = 8 * length
+        result: E.BV = E.bv_const(0, width)
+        for i in range(length):
+            if isinstance(off_expr, int):
+                byte = self.cell_expr(off_expr + i)
+            else:
+                byte = self._symbolic_load(E.bv_add(off_expr, E.bv_const(i, off_expr.width)))
+            byte_wide = E.zero_extend(byte, width)
+            shift = 8 * (length - 1 - i)
+            result = E.bv_or(result, E.bv_shl(byte_wide, E.bv_const(shift, width)))
+        return wrap(result)
+
+    def store(self, offset, length: int, value) -> None:
+        """Write ``value`` as ``length`` big-endian bytes at ``offset``."""
+        self._charge(length)
+        self._check_bounds(offset, length)
+        off_expr = unwrap(offset)
+        val_expr = unwrap(value)
+        width = 8 * length
+        if isinstance(val_expr, int):
+            val_expr = E.bv_const(val_expr, width)
+        elif val_expr.width < width:
+            val_expr = E.zero_extend(val_expr, width)
+        for i in range(length):
+            shift = 8 * (length - 1 - i)
+            byte = E.truncate(E.bv_lshr(val_expr, E.bv_const(shift, val_expr.width)), 8)
+            if isinstance(off_expr, int):
+                self._cells[off_expr + i] = byte
+            else:
+                self._symbolic_store(E.bv_add(off_expr, E.bv_const(i, off_expr.width)), byte)
+
+    # -- bulk helpers ----------------------------------------------------------------------
+
+    def load_bytes(self, offset: int, length: int):
+        """Read ``length`` cells starting at a concrete offset (list of values)."""
+        self._check_bounds(offset, length)
+        return [self.load_byte(offset + i) for i in range(length)]
+
+    def store_bytes(self, offset: int, data: bytes) -> None:
+        """Write raw concrete bytes at a concrete offset."""
+        self._check_bounds(offset, len(data))
+        for i, byte in enumerate(data):
+            self._cells[offset + i] = byte
+
+    # -- symbolic-offset machinery -------------------------------------------------------------
+
+    def _feasible_indices(self, offset_expr: E.BV) -> range:
+        # Narrow the offset's range with the path constraints collected so far
+        # (e.g. "opt_next < header_length"), which keeps the if-then-else
+        # chains short; without constraints, fall back to the full interval.
+        env = {}
+        runtime = current_runtime()
+        if runtime is not None:
+            from repro.symex.intervals import refine_with_constraint
+
+            for _ in range(4):
+                changed = False
+                for constraint in runtime.path_constraints:
+                    changed |= refine_with_constraint(constraint, env)
+                if not changed:
+                    break
+        rng = interval_of(offset_expr, env)
+        lo = max(0, rng.lo)
+        hi = min(len(self._cells) - 1, rng.hi)
+        if hi - lo + 1 > MAX_SYMBOLIC_RANGE:
+            hi = lo + MAX_SYMBOLIC_RANGE - 1
+        return range(lo, hi + 1)
+
+    def _symbolic_load(self, offset_expr: E.BV) -> E.BV:
+        indices = self._feasible_indices(offset_expr)
+        if len(indices) == 0:
+            raise OutOfBoundsAccess("symbolic offset has no feasible in-bounds value")
+        result = self.cell_expr(indices[-1])
+        for index in reversed(indices[:-1]):
+            cond = E.cmp_eq(offset_expr, E.bv_const(index, offset_expr.width))
+            result = E.bv_ite(cond, self.cell_expr(index), result)
+        return result
+
+    def _symbolic_store(self, offset_expr: E.BV, value: E.BV) -> None:
+        for index in self._feasible_indices(offset_expr):
+            cond = E.cmp_eq(offset_expr, E.bv_const(index, offset_expr.width))
+            self._cells[index] = E.bv_ite(cond, value, self.cell_expr(index))
+
+    def _charge(self, count: int = 1) -> None:
+        runtime = current_runtime()
+        if runtime is not None:
+            runtime.add_ops(count)
+
+    def __repr__(self) -> str:
+        symbolic = sum(1 for c in self._cells if isinstance(c, E.BV) and not isinstance(c, E.BVConst))
+        return f"SymbolicBuffer(len={len(self._cells)}, symbolic_cells={symbolic})"

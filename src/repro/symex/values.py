@@ -1,0 +1,270 @@
+"""Symbolic value wrappers used transparently by dataplane element code.
+
+During concrete execution, packet bytes and header fields are plain ``int``
+objects and element code behaves like ordinary Python.  During symbolic
+execution the same element code receives :class:`SymVal` objects instead.
+``SymVal`` implements the integer operator protocol, so arithmetic and bitwise
+manipulation build expression trees, and comparisons yield :class:`SymBool`
+objects whose truth value is decided by the active
+:class:`repro.symex.runtime.SymbolicRuntime` (forking the path when both
+directions are feasible).
+
+This is the mechanism that lets us run *the same element code* under both the
+simulator and the verifier -- the reproduction's analogue of the paper's
+"in-vivo" property (the code that is verified is the code that runs).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ConcretizationError, DivisionByZero
+from repro.symex import exprs as E
+from repro.symex.runtime import current_runtime
+
+Numeric = Union[int, "SymVal"]
+
+
+def _charge(count: int = 1) -> None:
+    runtime = current_runtime()
+    if runtime is not None:
+        runtime.add_ops(count)
+
+
+def unwrap(value: Numeric) -> Union[int, E.BV]:
+    """Return the underlying expression (or plain int) of a value."""
+    if isinstance(value, SymVal):
+        return value.expr
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise TypeError(f"cannot use {type(value).__name__} as a dataplane value")
+
+
+def wrap(value: Union[int, E.BV]) -> Numeric:
+    """Wrap an expression into a :class:`SymVal`; constants stay plain ints."""
+    if isinstance(value, E.BVConst):
+        return value.value
+    if isinstance(value, E.BV):
+        return SymVal(value)
+    return value
+
+
+def make_symbolic(name: str, width: int) -> "SymVal":
+    """Create a fresh unconstrained symbolic value (outside any runtime)."""
+    return SymVal(E.bv_sym(name, width))
+
+
+def is_symbolic(value: object) -> bool:
+    """True when ``value`` carries a symbolic expression."""
+    return isinstance(value, (SymVal, SymBool))
+
+
+class SymBool:
+    """A boolean whose value may depend on symbolic inputs.
+
+    Using a ``SymBool`` in a boolean context (``if``, ``while``, ``and`` ...)
+    asks the active runtime to *branch*: the runtime picks a feasible direction
+    for the current path and the path explorer schedules the other direction.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: E.BoolExpr):
+        self.expr = expr
+
+    def __bool__(self) -> bool:
+        runtime = current_runtime()
+        if runtime is None:
+            raise ConcretizationError(
+                "symbolic boolean used in a concrete context (no active runtime)"
+            )
+        return runtime.branch(self.expr)
+
+    # Non-short-circuit combinators (element code can use & | ~ to combine
+    # conditions without forcing a branch per operand).
+    def __and__(self, other):
+        _charge()
+        return SymBool(E.bool_and(self.expr, _as_bool_expr(other)))
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        _charge()
+        return SymBool(E.bool_or(self.expr, _as_bool_expr(other)))
+
+    __ror__ = __or__
+
+    def __invert__(self):
+        _charge()
+        return SymBool(E.bool_not(self.expr))
+
+    def __repr__(self):
+        return f"SymBool({self.expr!r})"
+
+
+def _as_bool_expr(value) -> E.BoolExpr:
+    if isinstance(value, SymBool):
+        return value.expr
+    if isinstance(value, bool):
+        return E.TRUE if value else E.FALSE
+    raise TypeError(f"cannot interpret {type(value).__name__} as a boolean condition")
+
+
+class SymVal:
+    """An unsigned integer value that may depend on symbolic inputs."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: E.BV):
+        if not isinstance(expr, E.BV):
+            raise TypeError("SymVal wraps bit-vector expressions")
+        self.expr = expr
+
+    @property
+    def width(self) -> int:
+        return self.expr.width
+
+    # -- conversions that would lose symbolic information are forbidden --------
+
+    def __int__(self):
+        raise ConcretizationError(
+            "attempted to concretize a symbolic value with int(); "
+            "element code must not inspect symbolic values concretely"
+        )
+
+    __index__ = __int__
+
+    def __bool__(self):
+        # "if value:" on a symbolic value means "value != 0".
+        return bool(SymBool(E.cmp_ne(self.expr, E.bv_const(0, self.width))))
+
+    def __hash__(self):
+        raise ConcretizationError(
+            "symbolic values cannot be hashed; use the key/value-store interface "
+            "for flow state instead of Python dictionaries"
+        )
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def _binop(self, op: str, other: Numeric, reflected: bool = False) -> Numeric:
+        _charge()
+        other_expr = unwrap(other)
+        if reflected:
+            return wrap(E.bv_binop(op, other_expr, self.expr))
+        return wrap(E.bv_binop(op, self.expr, other_expr))
+
+    def __add__(self, other):
+        return self._binop("add", other)
+
+    def __radd__(self, other):
+        return self._binop("add", other, reflected=True)
+
+    def __sub__(self, other):
+        return self._binop("sub", other)
+
+    def __rsub__(self, other):
+        return self._binop("sub", other, reflected=True)
+
+    def __mul__(self, other):
+        return self._binop("mul", other)
+
+    def __rmul__(self, other):
+        return self._binop("mul", other, reflected=True)
+
+    def _guard_divisor(self, divisor: Numeric) -> None:
+        """Fork a crash path when the divisor may be zero."""
+        divisor_expr = unwrap(divisor)
+        if isinstance(divisor_expr, int):
+            if divisor_expr == 0:
+                raise DivisionByZero("division by zero")
+            return
+        if bool(SymBool(E.cmp_eq(divisor_expr, E.bv_const(0, divisor_expr.width)))):
+            raise DivisionByZero("division by a value that can be zero")
+
+    def __floordiv__(self, other):
+        self._guard_divisor(other)
+        return self._binop("udiv", other)
+
+    def __rfloordiv__(self, other):
+        self._guard_divisor(self)
+        return self._binop("udiv", other, reflected=True)
+
+    def __mod__(self, other):
+        self._guard_divisor(other)
+        return self._binop("urem", other)
+
+    def __rmod__(self, other):
+        self._guard_divisor(self)
+        return self._binop("urem", other, reflected=True)
+
+    # -- bitwise ------------------------------------------------------------------
+
+    def __and__(self, other):
+        return self._binop("and", other)
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        return self._binop("or", other)
+
+    __ror__ = __or__
+
+    def __xor__(self, other):
+        return self._binop("xor", other)
+
+    __rxor__ = __xor__
+
+    def __lshift__(self, other):
+        return self._binop("shl", other)
+
+    def __rlshift__(self, other):
+        return self._binop("shl", other, reflected=True)
+
+    def __rshift__(self, other):
+        return self._binop("lshr", other)
+
+    def __rrshift__(self, other):
+        return self._binop("lshr", other, reflected=True)
+
+    def __invert__(self):
+        _charge()
+        return wrap(E.bv_not(self.expr))
+
+    # -- comparisons ----------------------------------------------------------------
+
+    def _cmp(self, op: str, other: Numeric, reflected: bool = False) -> SymBool:
+        _charge()
+        other_expr = unwrap(other)
+        if reflected:
+            return SymBool(E.cmp(op, other_expr, self.expr))
+        return SymBool(E.cmp(op, self.expr, other_expr))
+
+    def __eq__(self, other):
+        if not isinstance(other, (int, SymVal)):
+            return NotImplemented
+        return self._cmp("eq", other)
+
+    def __ne__(self, other):
+        if not isinstance(other, (int, SymVal)):
+            return NotImplemented
+        return self._cmp("ne", other)
+
+    def __lt__(self, other):
+        return self._cmp("ult", other)
+
+    def __le__(self, other):
+        return self._cmp("ule", other)
+
+    def __gt__(self, other):
+        return self._cmp("ugt", other)
+
+    def __ge__(self, other):
+        return self._cmp("uge", other)
+
+    def __rlt__(self, other):  # pragma: no cover - Python never calls these
+        return self._cmp("ugt", other)
+
+    def __repr__(self):
+        return f"SymVal({self.expr!r})"

@@ -1,0 +1,48 @@
+"""The dataplane verifier (the paper's contribution).
+
+Layout:
+
+* :mod:`repro.verifier.config` -- tuning knobs and budgets;
+* :mod:`repro.verifier.summaries` -- step 1: per-element symbolic summaries;
+* :mod:`repro.verifier.loops` -- loop decomposition (Section 3.2);
+* :mod:`repro.verifier.abstraction` -- data-structure / private-state
+  abstraction (Sections 3.3, 3.4);
+* :mod:`repro.verifier.composition` -- step 2: segment composition and
+  feasibility checking;
+* :mod:`repro.verifier.state_patterns` -- mutable-state pattern proofs;
+* :mod:`repro.verifier.properties` -- crash-freedom, bounded-execution,
+  filtering;
+* :mod:`repro.verifier.generic` -- the vanilla whole-pipeline baseline;
+* :mod:`repro.verifier.api` -- the public entry points.
+"""
+
+from repro.verifier.api import (
+    Counterexample,
+    EffortStats,
+    FilteringProperty,
+    VerificationResult,
+    Verdict,
+    VerifierConfig,
+    find_longest_paths,
+    summarize_once,
+    verify_bounded_execution,
+    verify_crash_freedom,
+    verify_filtering,
+)
+from repro.verifier.generic import GenericVerificationResult, GenericVerifier
+
+__all__ = [
+    "Counterexample",
+    "EffortStats",
+    "FilteringProperty",
+    "VerificationResult",
+    "Verdict",
+    "VerifierConfig",
+    "find_longest_paths",
+    "summarize_once",
+    "verify_bounded_execution",
+    "verify_crash_freedom",
+    "verify_filtering",
+    "GenericVerifier",
+    "GenericVerificationResult",
+]

@@ -1,0 +1,148 @@
+"""Data-structure and private-state abstraction (paper Sections 3.3 and 3.4).
+
+When the verifier summarises an element, it must not symbolically execute the
+element's data structures -- doing so is what makes generic tools explode on a
+forwarding table or a flow map.  Instead, every state object the element
+registered (hash tables, LPM tables) is temporarily replaced by an
+:class:`AbstractStore`:
+
+* ``read`` returns a *fresh, unconstrained symbolic value* -- this is exactly
+  the over-approximation of Section 3.4 sub-step (i): the private state is
+  assumed to be able to hold any value of its type;
+* ``test`` returns a fresh symbolic boolean, so both the hit and the miss
+  behaviour of the element are explored;
+* ``write`` and ``expire`` have no dataplane-visible effect; they are recorded
+  in the runtime journal so that the mutable-state pattern analysis
+  (:mod:`repro.verifier.state_patterns`) can inspect what the element stores
+  back;
+* ``lookup`` (the LPM interface) branches between a miss (``None``) and a hit
+  with an unconstrained value, covering "no route" and "any route".
+
+The data structures themselves are verified separately -- in this reproduction
+by the exhaustive and property-based tests in ``tests/property``, standing in
+for the paper's manual/static verification of the array-based building blocks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dataplane.element import Element
+from repro.symex import exprs as E
+from repro.symex.runtime import SymbolicRuntime, current_runtime
+from repro.symex.values import SymBool, SymVal, unwrap
+from repro.verifier.config import VerifierConfig
+
+#: default width (bits) of values read from abstracted stores
+ABSTRACT_VALUE_WIDTH = 64
+
+
+class AbstractStore:
+    """Stand-in for any registered state object during element summarisation."""
+
+    def __init__(self, element_name: str, attribute: str, kind: str,
+                 value_width: int = ABSTRACT_VALUE_WIDTH):
+        self.element_name = element_name
+        self.attribute = attribute
+        self.kind = kind
+        self.value_width = value_width
+
+    # -- internal helpers ------------------------------------------------------------
+
+    def _runtime(self) -> SymbolicRuntime:
+        runtime = current_runtime()
+        if runtime is None:
+            raise RuntimeError(
+                "AbstractStore used outside symbolic execution; this object only "
+                "exists while the verifier summarises an element"
+            )
+        return runtime
+
+    def _fresh_value(self, operation: str) -> SymVal:
+        runtime = self._runtime()
+        symbol = runtime.fresh_symbol(
+            f"{self.element_name}.{self.attribute}.{operation}", self.value_width
+        )
+        return SymVal(symbol)
+
+    def _fresh_bool(self, operation: str) -> SymBool:
+        runtime = self._runtime()
+        symbol = runtime.fresh_symbol(
+            f"{self.element_name}.{self.attribute}.{operation}", 8
+        )
+        return SymBool(E.cmp_ne(symbol, E.bv_const(0, 8)))
+
+    def _record(self, operation: str, **detail) -> None:
+        self._runtime().record(
+            "state-access",
+            element=self.element_name,
+            attribute=self.attribute,
+            state_kind=self.kind,
+            operation=operation,
+            **detail,
+        )
+
+    # -- the Fig. 2 key/value interface --------------------------------------------------
+
+    def read(self, key):
+        """Return an unconstrained symbolic value (sub-step (i) over-approximation)."""
+        value = self._fresh_value("read")
+        self._record("read", key=unwrap(key), value=value.expr)
+        return value
+
+    def write(self, key, value) -> bool:
+        """Journal the write; report success symbolically (it may also fail)."""
+        self._record("write", key=unwrap(key), value=unwrap(value))
+        return self._fresh_bool("write_ok")
+
+    def test(self, key):
+        """Membership is unknown: return a fresh symbolic boolean."""
+        result = self._fresh_bool("test")
+        self._record("test", key=unwrap(key))
+        return result
+
+    def expire(self, key):
+        """Journal the expiration; the expired value is unconstrained."""
+        self._record("expire", key=unwrap(key))
+        return self._fresh_value("expired")
+
+    # -- the LPM interface used by IPLookup ------------------------------------------------
+
+    def lookup(self, key):
+        """Branch between a miss (``None``) and a hit with any value."""
+        self._record("lookup", key=unwrap(key))
+        miss = self._fresh_bool("lookup_miss")
+        if miss:
+            return None
+        return self._fresh_value("lookup")
+
+    def __repr__(self) -> str:
+        return f"AbstractStore({self.element_name}.{self.attribute}, kind={self.kind})"
+
+
+@contextmanager
+def abstracted_state(element: Element, config: VerifierConfig) -> Iterator[Dict[str, AbstractStore]]:
+    """Temporarily replace the element's registered state with abstract stores.
+
+    Yields the mapping ``attribute name -> AbstractStore`` so callers can
+    correlate journal entries with stores.  The original objects are restored
+    on exit even if summarisation fails.
+    """
+    replaced: List[Tuple[str, object]] = []
+    installed: Dict[str, AbstractStore] = {}
+    try:
+        for binding in element.state_bindings:
+            if binding.kind == "private" and not config.abstract_private_state:
+                continue
+            if binding.kind == "static" and not config.abstract_static_state:
+                continue
+            original = getattr(element, binding.attribute)
+            stand_in = AbstractStore(element.name, binding.attribute, binding.kind)
+            replaced.append((binding.attribute, original))
+            installed[binding.attribute] = stand_in
+            setattr(element, binding.attribute, stand_in)
+        yield installed
+    finally:
+        for attribute, original in replaced:
+            setattr(element, attribute, original)

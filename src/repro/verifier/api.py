@@ -1,0 +1,80 @@
+"""The verifier's public API.
+
+Most users need exactly three calls::
+
+    from repro import verify_crash_freedom, verify_bounded_execution, verify_filtering
+
+    result = verify_crash_freedom(pipeline)
+    result = verify_bounded_execution(pipeline, instruction_bound=4000)
+    result = verify_filtering(pipeline, FilteringProperty(src_prefix="10.66.0.0/16"))
+
+Each returns a :class:`repro.verifier.results.VerificationResult` whose
+verdict is PROVED, VIOLATED (with counter-example packets) or INCONCLUSIVE.
+``summarize_once`` lets callers share the expensive step-1 summaries between
+several property checks on the same pipeline, which is what the benchmark
+harness does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.pipeline import Pipeline
+from repro.symex.solver import Solver
+from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
+from repro.verifier.properties.bounded_execution import (
+    BoundedExecutionChecker,
+    LongestPathReport,
+    find_longest_paths,
+)
+from repro.verifier.properties.crash_freedom import CrashFreedomChecker
+from repro.verifier.properties.filtering import FilteringChecker, FilteringProperty
+from repro.verifier.results import Counterexample, EffortStats, VerificationResult, Verdict
+
+__all__ = [
+    "Verdict",
+    "VerificationResult",
+    "Counterexample",
+    "EffortStats",
+    "VerifierConfig",
+    "FilteringProperty",
+    "LongestPathReport",
+    "verify_crash_freedom",
+    "verify_bounded_execution",
+    "verify_filtering",
+    "find_longest_paths",
+    "summarize_once",
+]
+
+
+def summarize_once(pipeline: Pipeline, config: VerifierConfig = DEFAULT_CONFIG,
+                   solver: Optional[Solver] = None) -> PipelineSummary:
+    """Run verification step 1 once so several properties can share it."""
+    return summarize_pipeline(pipeline, config, solver)
+
+
+def verify_crash_freedom(pipeline: Pipeline, config: VerifierConfig = DEFAULT_CONFIG,
+                         summary: Optional[PipelineSummary] = None,
+                         solver: Optional[Solver] = None) -> VerificationResult:
+    """Prove or disprove that no packet can crash the pipeline."""
+    checker = CrashFreedomChecker(config=config, solver=solver)
+    return checker.check(pipeline, summary=summary)
+
+
+def verify_bounded_execution(pipeline: Pipeline, instruction_bound: Optional[int] = None,
+                             config: VerifierConfig = DEFAULT_CONFIG,
+                             summary: Optional[PipelineSummary] = None,
+                             solver: Optional[Solver] = None) -> VerificationResult:
+    """Prove or disprove that no packet executes more than ``instruction_bound`` ops."""
+    checker = BoundedExecutionChecker(config=config, solver=solver)
+    return checker.check(pipeline, instruction_bound=instruction_bound, summary=summary)
+
+
+def verify_filtering(pipeline: Pipeline, prop: FilteringProperty,
+                     config: VerifierConfig = DEFAULT_CONFIG,
+                     summary: Optional[PipelineSummary] = None,
+                     solver: Optional[Solver] = None) -> VerificationResult:
+    """Prove or disprove a filtering property under the installed configuration."""
+    checker = FilteringChecker(config=config, solver=solver)
+    return checker.check(pipeline, prop, summary=summary)

@@ -1,0 +1,311 @@
+"""Verification step 2: compose per-element segments into pipeline paths.
+
+This module implements the second half of Section 3.1: given the per-element
+summaries produced in step 1, it determines which *suspect* segments remain
+feasible once the elements are assembled into a pipeline.
+
+The core operation is :meth:`PathComposer.extend`: take a partially composed
+path (a constraint set and a symbolic state over the *pipeline entry* packet)
+and append one more segment by
+
+1. renaming the segment's private (fresh) symbols so that two instances of the
+   same segment never collide,
+2. substituting the accumulated state into the segment's constraints (this is
+   the ``C2(in) AND C3(S2(in)[out])`` computation of the paper's toy example),
+3. substituting the accumulated state into the segment's output state to get
+   the new accumulated state.
+
+Feasibility of a composed path is decided by the solver; composing never
+requires re-executing any element code, exactly as the paper emphasises.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.dataplane.element import Element
+from repro.dataplane.pipeline import Pipeline
+from repro.symex import exprs as E
+from repro.symex.simplify import substitute
+from repro.symex.solver import Solver, SolverResult
+from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.summaries import (
+    ElementSummary,
+    Segment,
+    SegmentEmission,
+    StateMap,
+    packet_symbol_name,
+)
+
+
+@dataclass
+class ComposedPath:
+    """A (partial or complete) pipeline path built from element segments."""
+
+    #: the (element name, segment) pairs composing the path, in order
+    steps: List[Tuple[str, Segment]] = field(default_factory=list)
+    #: path constraint atoms, rewritten over the pipeline-entry packet symbols
+    constraints: List[E.BoolExpr] = field(default_factory=list)
+    #: accumulated symbolic state: canonical name -> expression over the entry packet
+    state: StateMap = field(default_factory=dict)
+    #: cumulative abstract instruction count
+    ops: int = 0
+    #: the output port taken out of the last element (None when dropped/crashed)
+    exit_port: Optional[int] = None
+
+    @property
+    def last_segment(self) -> Optional[Segment]:
+        return self.steps[-1][1] if self.steps else None
+
+    @property
+    def crashed(self) -> bool:
+        last = self.last_segment
+        return last is not None and last.crashed
+
+    @property
+    def budget_exceeded(self) -> bool:
+        last = self.last_segment
+        return last is not None and last.budget_exceeded
+
+    @property
+    def terminal(self) -> bool:
+        """True when the path cannot be extended (crash, drop, or unbounded)."""
+        last = self.last_segment
+        if last is None:
+            return False
+        return last.crashed or last.budget_exceeded or not last.emissions
+
+    def describe(self) -> str:
+        hops = " -> ".join(f"{name}#{seg.index}" for name, seg in self.steps)
+        return f"[{hops}] ops={self.ops}"
+
+
+@dataclass
+class CompositionStats:
+    """Counters reported by the evaluation (the "# Paths" column of Table 3)."""
+
+    paths_composed: int = 0
+    feasible: int = 0
+    infeasible: int = 0
+    unknown: int = 0
+    elapsed: float = 0.0
+
+
+class PathComposer:
+    """Incremental composition and feasibility checking of pipeline paths."""
+
+    def __init__(self, solver: Optional[Solver] = None,
+                 config: VerifierConfig = DEFAULT_CONFIG):
+        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+        self.config = config
+        self.stats = CompositionStats()
+        self._instances = 0
+
+    # -- core algebra ------------------------------------------------------------------
+
+    def initial_path(self) -> ComposedPath:
+        """The empty path: the entry packet, unconstrained and untransformed."""
+        return ComposedPath()
+
+    def _rename_map(self, segment: Segment) -> Dict[str, E.BV]:
+        """Fresh, per-instance names for the segment's private symbols."""
+        if not segment.fresh_symbols:
+            return {}
+        self._instances += 1
+        suffix = self._instances
+        return {
+            name: E.bv_sym(f"{name}@{suffix}", width)
+            for name, width in segment.fresh_symbols
+        }
+
+    def extend(self, base: ComposedPath, element_name: str, segment: Segment,
+               emission_index: int = 0) -> ComposedPath:
+        """Append ``segment`` to ``base`` (no feasibility check here)."""
+        mapping: Dict[str, E.BV] = dict(self._rename_map(segment))
+        for name, value in base.state.items():
+            mapping[name] = value if isinstance(value, E.BV) else E.as_bv(value, 64)
+
+        constraints = list(base.constraints)
+        for atom in segment.constraints:
+            rewritten = substitute(atom, mapping)
+            if isinstance(rewritten, E.BoolConst) and rewritten.value:
+                continue
+            constraints.append(rewritten)
+
+        exit_port: Optional[int] = None
+        state = dict(base.state)
+        if segment.emissions:
+            emission: SegmentEmission = segment.emissions[emission_index]
+            exit_port = emission.port
+            for name, value in emission.state.items():
+                if isinstance(value, E.BV):
+                    state[name] = substitute(value, mapping)
+                else:
+                    state[name] = value
+
+        return ComposedPath(
+            steps=base.steps + [(element_name, segment)],
+            constraints=constraints,
+            state=state,
+            ops=base.ops + segment.ops,
+            exit_port=exit_port,
+        )
+
+    def check(self, path: ComposedPath) -> SolverResult:
+        """Decide feasibility of a composed path (counts toward the stats)."""
+        started = time.monotonic()
+        result = self.solver.check(path.constraints, max_nodes=self.config.solver_max_nodes)
+        self.stats.elapsed += time.monotonic() - started
+        self.stats.paths_composed += 1
+        if result.is_sat:
+            self.stats.feasible += 1
+        elif result.is_unsat:
+            self.stats.infeasible += 1
+        else:
+            self.stats.unknown += 1
+        return result
+
+    # -- counter-examples -----------------------------------------------------------------
+
+    def counterexample_bytes(self, model: Dict[str, int]) -> bytes:
+        """Turn a solver model into concrete pipeline-entry packet bytes."""
+        out = bytearray()
+        for index in range(self.config.packet_size):
+            out.append(model.get(packet_symbol_name(index), 0) & 0xFF)
+        return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# pipeline path enumeration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PathSearchResult:
+    """Outcome of an enumeration over composed pipeline paths."""
+
+    #: feasible complete paths found (with their solver models)
+    feasible_paths: List[Tuple[ComposedPath, Dict[str, int]]] = field(default_factory=list)
+    #: True when every candidate path was examined within the budgets
+    exhaustive: bool = True
+    #: True when at least one feasibility query returned UNKNOWN, in which case
+    #: an "all candidates infeasible" conclusion is not a proof
+    any_unknown: bool = False
+    stats: Optional[CompositionStats] = None
+
+
+def search_paths_to_segment(
+    pipeline: Pipeline,
+    summaries: Dict[str, ElementSummary],
+    composer: PathComposer,
+    suspect_element: str,
+    suspect_segment: Segment,
+    config: VerifierConfig = DEFAULT_CONFIG,
+    stop_on_first_feasible: bool = True,
+    deadline: Optional[float] = None,
+) -> PathSearchResult:
+    """Find pipeline paths that reach ``suspect_element`` via ``suspect_segment``.
+
+    This is the heart of step 2 for crash-freedom and bounded-execution: a
+    suspect segment found in isolation (step 1) is a real violation only if
+    some feasible pipeline path ends with it.  Depending on the caller's goal:
+
+    * to *disprove* the property it is enough to find one feasible path
+      (``stop_on_first_feasible=True``, the cheap case of Table 3);
+    * to *prove* the property every candidate path must be shown infeasible
+      (``stop_on_first_feasible=False`` still stops early on a feasible path,
+      but proving infeasibility requires the enumeration to finish -- the
+      expensive 8423-path case of Table 3).
+    """
+    result = PathSearchResult(stats=composer.stats)
+    entry = pipeline.entry()
+    stack: List[Tuple[Element, ComposedPath]] = [(entry, composer.initial_path())]
+
+    while stack:
+        if composer.stats.paths_composed >= config.max_composed_paths:
+            result.exhaustive = False
+            break
+        if deadline is not None and time.monotonic() > deadline:
+            result.exhaustive = False
+            break
+        element, base = stack.pop()
+        if element.name == suspect_element:
+            candidate = composer.extend(base, element.name, suspect_segment)
+            feasibility = composer.check(candidate)
+            if feasibility.is_sat:
+                result.feasible_paths.append((candidate, feasibility.model))
+                if stop_on_first_feasible:
+                    return result
+            elif feasibility.is_unknown:
+                result.any_unknown = True
+            continue
+        summary = summaries[element.name]
+        for segment in summary.segments:
+            if segment.crashed or segment.budget_exceeded or not segment.emissions:
+                continue  # the packet never leaves this element on such segments
+            for emission_index in range(len(segment.emissions)):
+                extended = composer.extend(base, element.name, segment, emission_index)
+                feasibility = composer.check(extended)
+                if feasibility.is_unsat:
+                    continue
+                if feasibility.is_unknown:
+                    result.any_unknown = True
+                successor = pipeline.successor(element, extended.exit_port)
+                if successor is not None:
+                    stack.append((successor, extended))
+    return result
+
+
+def iterate_pipeline_paths(
+    pipeline: Pipeline,
+    summaries: Dict[str, ElementSummary],
+    composer: PathComposer,
+    config: VerifierConfig = DEFAULT_CONFIG,
+    entry: Optional[Element] = None,
+    prune_infeasible: bool = True,
+    deadline: Optional[float] = None,
+) -> Iterator[Tuple[ComposedPath, Optional[SolverResult]]]:
+    """Depth-first enumeration of composed paths through the pipeline.
+
+    Yields ``(path, feasibility)`` for every *terminal* composed path: a path
+    that crashed, dropped the packet, exceeded the execution budget, or left
+    the pipeline through an unconnected port.  ``feasibility`` is the solver
+    verdict for the path (``None`` if pruning is disabled and the caller wants
+    to decide feasibility itself).
+
+    When ``prune_infeasible`` is set, any partial path whose constraints are
+    already unsatisfiable is cut, which is what keeps step 2 cheap in practice.
+    The enumeration respects ``config.max_composed_paths`` and the optional
+    wall-clock ``deadline``; hitting either makes the enumeration raise
+    :class:`GeneratorExit`-free and simply stop early (callers inspect
+    ``composer.stats`` and the ``exhausted`` flag they maintain).
+    """
+    start_element = entry or pipeline.entry()
+    stack: List[Tuple[Element, ComposedPath]] = [(start_element, composer.initial_path())]
+
+    while stack:
+        if composer.stats.paths_composed >= config.max_composed_paths:
+            return
+        if deadline is not None and time.monotonic() > deadline:
+            return
+        element, base = stack.pop()
+        summary = summaries[element.name]
+        for segment in summary.segments:
+            for emission_index in range(max(1, len(segment.emissions))):
+                extended = composer.extend(base, element.name, segment, emission_index)
+                feasibility: Optional[SolverResult] = None
+                if prune_infeasible:
+                    feasibility = composer.check(extended)
+                    if feasibility.is_unsat:
+                        continue
+                if segment.crashed or segment.budget_exceeded or not segment.emissions:
+                    yield extended, feasibility
+                    continue
+                successor = pipeline.successor(element, extended.exit_port)
+                if successor is None:
+                    # The packet leaves the pipeline here.
+                    yield extended, feasibility
+                else:
+                    stack.append((successor, extended))

@@ -1,0 +1,73 @@
+"""Configuration knobs of the dataplane verifier.
+
+The paper's tool has a handful of implicit parameters (how large a symbolic
+packet to analyse, when to give up); this module makes them explicit.  The
+defaults are tuned so that the full evaluation suite (Fig. 4, Table 3,
+Section 5.3) runs on a laptop in minutes; all budgets are *soundness
+preserving* -- exhausting one can only turn a would-be proof into an
+INCONCLUSIVE verdict, never into a wrong proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.net.headers import ETHER_HEADER_LEN
+
+
+@dataclass
+class VerifierConfig:
+    """Tuning parameters shared by all property checkers."""
+
+    # -- symbolic input -----------------------------------------------------------
+    #: size in bytes of the symbolic packet fed to each element (large enough
+    #: to hold an Ethernet header, a maximal 60-byte IP header, a transport
+    #: header, and the furthest offset an in-header option pointer can name --
+    #: so that in-header accesses are in bounds *by interval reasoning alone*).
+    packet_size: int = 128
+    #: offset of the IP header inside the symbolic packet
+    ip_offset: int = ETHER_HEADER_LEN
+
+    # -- abstraction (Sections 3.3 / 3.4) --------------------------------------------
+    #: replace private state (NAT maps, flow tables) with the abstract store
+    abstract_private_state: bool = True
+    #: replace static configuration state (forwarding tables) with the abstract
+    #: store -- True for "arbitrary configuration" proofs, False for proofs
+    #: about a specific installed configuration (e.g. filtering properties)
+    abstract_static_state: bool = True
+    #: decompose loop elements per Section 3.2
+    decompose_loops: bool = True
+
+    # -- exploration budgets -------------------------------------------------------------
+    #: maximum number of segments explored per element (step 1)
+    max_segments_per_element: int = 4096
+    #: abstract-instruction budget for a single segment/path; exceeding it
+    #: makes the segment a bounded-execution suspect
+    max_ops_per_segment: int = 6000
+    #: maximum number of candidate pipeline paths composed in step 2
+    max_composed_paths: int = 200000
+    #: solver search-node budget per satisfiability query
+    solver_max_nodes: int = 20000
+    #: solver budget for the quick feasibility checks done at branch points
+    #: (small on purpose: an undecided branch is simply explored both ways)
+    branch_check_nodes: int = 500
+    #: overall wall-clock budget in seconds (None = unlimited); exceeding it
+    #: aborts the analysis with an INCONCLUSIVE verdict
+    time_budget: Optional[float] = None
+
+    # -- bounded execution -----------------------------------------------------------------
+    #: the Imax bound proved/disproved by the bounded-execution property
+    instruction_bound: int = 4000
+
+    def without_abstraction(self) -> "VerifierConfig":
+        """A copy configured for specific-configuration (filtering) proofs."""
+        return replace(self, abstract_static_state=False)
+
+    def copy(self, **overrides) -> "VerifierConfig":
+        """A copy with selected fields overridden."""
+        return replace(self, **overrides)
+
+
+#: Default configuration used when callers do not pass one explicitly.
+DEFAULT_CONFIG = VerifierConfig()

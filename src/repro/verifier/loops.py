@@ -1,0 +1,153 @@
+"""Loop decomposition (paper Section 3.2).
+
+A loop element (``LOOP_ELEMENT = True``) promises that the only mutable state
+its loop iterations share is packet metadata (Condition 1).  The verifier can
+therefore treat the loop as a "mini-pipeline": it summarises *one* iteration
+(:func:`repro.verifier.summaries.summarize_loop_body`) with the loop-carried
+metadata unconstrained, and then composes iteration summaries with the same
+substitution machinery used for pipeline composition -- one symbolic execution
+of the body regardless of how many iterations the loop runs.
+
+``expand_loop_element`` turns the body/setup summaries into an ordinary
+:class:`ElementSummary` for the whole element, so that downstream pipeline
+composition does not need to know the element contained a loop at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dataplane.element import Element
+from repro.symex.solver import Solver
+from repro.verifier.composition import ComposedPath, PathComposer
+from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.summaries import (
+    ElementSummary,
+    Segment,
+    SegmentEmission,
+    summarize_loop_body,
+    summarize_loop_setup,
+)
+
+
+@dataclass
+class LoopAnalysis:
+    """Intermediate results of analysing one loop element."""
+
+    element: str
+    setup: ElementSummary
+    body: ElementSummary
+    expanded: ElementSummary
+    #: number of iteration compositions performed
+    compositions: int
+
+
+def _terminal_segment(element: Element, index: int, path: ComposedPath,
+                      emit: bool) -> Segment:
+    """Convert a composed chain of loop iterations into a whole-element segment."""
+    last = path.last_segment
+    emissions: List[SegmentEmission] = []
+    if emit and not (last.crashed or last.budget_exceeded):
+        emissions = [SegmentEmission(port=0, state=dict(path.state))]
+    return Segment(
+        element=element.name,
+        index=index,
+        constraints=list(path.constraints),
+        emissions=emissions,
+        crash=last.crash,
+        budget_exceeded=last.budget_exceeded,
+        ops=path.ops,
+        journal=[entry for _, seg in path.steps for entry in seg.journal],
+        fresh_symbols=[],  # already renamed per instance during composition
+        analysis_error=last.analysis_error,
+    )
+
+
+def expand_loop_element(element: Element, config: VerifierConfig = DEFAULT_CONFIG,
+                        solver: Optional[Solver] = None,
+                        deadline: Optional[float] = None,
+                        max_iterations: Optional[int] = None) -> LoopAnalysis:
+    """Build a whole-element summary of a loop element by composing iterations.
+
+    ``max_iterations`` bounds the number of composed iterations; by default the
+    element's own ``MAX_LOOP_ITERATIONS`` is used.  Reaching the bound with a
+    still-continuing iteration chain produces a segment marked
+    ``budget_exceeded`` -- the conservative "this may loop longer than we can
+    prove" outcome.
+    """
+    solver = solver or Solver(max_nodes=config.solver_max_nodes)
+    if deadline is None and config.time_budget is not None:
+        deadline = time.monotonic() + config.time_budget
+    setup_summary = summarize_loop_setup(element, config, solver, deadline)
+    body_summary = summarize_loop_body(element, config, solver, deadline)
+    limit = max_iterations or element.MAX_LOOP_ITERATIONS
+
+    composer = PathComposer(solver=solver, config=config)
+    expanded: List[Segment] = []
+    compositions = 0
+    complete = setup_summary.complete and body_summary.complete
+    timed_out = setup_summary.timed_out or body_summary.timed_out
+    started = time.monotonic()
+
+    # Every setup segment starts one chain of iterations.
+    frontier: List[ComposedPath] = []
+    for setup_segment in setup_summary.segments:
+        if setup_segment.crashed or setup_segment.analysis_error is not None:
+            expanded.append(setup_segment)
+            continue
+        base = composer.extend(composer.initial_path(), element.name, setup_segment)
+        frontier.append(base)
+
+    while frontier:
+        if deadline is not None and time.monotonic() > deadline:
+            complete = False
+            timed_out = True
+            break
+        if compositions >= config.max_composed_paths:
+            complete = False
+            break
+        path = frontier.pop()
+        iterations = len(path.steps) - 1  # minus the setup step
+        if iterations >= limit:
+            # Cannot prove the chain terminates within the bound.
+            expanded.append(_terminal_segment(element, len(expanded), path, emit=False))
+            last = expanded[-1]
+            last.budget_exceeded = True
+            complete = False
+            continue
+        for body_segment in body_summary.segments:
+            compositions += 1
+            extended = composer.extend(path, element.name, body_segment)
+            feasibility = composer.check(extended)
+            if feasibility.is_unsat:
+                continue
+            if body_segment.crashed or body_segment.budget_exceeded \
+                    or body_segment.analysis_error is not None:
+                expanded.append(_terminal_segment(element, len(expanded), extended, emit=False))
+                continue
+            status = body_segment.loop_status
+            if status == "continue":
+                frontier.append(extended)
+            elif status == "drop":
+                expanded.append(_terminal_segment(element, len(expanded), extended, emit=False))
+            else:  # "done" (or an unexpected status, treated as completion)
+                expanded.append(_terminal_segment(element, len(expanded), extended, emit=True))
+
+    elapsed = time.monotonic() - started
+    expanded_summary = ElementSummary(
+        element=element.name,
+        segments=expanded,
+        complete=complete,
+        states=setup_summary.states + body_summary.states,
+        elapsed=setup_summary.elapsed + body_summary.elapsed + elapsed,
+        timed_out=timed_out,
+    )
+    return LoopAnalysis(
+        element=element.name,
+        setup=setup_summary,
+        body=body_summary,
+        expanded=expanded_summary,
+        compositions=compositions,
+    )

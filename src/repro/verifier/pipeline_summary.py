@@ -1,0 +1,92 @@
+"""Step-1 driver: summarise every element of a pipeline.
+
+Loop elements are expanded through loop decomposition
+(:mod:`repro.verifier.loops`) when the configuration enables it; all other
+elements go through plain element summarisation.  The result bundles the
+per-element summaries with the accounting the evaluation reports (states,
+segments, elapsed time) and with the loop analyses, which some reports
+(Table 2's "which techniques were needed") want to inspect.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dataplane.pipeline import Pipeline
+from repro.symex.solver import Solver
+from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.loops import LoopAnalysis, expand_loop_element
+from repro.verifier.summaries import ElementSummary, summarize_element
+
+
+@dataclass
+class PipelineSummary:
+    """Per-element summaries of a whole pipeline (the output of step 1)."""
+
+    pipeline: Pipeline
+    summaries: Dict[str, ElementSummary] = field(default_factory=dict)
+    loop_analyses: Dict[str, LoopAnalysis] = field(default_factory=dict)
+    elapsed: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """True when every element summary is exhaustive."""
+        return all(summary.complete for summary in self.summaries.values())
+
+    @property
+    def total_states(self) -> int:
+        return sum(summary.states for summary in self.summaries.values())
+
+    @property
+    def total_segments(self) -> int:
+        return sum(len(summary.segments) for summary in self.summaries.values())
+
+    @property
+    def analysis_errors(self) -> Dict[str, int]:
+        """Elements whose summaries contain analysis failures (never ignored)."""
+        out = {}
+        for name, summary in self.summaries.items():
+            failures = len(summary.analysis_errors)
+            if failures:
+                out[name] = failures
+        return out
+
+    def suspect_crash_segments(self):
+        """All (element, segment) pairs whose segment crashes."""
+        for name, summary in self.summaries.items():
+            for segment in summary.crash_segments:
+                yield name, segment
+
+    def suspect_unbounded_segments(self):
+        """All (element, segment) pairs whose segment exceeded the op budget."""
+        for name, summary in self.summaries.items():
+            for segment in summary.unbounded_segments:
+                yield name, segment
+
+
+def summarize_pipeline(pipeline: Pipeline, config: VerifierConfig = DEFAULT_CONFIG,
+                       solver: Optional[Solver] = None,
+                       deadline: Optional[float] = None) -> PipelineSummary:
+    """Run verification step 1 on every element of ``pipeline``."""
+    solver = solver or Solver(max_nodes=config.solver_max_nodes)
+    result = PipelineSummary(pipeline=pipeline)
+    started = time.monotonic()
+    if deadline is None and config.time_budget is not None:
+        deadline = started + config.time_budget
+    for element in pipeline.elements:
+        if deadline is not None and time.monotonic() > deadline:
+            result.timed_out = True
+            break
+        if config.decompose_loops and element.LOOP_ELEMENT:
+            analysis = expand_loop_element(element, config, solver, deadline)
+            result.loop_analyses[element.name] = analysis
+            result.summaries[element.name] = analysis.expanded
+        else:
+            result.summaries[element.name] = summarize_element(element, config, solver, deadline)
+        if result.summaries[element.name].timed_out:
+            result.timed_out = True
+    result.elapsed = time.monotonic() - started
+    return result

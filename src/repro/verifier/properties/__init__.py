@@ -1,0 +1,28 @@
+"""Target-property checkers (paper Section 4).
+
+* :mod:`repro.verifier.properties.crash_freedom` -- no packet can make the
+  pipeline terminate abnormally;
+* :mod:`repro.verifier.properties.bounded_execution` -- no packet can make the
+  pipeline execute more than ``Imax`` instructions (also provides the
+  longest-path / adversarial-workload analysis of Section 5.3);
+* :mod:`repro.verifier.properties.filtering` -- reachability/filtering
+  properties for a specific configuration ("a packet with source A is always
+  dropped").
+"""
+
+from repro.verifier.properties.bounded_execution import (
+    BoundedExecutionChecker,
+    LongestPathReport,
+    find_longest_paths,
+)
+from repro.verifier.properties.crash_freedom import CrashFreedomChecker
+from repro.verifier.properties.filtering import FilteringChecker, FilteringProperty
+
+__all__ = [
+    "CrashFreedomChecker",
+    "BoundedExecutionChecker",
+    "LongestPathReport",
+    "find_longest_paths",
+    "FilteringChecker",
+    "FilteringProperty",
+]

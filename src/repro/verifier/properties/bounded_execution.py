@@ -1,0 +1,334 @@
+"""Bounded-execution checking and longest-path analysis (paper Sections 4, 5.3).
+
+A pipeline satisfies bounded-execution when no packet can make it execute more
+than ``Imax`` instructions.  Two kinds of suspect come out of step 1:
+
+* segments that exceeded the per-path operation budget outright -- these are
+  potential infinite loops (Click bugs #1 and #2 surface this way);
+* ordinary segments whose composed pipeline paths might add up to more than
+  ``Imax``.
+
+For the second kind the checker runs the paper's longest-path search: a
+best-first search over segment combinations, bounded above by the sum of each
+remaining element's most expensive segment, that composes only a few
+combinations before finding the longest *feasible* path.  The same search, run
+with ``k > 1``, produces the adversarial workloads of the Section 5.3 study
+("the 10 longest paths execute 2.5x the instructions of the common path").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.pipeline import Pipeline
+from repro.symex.solver import Solver
+from repro.verifier.composition import ComposedPath, PathComposer, search_paths_to_segment
+from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
+from repro.verifier.results import Counterexample, EffortStats, VerificationResult, Verdict
+from repro.verifier.summaries import ElementSummary
+
+PROPERTY_NAME = "bounded-execution"
+
+
+@dataclass
+class LongestPathEntry:
+    """One feasible pipeline path found by the longest-path search."""
+
+    ops: int
+    path: ComposedPath
+    packet_bytes: bytes
+    model: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return f"{self.ops} ops via {self.path.describe()}"
+
+
+@dataclass
+class LongestPathReport:
+    """Result of the longest-path (adversarial workload) analysis."""
+
+    entries: List[LongestPathEntry] = field(default_factory=list)
+    #: instruction count of the most common (shortest feasible delivering) path,
+    #: used for the paper's "2.5x the common path" comparison
+    common_path_ops: Optional[int] = None
+    combinations_checked: int = 0
+    exhaustive: bool = True
+
+    @property
+    def longest_ops(self) -> Optional[int]:
+        return self.entries[0].ops if self.entries else None
+
+    def amplification(self) -> Optional[float]:
+        """Ratio between the longest path and the common path."""
+        if not self.entries or not self.common_path_ops:
+            return None
+        return self.entries[0].ops / self.common_path_ops
+
+
+class _BestFirstSearch:
+    """Best-first search over per-element segment choices (longest path)."""
+
+    def __init__(self, pipeline: Pipeline, summaries: Dict[str, ElementSummary],
+                 composer: PathComposer, config: VerifierConfig,
+                 deadline: Optional[float] = None):
+        self.pipeline = pipeline
+        self.summaries = summaries
+        self.composer = composer
+        self.config = config
+        self.deadline = deadline
+        self.combinations = 0
+        self.exhaustive = True
+        self._counter = itertools.count()
+
+    def _max_remaining(self, element) -> int:
+        """Upper bound on the instructions any continuation can still add."""
+        total = 0
+        current = element
+        visited = set()
+        while current is not None and current.name not in visited:
+            visited.add(current.name)
+            summary = self.summaries.get(current.name)
+            if summary is None:
+                break
+            total += summary.max_ops()
+            # Follow the "main" port (0) for the upper bound; other ports only
+            # lead out of these linear evaluation pipelines.
+            current = self.pipeline.successor(current, 0)
+        return total
+
+    def run(self, k: int = 1) -> List[Tuple[ComposedPath, Dict[str, int]]]:
+        """Return up to ``k`` feasible terminal paths in decreasing-ops order."""
+        entry = self.pipeline.entry()
+        found: List[Tuple[ComposedPath, Dict[str, int]]] = []
+        # Max-heap keyed by an optimistic bound on the final instruction count.
+        heap: List[Tuple[int, int, Optional[ComposedPath], object]] = []
+        bound = self._max_remaining(entry)
+        heapq.heappush(heap, (-bound, next(self._counter), None, entry))
+
+        while heap and len(found) < k:
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                self.exhaustive = False
+                break
+            if self.composer.stats.paths_composed >= self.config.max_composed_paths:
+                self.exhaustive = False
+                break
+            neg_bound, _, base, element = heapq.heappop(heap)
+            if element is None:
+                # ``base`` is a complete candidate path, already checked feasible.
+                found.append(base)
+                continue
+            base_path = base if base is not None else self.composer.initial_path()
+            summary = self.summaries[element.name]
+            for segment in summary.segments:
+                emission_count = max(1, len(segment.emissions))
+                for emission_index in range(emission_count):
+                    candidate = self.composer.extend(
+                        base_path, element.name, segment, emission_index
+                    )
+                    self.combinations += 1
+                    feasibility = self.composer.check(candidate)
+                    if feasibility.is_unsat:
+                        continue
+                    terminal = (
+                        segment.crashed
+                        or segment.budget_exceeded
+                        or not segment.emissions
+                        or self.pipeline.successor(element, candidate.exit_port) is None
+                    )
+                    if terminal:
+                        if feasibility.is_sat:
+                            heapq.heappush(
+                                heap,
+                                (-candidate.ops, next(self._counter),
+                                 (candidate, feasibility.model), None),
+                            )
+                        continue
+                    successor = self.pipeline.successor(element, candidate.exit_port)
+                    bound = candidate.ops + self._max_remaining(successor)
+                    heapq.heappush(
+                        heap, (-bound, next(self._counter), candidate, successor)
+                    )
+        return found
+
+
+class BoundedExecutionChecker:
+    """Prove or disprove that no packet executes more than ``Imax`` instructions."""
+
+    def __init__(self, config: VerifierConfig = DEFAULT_CONFIG,
+                 solver: Optional[Solver] = None):
+        self.config = config
+        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+
+    def check(self, pipeline: Pipeline, instruction_bound: Optional[int] = None,
+              summary: Optional[PipelineSummary] = None) -> VerificationResult:
+        imax = instruction_bound or self.config.instruction_bound
+        started = time.monotonic()
+        deadline = None
+        if self.config.time_budget is not None:
+            deadline = started + self.config.time_budget
+
+        if summary is None:
+            summary = summarize_pipeline(pipeline, self.config, self.solver, deadline)
+        stats = EffortStats(
+            step1_elapsed=summary.elapsed,
+            states=summary.total_states,
+            segments=summary.total_segments,
+        )
+        result = VerificationResult(
+            property_name=PROPERTY_NAME,
+            pipeline_name=pipeline.name,
+            verdict=Verdict.INCONCLUSIVE,
+            stats=stats,
+            detail={"instruction_bound": imax},
+        )
+
+        if summary.analysis_errors:
+            result.reason = "element code raised non-dataplane errors during analysis"
+            self._finish(result, started)
+            return result
+
+        composer = PathComposer(solver=self.solver, config=self.config)
+        step2_started = time.monotonic()
+
+        # First: are any potentially-unbounded segments (budget blow-ups, i.e.
+        # possible infinite loops) reachable?
+        unbounded_reachable = False
+        unbounded_inconclusive = False
+        for element_name, segment in summary.suspect_unbounded_segments():
+            search = search_paths_to_segment(
+                pipeline, summary.summaries, composer, element_name, segment,
+                config=self.config, stop_on_first_feasible=True, deadline=deadline,
+            )
+            if search.feasible_paths:
+                unbounded_reachable = True
+                path, model = search.feasible_paths[0]
+                result.counterexamples.append(
+                    Counterexample(
+                        packet_bytes=composer.counterexample_bytes(model),
+                        path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                        detail={
+                            "kind": "possible infinite loop",
+                            "ops_at_cutoff": segment.ops,
+                        },
+                        model=model,
+                    )
+                )
+            elif not search.exhaustive or search.any_unknown:
+                unbounded_inconclusive = True
+
+        # Second: the longest feasible path among ordinary segments.
+        search = _BestFirstSearch(pipeline, summary.summaries, composer, self.config, deadline)
+        longest = search.run(k=1)
+        result.detail["longest_path_combinations"] = search.combinations
+
+        stats.step2_elapsed = time.monotonic() - step2_started
+        stats.paths_composed = composer.stats.paths_composed
+        stats.solver_queries = composer.stats.paths_composed
+
+        if unbounded_reachable:
+            result.verdict = Verdict.VIOLATED
+            result.reason = (
+                "a packet can drive the pipeline past the execution budget "
+                "(possible infinite loop); counter-example attached"
+            )
+            self._finish(result, started)
+            return result
+
+        if longest:
+            path, model = longest[0]
+            result.detail["longest_path_ops"] = path.ops
+            result.detail["longest_path"] = path.describe()
+            if path.ops > imax:
+                result.verdict = Verdict.VIOLATED
+                result.reason = (
+                    f"the longest feasible path executes {path.ops} instructions, "
+                    f"more than the bound of {imax}"
+                )
+                result.counterexamples.append(
+                    Counterexample(
+                        packet_bytes=composer.counterexample_bytes(model),
+                        path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                        detail={"kind": "bound exceeded", "ops": path.ops},
+                        model=model,
+                    )
+                )
+                self._finish(result, started)
+                return result
+
+        if (summary.complete and not summary.timed_out and search.exhaustive
+                and not unbounded_inconclusive):
+            result.verdict = Verdict.PROVED
+            bound = result.detail.get("longest_path_ops", 0)
+            result.reason = (
+                f"every feasible path executes at most {bound} instructions "
+                f"(bound {imax})"
+            )
+        else:
+            result.verdict = Verdict.INCONCLUSIVE
+            result.reason = "analysis budget exhausted before the longest path was established"
+        self._finish(result, started)
+        return result
+
+    @staticmethod
+    def _finish(result: VerificationResult, started: float) -> None:
+        result.stats.elapsed = time.monotonic() - started
+
+
+def find_longest_paths(pipeline: Pipeline, k: int = 10,
+                       config: VerifierConfig = DEFAULT_CONFIG,
+                       solver: Optional[Solver] = None,
+                       summary: Optional[PipelineSummary] = None) -> LongestPathReport:
+    """The Section 5.3 adversarial-workload study: the ``k`` longest paths.
+
+    Returns the paths, the packets that exercise them, and the instruction
+    count of the "common" path (the cheapest feasible path that still delivers
+    the packet), so callers can reproduce the paper's ~2.5x amplification
+    observation.
+    """
+    solver = solver or Solver(max_nodes=config.solver_max_nodes)
+    deadline = None
+    if config.time_budget is not None:
+        deadline = time.monotonic() + config.time_budget
+    if summary is None:
+        summary = summarize_pipeline(pipeline, config, solver, deadline)
+    composer = PathComposer(solver=solver, config=config)
+    search = _BestFirstSearch(pipeline, summary.summaries, composer, config, deadline)
+    found = search.run(k=k)
+
+    report = LongestPathReport(
+        combinations_checked=search.combinations,
+        exhaustive=search.exhaustive,
+    )
+    for path, model in found:
+        report.entries.append(
+            LongestPathEntry(
+                ops=path.ops,
+                path=path,
+                packet_bytes=composer.counterexample_bytes(model),
+                model=model,
+            )
+        )
+
+    # The "common" path: the cheapest feasible path that traverses the whole
+    # pipeline (delivers the packet out of the last element).
+    last_element = pipeline.elements[-1].name
+    common: Optional[int] = None
+    from repro.verifier.composition import iterate_pipeline_paths
+
+    for path, feasibility in iterate_pipeline_paths(
+        pipeline, summary.summaries, composer, config, deadline=deadline
+    ):
+        if feasibility is None or not feasibility.is_sat:
+            continue
+        if path.crashed or path.budget_exceeded:
+            continue
+        if path.steps and path.steps[-1][0] == last_element and path.exit_port is not None:
+            if common is None or path.ops < common:
+                common = path.ops
+    report.common_path_ops = common
+    return report

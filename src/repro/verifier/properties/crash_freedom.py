@@ -1,0 +1,134 @@
+"""Crash-freedom checking (paper Section 4, "Crash-freedom").
+
+A pipeline is crash-free when no input packet (under arbitrary configuration
+and arbitrary private-state contents) can make it execute an instruction that
+terminates it abnormally.  The checker follows the paper's two steps:
+
+1. summarise every element in isolation and tag every crashing segment as
+   *suspect*;
+2. for every suspect, compose pipeline paths that end with it; the suspect is
+   a real violation only if one of those paths is feasible.
+
+If step 1 produces no suspects, the pipeline is proved crash-free without any
+composition work at all (the common case for the meaningful pipelines).  If a
+feasible violating path exists, the checker reconstructs the concrete packet
+from the solver model and attaches it as a counter-example.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.dataplane.pipeline import Pipeline
+from repro.symex.solver import Solver
+from repro.verifier.composition import PathComposer, search_paths_to_segment
+from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
+from repro.verifier.results import Counterexample, EffortStats, VerificationResult, Verdict
+
+PROPERTY_NAME = "crash-freedom"
+
+
+class CrashFreedomChecker:
+    """Prove or disprove crash-freedom of a pipeline."""
+
+    def __init__(self, config: VerifierConfig = DEFAULT_CONFIG,
+                 solver: Optional[Solver] = None):
+        self.config = config
+        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+
+    def check(self, pipeline: Pipeline,
+              summary: Optional[PipelineSummary] = None) -> VerificationResult:
+        """Run both verification steps and return the verdict."""
+        started = time.monotonic()
+        deadline = None
+        if self.config.time_budget is not None:
+            deadline = started + self.config.time_budget
+
+        if summary is None:
+            summary = summarize_pipeline(pipeline, self.config, self.solver, deadline)
+        stats = EffortStats(
+            step1_elapsed=summary.elapsed,
+            states=summary.total_states,
+            segments=summary.total_segments,
+        )
+
+        result = VerificationResult(
+            property_name=PROPERTY_NAME,
+            pipeline_name=pipeline.name,
+            verdict=Verdict.INCONCLUSIVE,
+            stats=stats,
+        )
+
+        failures = summary.analysis_errors
+        if failures:
+            result.reason = (
+                "element code raised non-dataplane errors during analysis: "
+                + ", ".join(f"{name} ({count})" for name, count in failures.items())
+            )
+            self._finish(result, started)
+            return result
+
+        suspects = list(summary.suspect_crash_segments())
+        result.detail["suspects"] = [segment.describe() for _, segment in suspects]
+
+        if not suspects:
+            if summary.complete and not summary.timed_out:
+                result.verdict = Verdict.PROVED
+                result.reason = "no element contains a crashing segment"
+            else:
+                result.reason = "no suspects found, but step 1 was not exhaustive"
+            self._finish(result, started)
+            return result
+
+        # Step 2: feasibility of each suspect in the context of the pipeline.
+        composer = PathComposer(solver=self.solver, config=self.config)
+        step2_started = time.monotonic()
+        all_infeasible = True
+        any_unknown = False
+        exhaustive = True
+        for element_name, segment in suspects:
+            search = search_paths_to_segment(
+                pipeline, summary.summaries, composer, element_name, segment,
+                config=self.config, stop_on_first_feasible=True, deadline=deadline,
+            )
+            exhaustive &= search.exhaustive
+            any_unknown |= search.any_unknown
+            if search.feasible_paths:
+                all_infeasible = False
+                path, model = search.feasible_paths[0]
+                result.counterexamples.append(
+                    Counterexample(
+                        packet_bytes=composer.counterexample_bytes(model),
+                        path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                        detail={
+                            "crash": str(segment.crash),
+                            "crash_kind": segment.crash.kind if segment.crash else None,
+                        },
+                        model=model,
+                    )
+                )
+        stats.step2_elapsed = time.monotonic() - step2_started
+        stats.paths_composed = composer.stats.paths_composed
+        stats.solver_queries = composer.stats.paths_composed
+
+        if result.counterexamples:
+            result.verdict = Verdict.VIOLATED
+            result.reason = (
+                f"{len(result.counterexamples)} reachable crash(es); "
+                "counter-example packets attached"
+            )
+        elif all_infeasible and exhaustive and not any_unknown \
+                and summary.complete and not summary.timed_out:
+            result.verdict = Verdict.PROVED
+            result.reason = "every crashing segment is infeasible in the pipeline context"
+        else:
+            result.verdict = Verdict.INCONCLUSIVE
+            result.reason = "analysis budget exhausted before all suspects were discharged"
+        self._finish(result, started)
+        return result
+
+    @staticmethod
+    def _finish(result: VerificationResult, started: float) -> None:
+        result.stats.elapsed = time.monotonic() - started

@@ -1,0 +1,213 @@
+"""Filtering properties (paper Section 4, "Filtering").
+
+A filtering property talks about a pipeline with a *specific* configuration:
+"any packet that enters the pipeline with source IP A and destination IP B
+will be dropped".  Following the paper, each element is abstracted as a
+function from input packet header to output port -- derived automatically by
+symbolically executing the element (step 1, *without* abstracting static
+configuration) -- and the element functions are composed to reason about the
+whole pipeline.
+
+The checker proves the property by showing that no feasible pipeline path both
+(a) satisfies the property's premise on the *entry* packet and (b) ends with
+the packet leaving the pipeline (for a "must be dropped" property) or being
+dropped (for a "must be delivered" property).  A feasible path that does both
+yields a counter-example packet -- e.g. the LSRR packet that bypasses the
+firewall in the Section 5.3 case study.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dataplane.pipeline import Pipeline
+from repro.net.addresses import ip_to_int
+from repro.structures.lpm import parse_prefix
+from repro.symex import exprs as E
+from repro.symex.solver import Solver
+from repro.verifier.composition import PathComposer, iterate_pipeline_paths
+from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
+from repro.verifier.results import Counterexample, EffortStats, VerificationResult, Verdict
+from repro.verifier.summaries import packet_symbol_name
+
+PROPERTY_NAME = "filtering"
+
+
+def _byte_symbol(index: int) -> E.BV:
+    return E.bv_sym(packet_symbol_name(index), 8)
+
+
+def _field_expr(offset: int, width: int) -> E.BV:
+    """Big-endian field over the entry packet bytes as one expression."""
+    total_width = 8 * width
+    value: E.BV = E.bv_const(0, total_width)
+    for i in range(width):
+        byte = E.zero_extend(_byte_symbol(offset + i), total_width)
+        value = E.bv_or(value, E.bv_shl(byte, E.bv_const(8 * (width - 1 - i), total_width)))
+    return value
+
+
+@dataclass
+class FilteringProperty:
+    """A premise over the entry packet plus the expected pipeline behaviour.
+
+    ``expectation`` is ``"dropped"`` (no packet matching the premise may leave
+    the pipeline) or ``"delivered"`` (every packet matching the premise must
+    leave the pipeline).
+    """
+
+    expectation: str = "dropped"
+    src_prefix: Optional[str] = None
+    dst_prefix: Optional[str] = None
+    src_ip: Optional[str] = None
+    dst_ip: Optional[str] = None
+    protocol: Optional[int] = None
+    dst_port: Optional[int] = None
+    #: additional free-form description used in reports
+    description: str = ""
+
+    def __post_init__(self):
+        if self.expectation not in ("dropped", "delivered"):
+            raise ValueError("expectation must be 'dropped' or 'delivered'")
+
+    def premise_constraints(self, ip_offset: int) -> List[E.BoolExpr]:
+        """The premise as constraints over the canonical entry-packet symbols."""
+        atoms: List[E.BoolExpr] = []
+        src_field = _field_expr(ip_offset + 12, 4)
+        dst_field = _field_expr(ip_offset + 16, 4)
+        if self.src_ip is not None:
+            atoms.append(E.cmp_eq(src_field, E.bv_const(ip_to_int(self.src_ip), 32)))
+        if self.dst_ip is not None:
+            atoms.append(E.cmp_eq(dst_field, E.bv_const(ip_to_int(self.dst_ip), 32)))
+        if self.src_prefix is not None:
+            value, plen = parse_prefix(self.src_prefix)
+            if plen > 0:
+                shift = E.bv_const(32 - plen, 32)
+                atoms.append(E.cmp_eq(E.bv_lshr(src_field, shift),
+                                      E.bv_const(value >> (32 - plen), 32)))
+        if self.dst_prefix is not None:
+            value, plen = parse_prefix(self.dst_prefix)
+            if plen > 0:
+                shift = E.bv_const(32 - plen, 32)
+                atoms.append(E.cmp_eq(E.bv_lshr(dst_field, shift),
+                                      E.bv_const(value >> (32 - plen), 32)))
+        if self.protocol is not None:
+            atoms.append(E.cmp_eq(_byte_symbol(ip_offset + 9), E.bv_const(self.protocol, 8)))
+        if self.dst_port is not None:
+            # Only meaningful for packets without IP options; the premise pins
+            # the port at the minimal (20-byte) header position.
+            atoms.append(E.cmp_eq(_field_expr(ip_offset + 22, 2),
+                                  E.bv_const(self.dst_port, 16)))
+        return atoms
+
+    def describe(self) -> str:
+        clauses = []
+        for label, value in (
+            ("src", self.src_ip or self.src_prefix),
+            ("dst", self.dst_ip or self.dst_prefix),
+            ("proto", self.protocol),
+            ("dport", self.dst_port),
+        ):
+            if value is not None:
+                clauses.append(f"{label}={value}")
+        premise = " and ".join(clauses) if clauses else "any packet"
+        return self.description or f"packets with {premise} are {self.expectation}"
+
+
+class FilteringChecker:
+    """Prove or disprove a filtering property for a specific configuration."""
+
+    def __init__(self, config: VerifierConfig = DEFAULT_CONFIG,
+                 solver: Optional[Solver] = None):
+        # Filtering proofs are about the installed configuration, so static
+        # state must not be abstracted away.
+        self.config = config.without_abstraction()
+        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+
+    def check(self, pipeline: Pipeline, prop: FilteringProperty,
+              summary: Optional[PipelineSummary] = None) -> VerificationResult:
+        started = time.monotonic()
+        deadline = None
+        if self.config.time_budget is not None:
+            deadline = started + self.config.time_budget
+
+        if summary is None:
+            summary = summarize_pipeline(pipeline, self.config, self.solver, deadline)
+        stats = EffortStats(
+            step1_elapsed=summary.elapsed,
+            states=summary.total_states,
+            segments=summary.total_segments,
+        )
+        result = VerificationResult(
+            property_name=f"{PROPERTY_NAME}: {prop.describe()}",
+            pipeline_name=pipeline.name,
+            verdict=Verdict.INCONCLUSIVE,
+            stats=stats,
+        )
+        if summary.analysis_errors:
+            result.reason = "element code raised non-dataplane errors during analysis"
+            self._finish(result, started)
+            return result
+
+        premise = prop.premise_constraints(self.config.ip_offset)
+        composer = PathComposer(solver=self.solver, config=self.config)
+        step2_started = time.monotonic()
+        any_unknown = False
+        exhaustive = True
+
+        for path, feasibility in iterate_pipeline_paths(
+            pipeline, summary.summaries, composer, self.config, deadline=deadline
+        ):
+            if feasibility is not None and feasibility.is_unknown:
+                any_unknown = True
+            if path.crashed or path.budget_exceeded:
+                # Crash/bounded-execution issues are separate properties; for a
+                # filtering property they make the verdict inconclusive at most.
+                continue
+            delivered = path.exit_port is not None
+            violating = (
+                (prop.expectation == "dropped" and delivered)
+                or (prop.expectation == "delivered" and not delivered)
+            )
+            if not violating:
+                continue
+            verdict = self.solver.check(path.constraints + premise,
+                                        max_nodes=self.config.solver_max_nodes)
+            composer.stats.paths_composed += 1
+            if verdict.is_sat:
+                result.counterexamples.append(
+                    Counterexample(
+                        packet_bytes=composer.counterexample_bytes(verdict.model),
+                        path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                        detail={"outcome": "delivered" if delivered else "dropped"},
+                        model=verdict.model,
+                    )
+                )
+                break
+            if verdict.is_unknown:
+                any_unknown = True
+
+        if composer.stats.paths_composed >= self.config.max_composed_paths:
+            exhaustive = False
+        stats.step2_elapsed = time.monotonic() - step2_started
+        stats.paths_composed = composer.stats.paths_composed
+        stats.solver_queries = composer.stats.paths_composed
+
+        if result.counterexamples:
+            result.verdict = Verdict.VIOLATED
+            result.reason = "a packet matching the premise reaches the forbidden outcome"
+        elif exhaustive and not any_unknown and summary.complete and not summary.timed_out:
+            result.verdict = Verdict.PROVED
+            result.reason = "no feasible pipeline path violates the property"
+        else:
+            result.verdict = Verdict.INCONCLUSIVE
+            result.reason = "analysis budget exhausted before all paths were examined"
+        self._finish(result, started)
+        return result
+
+    @staticmethod
+    def _finish(result: VerificationResult, started: float) -> None:
+        result.stats.elapsed = time.monotonic() - started

@@ -1,0 +1,67 @@
+"""Plain-text reporting helpers used by the examples and the benchmark harness.
+
+The evaluation section of the paper communicates through a handful of tables
+(verification time per pipeline stage, states explored, paths composed per
+bug).  These helpers render the same rows from
+:class:`repro.verifier.results.VerificationResult` and friends, so benchmark
+output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.verifier.results import VerificationResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def result_row(result: VerificationResult) -> Tuple[str, str, str, str, str, str]:
+    """One table row summarising a verification result."""
+    return (
+        result.pipeline_name,
+        result.property_name.split(":")[0],
+        str(result.verdict),
+        f"{result.stats.elapsed:.2f}s",
+        str(result.stats.states),
+        str(result.stats.paths_composed),
+    )
+
+
+def format_results(results: Iterable[VerificationResult]) -> str:
+    """A table over several verification results."""
+    headers = ["pipeline", "property", "verdict", "time", "states", "paths composed"]
+    return format_table(headers, [result_row(r) for r in results])
+
+
+def format_counterexample(result: VerificationResult, index: int = 0,
+                          max_bytes: int = 64) -> str:
+    """Render one counter-example packet as a hex dump plus path."""
+    if not result.counterexamples:
+        return "(no counter-example)"
+    example = result.counterexamples[index]
+    data = example.packet_bytes[:max_bytes]
+    hex_lines: List[str] = []
+    for offset in range(0, len(data), 16):
+        chunk = data[offset:offset + 16]
+        hex_lines.append(f"  {offset:04x}  " + " ".join(f"{b:02x}" for b in chunk))
+    path = " -> ".join(example.path) if example.path else "(entry)"
+    details = ", ".join(f"{k}={v}" for k, v in example.detail.items())
+    return "\n".join(
+        [f"counter-example packet ({len(example.packet_bytes)} bytes), path: {path}",
+         f"details: {details}"] + hex_lines
+    )

@@ -1,0 +1,106 @@
+"""Result types shared by all property checkers.
+
+The paper's tool answers "the pipeline satisfies property P", "it does not --
+here is a packet that violates it", or "the analysis could not decide" (never
+silently; "when we fail, we know it").  These three outcomes are the
+:class:`Verdict` values below; a :class:`VerificationResult` carries the
+verdict together with counter-examples and the effort accounting the
+evaluation section reports (verification time, states explored, paths
+composed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class Verdict(enum.Enum):
+    """Outcome of a verification run."""
+
+    #: the property holds for every packet (and, where applicable, every
+    #: configuration and private-state contents)
+    PROVED = "proved"
+    #: the property is violated; counter-examples are attached
+    VIOLATED = "violated"
+    #: a budget was exhausted or an analysis assumption failed; no conclusion
+    INCONCLUSIVE = "inconclusive"
+
+    def __str__(self) -> str:  # nicer in reports
+        return self.value
+
+
+@dataclass
+class Counterexample:
+    """A concrete packet (plus context) that violates the target property."""
+
+    #: raw bytes of the pipeline-entry packet
+    packet_bytes: bytes
+    #: the elements/segments along the violating path, e.g. ``["checkip#3", ...]``
+    path: List[str] = field(default_factory=list)
+    #: free-form details (the failed assertion, the instruction count, ...)
+    detail: Dict[str, Any] = field(default_factory=dict)
+    #: the solver model the packet was reconstructed from
+    model: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        where = " -> ".join(self.path) if self.path else "<entry>"
+        return f"counterexample ({len(self.packet_bytes)} bytes) via {where}"
+
+
+@dataclass
+class EffortStats:
+    """Verification-effort counters (what Fig. 4 and Table 3 report)."""
+
+    #: wall-clock seconds spent in total
+    elapsed: float = 0.0
+    #: wall-clock seconds spent in step 1 (per-element summaries)
+    step1_elapsed: float = 0.0
+    #: wall-clock seconds spent in step 2 (composition)
+    step2_elapsed: float = 0.0
+    #: number of execution states (segments/paths) created during step 1
+    states: int = 0
+    #: total number of per-element segments in the summaries
+    segments: int = 0
+    #: number of candidate pipeline paths composed and checked in step 2
+    paths_composed: int = 0
+    #: number of solver queries issued
+    solver_queries: int = 0
+
+
+@dataclass
+class VerificationResult:
+    """The outcome of checking one property on one pipeline."""
+
+    property_name: str
+    pipeline_name: str
+    verdict: Verdict
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    #: human-readable explanation of the verdict (especially for INCONCLUSIVE)
+    reason: str = ""
+    stats: EffortStats = field(default_factory=EffortStats)
+    #: property-specific extras (e.g. the proved instruction bound)
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict is Verdict.PROVED
+
+    @property
+    def violated(self) -> bool:
+        return self.verdict is Verdict.VIOLATED
+
+    @property
+    def inconclusive(self) -> bool:
+        return self.verdict is Verdict.INCONCLUSIVE
+
+    def summary(self) -> str:
+        base = (
+            f"{self.property_name} on {self.pipeline_name}: {self.verdict} "
+            f"(time {self.stats.elapsed:.2f}s, states {self.stats.states}, "
+            f"paths composed {self.stats.paths_composed})"
+        )
+        if self.reason:
+            base += f" -- {self.reason}"
+        return base

@@ -1,0 +1,226 @@
+"""Mutable-private-state analysis (paper Section 3.4).
+
+Step 1 of the paper's approach to stateful elements has two sub-steps:
+
+* **sub-step (i)** -- treat every value read from private state as symbolic
+  and unconstrained and look for values that would violate the target
+  property.  In this reproduction that happens automatically: the
+  :class:`repro.verifier.abstraction.AbstractStore` returns fresh symbols for
+  reads and journals every access.
+* **sub-step (ii)** -- decide whether the suspect values are *feasible*, given
+  how the element actually manipulates its state.  The paper does this by
+  matching the symbolic state against known patterns with pre-constructed
+  proofs (their running example: ``new = old + 1`` is a monotone counter, so
+  by induction it eventually reaches the maximum of its type and overflows).
+
+This module implements the pattern matcher of sub-step (ii) for the write-back
+expressions recorded in segment journals.  Three patterns are recognised:
+
+``monotone-counter``
+    the stored value is ``read + c`` with ``c > 0``: every value up to the type
+    maximum is reachable by induction over a long enough packet sequence, so a
+    potential overflow is *feasible*;
+``bounded-update``
+    the stored value is a constant, or an if-then-else whose branches are all
+    constants or guarded so the value never exceeds a constant bound: overflow
+    is *infeasible*;
+``unrecognised``
+    anything else: the analysis refuses to conclude (INCONCLUSIVE), never
+    guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.symex import exprs as E
+from repro.symex.intervals import Interval, interval_of, refine_with_constraint
+from repro.verifier.summaries import ElementSummary, Segment
+
+MONOTONE_COUNTER = "monotone-counter"
+BOUNDED_UPDATE = "bounded-update"
+UNRECOGNISED = "unrecognised"
+
+
+@dataclass
+class StateWriteFinding:
+    """The classification of one private-state write-back."""
+
+    element: str
+    attribute: str
+    pattern: str
+    #: human-readable induction argument / explanation
+    argument: str
+    #: True when the write can eventually overflow the value's type
+    overflow_feasible: Optional[bool] = None
+    #: the write-back expression (for reports/debugging)
+    expression: Optional[E.Expr] = None
+
+
+@dataclass
+class MutableStateReport:
+    """All findings for one element (or pipeline)."""
+
+    findings: List[StateWriteFinding] = field(default_factory=list)
+
+    @property
+    def overflow_risks(self) -> List[StateWriteFinding]:
+        return [f for f in self.findings if f.overflow_feasible is True]
+
+    @property
+    def inconclusive(self) -> List[StateWriteFinding]:
+        return [f for f in self.findings if f.overflow_feasible is None]
+
+    @property
+    def safe(self) -> bool:
+        """True when every recognised write is bounded and none is unknown."""
+        return not self.overflow_risks and not self.inconclusive
+
+
+def _reads_in(expr: E.Expr, read_symbols: Dict[str, Tuple[str, str]]) -> List[str]:
+    """Names of abstract-store read symbols appearing in ``expr``."""
+    return [s.name for s in E.free_symbols(expr) if s.name in read_symbols]
+
+
+def _classify_write(value: E.Expr, read_symbols: Dict[str, Tuple[str, str]],
+                    constraints: Optional[List[E.BoolExpr]] = None):
+    """Classify one write-back expression; returns (pattern, argument, overflow?).
+
+    ``constraints`` is the path constraint of the segment the write occurs on.
+    It matters for saturating updates: a write of ``old + 1`` that is guarded
+    by ``old < MAX`` on its path cannot wrap, so it is a bounded update even
+    though the expression alone looks like a monotone counter.
+    """
+    constraints = constraints or []
+    if isinstance(value, int):
+        return BOUNDED_UPDATE, "the stored value is the constant %d" % value, False
+    if isinstance(value, E.BVConst):
+        return BOUNDED_UPDATE, f"the stored value is the constant {value.value}", False
+
+    reads = _reads_in(value, read_symbols)
+    if not reads:
+        return (
+            BOUNDED_UPDATE,
+            "the stored value does not depend on previously stored state "
+            "(it is a function of the current packet only)",
+            False,
+        )
+
+    base_value = value
+    while isinstance(base_value, (E.BVZeroExt, E.BVTrunc)):
+        base_value = base_value.arg
+    if isinstance(base_value, E.BVSym) and base_value.name in read_symbols:
+        return (
+            BOUNDED_UPDATE,
+            "the stored value is the previously stored value, unchanged",
+            False,
+        )
+
+    # new = old + c (c > 0): the paper's Fig. 3 / Eq. 1 pattern.
+    if isinstance(value, E.BVBinOp) and value.op == "add":
+        left, right = value.left, value.right
+        for old, delta in ((left, right), (right, left)):
+            base = old
+            while isinstance(base, (E.BVZeroExt, E.BVTrunc)):
+                base = base.arg
+            if isinstance(base, E.BVSym) and base.name in read_symbols \
+                    and isinstance(delta, E.BVConst) and delta.value > 0:
+                maximum = E.mask_for(value.width)
+                # The path constraint may bound the previous value so that the
+                # increment can never wrap (a saturating counter).
+                env: Dict[str, Interval] = {}
+                for _ in range(4):
+                    changed = False
+                    for atom in constraints:
+                        changed |= refine_with_constraint(atom, env)
+                    if not changed:
+                        break
+                bounded = interval_of(old, env)
+                if not bounded.is_empty() and bounded.hi + delta.value <= maximum:
+                    return (
+                        BOUNDED_UPDATE,
+                        "the increment is guarded so the stored value never exceeds "
+                        f"{bounded.hi + delta.value} (the type maximum is {maximum})",
+                        False,
+                    )
+                argument = (
+                    f"the stored value is (previous value + {delta.value}); by induction, "
+                    f"after observing enough packets of the same flow the value reaches "
+                    f"{maximum} (the maximum of its {value.width}-bit type) and the next "
+                    f"increment overflows"
+                )
+                return MONOTONE_COUNTER, argument, True
+
+    # Saturating update: ITE(read < bound, read + c, read) and similar shapes
+    # where every branch either keeps the old value or stays below a constant.
+    if isinstance(value, E.BVIte):
+        then_p, then_a, then_o = _classify_write(value.then, read_symbols, constraints)
+        else_p, else_a, else_o = _classify_write(value.orelse, read_symbols, constraints)
+        if then_o is False and else_o is False:
+            return (
+                BOUNDED_UPDATE,
+                "every branch of the conditional update is bounded "
+                f"({then_a}; {else_a})",
+                False,
+            )
+
+    return (
+        UNRECOGNISED,
+        "the write-back expression does not match any pattern with a "
+        "pre-constructed proof; manual reasoning would be required",
+        None,
+    )
+
+
+def analyze_segments(element_name: str, segments: Iterable[Segment]) -> MutableStateReport:
+    """Run sub-step (ii) over the journals of an element's segments."""
+    report = MutableStateReport()
+    seen: set = set()
+    for segment in segments:
+        # Which fresh symbols in this segment came from private-state reads?
+        read_symbols: Dict[str, Tuple[str, str]] = {}
+        for entry in segment.journal:
+            if entry.kind != "state-access":
+                continue
+            detail = entry.detail
+            if detail.get("operation") == "read" and detail.get("state_kind") == "private":
+                value = detail.get("value")
+                if isinstance(value, E.BVSym):
+                    read_symbols[value.name] = (detail["element"], detail["attribute"])
+        for entry in segment.journal:
+            if entry.kind != "state-access":
+                continue
+            detail = entry.detail
+            if detail.get("operation") != "write" or detail.get("state_kind") != "private":
+                continue
+            value = detail.get("value")
+            if isinstance(value, int):
+                value_expr: E.Expr = E.bv_const(value, 64)
+            elif isinstance(value, E.BV):
+                value_expr = value
+            else:
+                continue  # non-numeric control-plane payloads are out of scope
+            pattern, argument, overflow = _classify_write(
+                value_expr, read_symbols, segment.constraints
+            )
+            key = (detail["element"], detail["attribute"], pattern, repr(value_expr))
+            if key in seen:
+                continue
+            seen.add(key)
+            report.findings.append(
+                StateWriteFinding(
+                    element=detail["element"],
+                    attribute=detail["attribute"],
+                    pattern=pattern,
+                    argument=argument,
+                    overflow_feasible=overflow,
+                    expression=value_expr,
+                )
+            )
+    return report
+
+
+def analyze_element_summary(summary: ElementSummary) -> MutableStateReport:
+    """Convenience wrapper over :func:`analyze_segments`."""
+    return analyze_segments(summary.element, summary.segments)

@@ -1,0 +1,332 @@
+"""Verification step 1: per-element symbolic summaries (paper Section 3.1).
+
+``summarize_element`` symbolically executes one element in isolation, with an
+unconstrained symbolic packet as input and all registered state abstracted
+away, and turns every explored path into a :class:`Segment`: the paper's
+"logical expression that specifies how this segment transforms state" --
+a path constraint, the symbolic contents of the emitted packet(s), the crash
+or budget outcome, and the instruction count.
+
+Segments use *canonical* symbol names:
+
+* ``pkt[i]`` is byte ``i`` of the packet as the element received it;
+* ``meta.<key>`` is the value of metadata annotation ``<key>`` at entry
+  (loop-carried state, Condition 1);
+* every other symbol (fresh values returned by abstract stores) is private to
+  the segment and is listed in ``Segment.fresh_symbols`` so the composition
+  step can rename it per instance.
+
+Because all elements' summaries share the same canonical input names,
+composing segment ``B`` after segment ``A`` is a pure substitution: rewrite
+``B``'s constraint and output state, replacing each ``pkt[i]`` with the
+expression ``A`` left in byte ``i``.  That substitution is verification step 2
+(:mod:`repro.verifier.composition`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.dataplane.element import Element
+from repro.errors import DataplaneCrash
+from repro.net.packet import Packet
+from repro.symex import exprs as E
+from repro.symex.explorer import ExplorationResult, PathExplorer, PathResult
+from repro.symex.runtime import JournalEntry
+from repro.symex.solver import Solver
+from repro.symex.sym_buffer import SymbolicBuffer
+from repro.symex.values import SymVal, is_symbolic, unwrap
+from repro.verifier.abstraction import abstracted_state
+from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+
+#: canonical prefix of packet-byte symbols
+PACKET_SYMBOL_PREFIX = "pkt"
+#: canonical prefix of metadata symbols
+META_SYMBOL_PREFIX = "meta."
+#: width used for symbolic metadata values
+META_SYMBOL_WIDTH = 16
+
+
+def packet_symbol_name(index: int) -> str:
+    """Canonical name of packet byte ``index``."""
+    return f"{PACKET_SYMBOL_PREFIX}[{index}]"
+
+
+def meta_symbol_name(key: str) -> str:
+    """Canonical name of metadata annotation ``key``."""
+    return f"{META_SYMBOL_PREFIX}{key}"
+
+
+class SymbolicMetadata(dict):
+    """Annotation map whose missing entries read as canonical symbolic values.
+
+    Used when summarising a *loop body* (Section 3.2): any metadata the body
+    reads is loop-carried state and must be treated as unconstrained input.
+    For whole-element summaries the ordinary ``dict`` semantics apply instead
+    (annotations the element did not write read as their defaults), because in
+    this element library no element consumes annotations produced by another
+    element -- see DESIGN.md.
+    """
+
+    def get(self, key, default=None):
+        if key not in self:
+            symbol = E.bv_sym(meta_symbol_name(key), META_SYMBOL_WIDTH)
+            value = SymVal(symbol)
+            dict.__setitem__(self, key, value)
+            return value
+        return dict.__getitem__(self, key)
+
+
+def make_symbolic_packet(config: VerifierConfig, symbolic_metadata: bool = False) -> Packet:
+    """Create the unconstrained symbolic packet fed to an element summary."""
+    buffer = SymbolicBuffer.fully_symbolic(config.packet_size, prefix=PACKET_SYMBOL_PREFIX)
+    packet = Packet(buffer, ip_offset=config.ip_offset)
+    if symbolic_metadata:
+        packet.meta = SymbolicMetadata()
+    return packet
+
+
+# ---------------------------------------------------------------------------
+# segment / summary data model
+# ---------------------------------------------------------------------------
+
+#: value stored in a state map: a bit-vector expression or a concrete int
+StateValue = Union[int, E.BV]
+#: a symbolic state: canonical symbol name -> value after the segment
+StateMap = Dict[str, StateValue]
+
+
+@dataclass
+class SegmentEmission:
+    """One packet emitted by a segment: output port plus symbolic state delta."""
+
+    port: int
+    #: canonical name -> expression, only for locations the segment changed
+    state: StateMap = field(default_factory=dict)
+
+
+@dataclass
+class Segment:
+    """One execution path through a single element (paper terminology)."""
+
+    element: str
+    index: int
+    constraints: List[E.BoolExpr]
+    emissions: List[SegmentEmission]
+    crash: Optional[DataplaneCrash]
+    budget_exceeded: bool
+    ops: int
+    journal: List[JournalEntry] = field(default_factory=list)
+    #: (name, width) of symbols private to this segment (abstract-store reads)
+    fresh_symbols: List[Tuple[str, int]] = field(default_factory=list)
+    analysis_error: Optional[BaseException] = None
+    #: for loop-body segments: 'continue', 'done' or 'drop'
+    loop_status: Optional[str] = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+    @property
+    def drops(self) -> bool:
+        """True when the packet does not leave this element on this segment."""
+        return not self.emissions and not self.crashed
+
+    def path_constraint(self) -> E.BoolExpr:
+        return E.bool_and(*self.constraints)
+
+    def describe(self) -> str:
+        """A one-line human-readable description (used in reports)."""
+        if self.crashed:
+            outcome = f"CRASH[{self.crash.kind}]"
+        elif self.budget_exceeded:
+            outcome = "UNBOUNDED?"
+        elif self.analysis_error is not None:
+            outcome = f"ANALYSIS-ERROR[{type(self.analysis_error).__name__}]"
+        elif not self.emissions:
+            outcome = "drop"
+        else:
+            outcome = "emit " + ",".join(str(e.port) for e in self.emissions)
+        return f"{self.element}#{self.index}: {outcome} ({self.ops} ops)"
+
+
+@dataclass
+class ElementSummary:
+    """All segments of one element, plus completeness accounting."""
+
+    element: str
+    segments: List[Segment]
+    complete: bool
+    states: int
+    elapsed: float
+    timed_out: bool = False
+
+    @property
+    def crash_segments(self) -> List[Segment]:
+        return [s for s in self.segments if s.crashed]
+
+    @property
+    def unbounded_segments(self) -> List[Segment]:
+        return [s for s in self.segments if s.budget_exceeded]
+
+    @property
+    def analysis_errors(self) -> List[Segment]:
+        return [s for s in self.segments if s.analysis_error is not None]
+
+    def max_ops(self) -> int:
+        return max((s.ops for s in self.segments), default=0)
+
+
+# ---------------------------------------------------------------------------
+# state extraction
+# ---------------------------------------------------------------------------
+
+
+def _buffer_state_delta(buffer: SymbolicBuffer) -> StateMap:
+    """Collect the cells of ``buffer`` that no longer hold their input symbol."""
+    delta: StateMap = {}
+    for index in range(len(buffer)):
+        name = packet_symbol_name(index)
+        cell = buffer.cell_expr(index)
+        if isinstance(cell, E.BVSym) and cell.name == name:
+            continue  # unchanged
+        delta[name] = cell
+    return delta
+
+
+def _meta_state_delta(packet: Packet) -> StateMap:
+    """Collect metadata annotations as canonical ``meta.*`` entries."""
+    delta: StateMap = {}
+    for key, value in packet.meta.items():
+        name = meta_symbol_name(key)
+        expr = unwrap(value) if is_symbolic(value) else value
+        if isinstance(expr, E.BVSym) and expr.name == name:
+            continue  # still the unconstrained input value
+        delta[name] = expr
+    return delta
+
+
+def _emission_state(packet: Packet) -> StateMap:
+    state = _buffer_state_delta(packet.buf)
+    state.update(_meta_state_delta(packet))
+    return state
+
+
+def _path_to_segment(element: Element, index: int, path: PathResult) -> Segment:
+    emissions: List[SegmentEmission] = []
+    loop_status: Optional[str] = None
+    if path.output is not None:
+        mode, payload = path.output
+        if mode == "process":
+            for port, packet in payload:
+                emissions.append(SegmentEmission(port=port, state=_emission_state(packet)))
+        elif mode == "loop-body":
+            loop_status, packet = payload
+            emissions.append(SegmentEmission(port=0, state=_emission_state(packet)))
+        elif mode == "loop-setup":
+            packet = payload
+            emissions.append(SegmentEmission(port=0, state=_emission_state(packet)))
+    return Segment(
+        element=element.name,
+        index=index,
+        constraints=list(path.constraints),
+        emissions=emissions,
+        crash=path.crash,
+        budget_exceeded=path.budget_exceeded,
+        ops=path.ops,
+        journal=list(path.journal),
+        fresh_symbols=[(s.name, s.width) for s in path.fresh_symbols],
+        analysis_error=path.analysis_error,
+        loop_status=loop_status,
+    )
+
+
+# ---------------------------------------------------------------------------
+# summarisation entry points
+# ---------------------------------------------------------------------------
+
+
+def _make_explorer(config: VerifierConfig, solver: Optional[Solver],
+                   deadline: Optional[float]) -> PathExplorer:
+    time_budget = None
+    if deadline is not None:
+        time_budget = max(0.05, deadline - time.monotonic())
+    return PathExplorer(
+        solver=solver or Solver(max_nodes=config.solver_max_nodes),
+        max_paths=config.max_segments_per_element,
+        max_ops_per_path=config.max_ops_per_segment,
+        branch_check_nodes=config.branch_check_nodes,
+        time_budget=time_budget,
+    )
+
+
+def _run_summary(element: Element, config: VerifierConfig, solver: Optional[Solver],
+                 deadline: Optional[float], target) -> ElementSummary:
+    explorer = _make_explorer(config, solver, deadline)
+    started = time.monotonic()
+    exploration: ExplorationResult = explorer.explore(target)
+    elapsed = time.monotonic() - started
+    segments = [
+        _path_to_segment(element, index, path) for index, path in enumerate(exploration.paths)
+    ]
+    return ElementSummary(
+        element=element.name,
+        segments=segments,
+        complete=exploration.complete,
+        states=exploration.states,
+        elapsed=elapsed,
+        timed_out=exploration.timed_out,
+    )
+
+
+def summarize_element(element: Element, config: VerifierConfig = DEFAULT_CONFIG,
+                      solver: Optional[Solver] = None,
+                      deadline: Optional[float] = None) -> ElementSummary:
+    """Step 1 for one element: explore ``process`` over an unconstrained packet."""
+
+    def target(runtime):
+        packet = make_symbolic_packet(config)
+        with abstracted_state(element, config):
+            result = element.process(packet)
+        return ("process", Element.normalize_result(result))
+
+    return _run_summary(element, config, solver, deadline, target)
+
+
+def summarize_loop_body(element: Element, config: VerifierConfig = DEFAULT_CONFIG,
+                        solver: Optional[Solver] = None,
+                        deadline: Optional[float] = None) -> ElementSummary:
+    """Step 1 for one *loop iteration* of a loop element (Section 3.2).
+
+    The loop-carried metadata is symbolic and unconstrained, so the summary
+    covers an iteration that "may start reading from anywhere in the IP
+    header" (and, more generally, from any loop state).
+    """
+    if not element.LOOP_ELEMENT:
+        raise ValueError(f"{element.name} is not a loop element")
+
+    def target(runtime):
+        packet = make_symbolic_packet(config, symbolic_metadata=True)
+        with abstracted_state(element, config):
+            status = element.loop_body(packet)
+        return ("loop-body", (status, packet))
+
+    return _run_summary(element, config, solver, deadline, target)
+
+
+def summarize_loop_setup(element: Element, config: VerifierConfig = DEFAULT_CONFIG,
+                         solver: Optional[Solver] = None,
+                         deadline: Optional[float] = None) -> ElementSummary:
+    """Summarise the loop initialisation (``loop_setup``) of a loop element."""
+    if not element.LOOP_ELEMENT:
+        raise ValueError(f"{element.name} is not a loop element")
+
+    def target(runtime):
+        packet = make_symbolic_packet(config)
+        with abstracted_state(element, config):
+            element.loop_setup(packet)
+        return ("loop-setup", packet)
+
+    return _run_summary(element, config, solver, deadline, target)

@@ -1,0 +1,127 @@
+"""Concrete reproduction of the three Click bugs from Section 5.3.
+
+These tests exercise the bugs on the *concrete* dataplane (with a watchdog for
+the two infinite loops); the corresponding verifier-based discovery -- finding
+the same bugs automatically from symbolic analysis -- is covered in
+``tests/integration/test_verifier_bugs.py`` and in the Table 3 benchmark.
+"""
+
+import signal
+
+import pytest
+
+from repro.dataplane.pipelines import (
+    build_click_nat_gateway,
+    build_fragmenter_pipeline,
+    build_network_gateway,
+)
+from repro.errors import AssertionFailure
+from repro.net.builder import PacketBuilder
+from repro.net.options import encode_lsrr, pad_options
+
+
+class _Watchdog:
+    """Fail fast (instead of hanging the test suite) on infinite loops."""
+
+    def __init__(self, seconds: int = 5):
+        self.seconds = seconds
+        self.fired = False
+
+    def __enter__(self):
+        def handler(signum, frame):
+            self.fired = True
+            raise TimeoutError("watchdog fired: execution did not terminate")
+
+        self._previous = signal.signal(signal.SIGALRM, handler)
+        signal.alarm(self.seconds)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, self._previous)
+        return exc_type is TimeoutError  # swallow the watchdog exception
+
+
+def options_packet(options, payload=300, **ip_kwargs):
+    ip_kwargs.setdefault("src", "1.1.1.1")
+    ip_kwargs.setdefault("dst", "10.1.2.3")
+    ip_kwargs.setdefault("ttl", 9)
+    builder = PacketBuilder().ethernet().ipv4(**ip_kwargs)
+    if options:
+        builder = builder.ip_options(options, pad=False)
+    return builder.udp(1, 2).payload(b"z" * payload).build()
+
+
+class TestBug1FragmenterWithCopiedOption:
+    """Fragmenting a packet that carries a copied option loops forever."""
+
+    def test_infinite_loop_on_lsrr_option(self):
+        pipeline = build_fragmenter_pipeline(with_ip_options=True, mtu=96)
+        packet = options_packet(pad_options(encode_lsrr(["10.1.2.3"])))
+        with _Watchdog(5) as watchdog:
+            pipeline.run(packet)
+        assert watchdog.fired, "bug #1 should make the fragmenter loop forever"
+
+    def test_same_packet_is_fine_when_it_needs_no_fragmentation(self):
+        pipeline = build_fragmenter_pipeline(with_ip_options=True, mtu=1500)
+        packet = options_packet(pad_options(encode_lsrr(["10.1.2.3"])), payload=100)
+        with _Watchdog(5) as watchdog:
+            result = pipeline.run(packet)
+        assert not watchdog.fired
+        assert result.outputs
+
+
+class TestBug2FragmenterWithZeroLengthOption:
+    """A zero-length option wedges the fragmenter unless IPOptions filtered it."""
+
+    ZERO_LENGTH_OPTION = bytes([7, 0, 0, 0])
+
+    def test_infinite_loop_without_ip_options_element(self):
+        pipeline = build_fragmenter_pipeline(with_ip_options=False, mtu=96)
+        packet = options_packet(self.ZERO_LENGTH_OPTION)
+        with _Watchdog(5) as watchdog:
+            pipeline.run(packet)
+        assert watchdog.fired, "bug #2 should make the fragmenter loop forever"
+
+    def test_ip_options_element_shields_the_fragmenter(self):
+        pipeline = build_fragmenter_pipeline(with_ip_options=True, mtu=96)
+        packet = options_packet(self.ZERO_LENGTH_OPTION)
+        with _Watchdog(5) as watchdog:
+            result = pipeline.run(packet)
+        assert not watchdog.fired
+        # The malformed packet is discarded by the IP-options element.
+        assert result.drops and result.drops[0][0] == "ipoptions"
+
+    def test_packets_without_options_fragment_normally(self):
+        pipeline = build_fragmenter_pipeline(with_ip_options=False, mtu=96)
+        result = pipeline.run(options_packet(b""))
+        assert not result.crashed
+        assert len(result.outputs) > 1
+
+
+class TestBug3ClickNatAssertion:
+    """A hairpin packet (both tuples equal the public tuple) kills Click's NAT."""
+
+    def hairpin(self):
+        return (PacketBuilder().ethernet()
+                .ipv4(src="1.2.3.4", dst="1.2.3.4")
+                .udp(10000, 10000).payload(b"x").build())
+
+    def test_gateway_with_click_nat_crashes(self):
+        pipeline = build_click_nat_gateway(public_ip="1.2.3.4", public_port=10000)
+        result = pipeline.run(self.hairpin())
+        assert result.crashed
+        assert isinstance(result.crash, AssertionFailure)
+
+    def test_gateway_with_verified_nat_does_not_crash(self):
+        pipeline = build_network_gateway(public_ip="1.2.3.4")
+        result = pipeline.run(self.hairpin())
+        assert not result.crashed
+
+    def test_click_nat_survives_ordinary_traffic(self):
+        pipeline = build_click_nat_gateway(public_ip="1.2.3.4", public_port=10000)
+        normal = (PacketBuilder().ethernet().ipv4(src="192.168.0.7", dst="8.8.8.8")
+                  .udp(5555, 53).payload(b"q").build())
+        result = pipeline.run(normal)
+        assert not result.crashed
+        assert result.outputs

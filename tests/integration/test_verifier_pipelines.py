@@ -1,0 +1,173 @@
+"""End-to-end verifier tests on small pipelines.
+
+These are the fast, deterministic integration tests; the heavier evaluation
+pipelines (the full routers, the fragmenter pipelines, the generic-baseline
+comparisons) live in ``benchmarks/`` where their run time is the measurement.
+"""
+
+import pytest
+
+from repro.dataplane.element import Element
+from repro.dataplane.elements import (
+    CheckIPHeader,
+    Classifier,
+    DecIPTTL,
+    DropBroadcasts,
+    EtherDecap,
+    HeaderFilter,
+    IPFilter,
+    IPOptions,
+    PassThrough,
+)
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.pipelines import build_filter_chain, build_lsrr_firewall
+from repro.errors import AssertionFailure
+from repro.net.packet import Packet
+from repro.verifier import (
+    FilteringProperty,
+    VerifierConfig,
+    Verdict,
+    summarize_once,
+    verify_bounded_execution,
+    verify_crash_freedom,
+    verify_filtering,
+)
+
+CONFIG = VerifierConfig(time_budget=90)
+
+
+class GuardedDivider(Element):
+    """Crash-free only thanks to an upstream guarantee (the paper's Fig. 1 shape)."""
+
+    def process(self, packet):
+        ttl = packet.ip().ttl
+        # CheckIPHeader cannot guarantee a non-zero TTL, but DecIPTTL upstream
+        # guarantees ttl >= 1 on its forward port, so this never divides by 0.
+        packet.set_meta("budget", 255 // ttl)
+        return packet
+
+
+class UnconditionalCrasher(Element):
+    def process(self, packet):
+        if packet.ip().ttl == 77:
+            raise AssertionFailure("ttl 77 is cursed")
+        return packet
+
+
+class TestCrashFreedom:
+    def test_filter_chain_is_proved_crash_free(self):
+        result = verify_crash_freedom(build_filter_chain(["ip_dst", "ip_src"]), config=CONFIG)
+        assert result.verdict is Verdict.PROVED
+        assert result.stats.paths_composed == 0  # no suspects, step 2 unused
+
+    def test_preprocessing_pipeline_is_proved_crash_free(self):
+        pipeline = Pipeline.linear(
+            [Classifier.ethertype_classifier(name="cls"), EtherDecap(name="decap"),
+             CheckIPHeader(name="chk"), DecIPTTL(name="ttl"), DropBroadcasts(name="bcast")],
+            name="preproc",
+        )
+        result = verify_crash_freedom(pipeline, config=CONFIG)
+        assert result.proved
+
+    def test_reachable_crash_is_reported_with_counterexample(self):
+        pipeline = Pipeline.linear(
+            [PassThrough(name="pass"), UnconditionalCrasher(name="crash")], name="crashy",
+        )
+        result = verify_crash_freedom(pipeline, config=CONFIG)
+        assert result.violated
+        packet = Packet.from_bytes(result.counterexamples[0].packet_bytes)
+        assert packet.ip().ttl == 77
+        # Replaying the counter-example reproduces the crash concretely.
+        assert pipeline.run(packet).crashed
+
+    def test_upstream_element_makes_suspect_infeasible(self):
+        # In isolation GuardedDivider can divide by zero (ttl == 0), so step 1
+        # tags a suspect; composed after DecIPTTL (which only forwards packets
+        # with ttl >= 2 after decrementing) the suspect is infeasible -- the
+        # paper's Fig. 1 scenario.
+        pipeline = Pipeline.linear(
+            [DecIPTTL(name="ttl"), GuardedDivider(name="div")], name="guarded",
+        )
+        result = verify_crash_freedom(pipeline, config=CONFIG)
+        assert result.proved
+        assert result.detail["suspects"], "step 1 must have found the division suspect"
+        assert result.stats.paths_composed > 0  # step 2 had to discharge it
+
+    def test_unguarded_divider_is_violated(self):
+        pipeline = Pipeline.linear(
+            [PassThrough(name="pass"), GuardedDivider(name="div")], name="unguarded",
+        )
+        result = verify_crash_freedom(pipeline, config=CONFIG)
+        assert result.violated
+        packet = Packet.from_bytes(result.counterexamples[0].packet_bytes)
+        assert packet.ip().ttl == 0
+
+
+class TestBoundedExecution:
+    def test_filter_chain_bound_is_proved(self):
+        result = verify_bounded_execution(build_filter_chain(["ip_dst"]),
+                                          instruction_bound=500, config=CONFIG)
+        assert result.proved
+        assert result.detail["longest_path_ops"] <= 500
+
+    def test_too_tight_bound_is_violated_with_packet(self):
+        pipeline = Pipeline.linear(
+            [CheckIPHeader(name="chk"), IPOptions(max_options=1, name="opts")], name="tight",
+        )
+        result = verify_bounded_execution(pipeline, instruction_bound=5, config=CONFIG)
+        assert result.violated
+        assert result.counterexamples
+
+    def test_longest_path_is_at_least_the_common_path(self):
+        pipeline = build_filter_chain(["ip_dst", "port_dst"])
+        summary = summarize_once(pipeline, config=CONFIG)
+        result = verify_bounded_execution(pipeline, config=CONFIG, summary=summary)
+        assert result.proved
+        assert result.detail["longest_path_ops"] >= max(
+            segment.ops for segment in summary.summaries["filter-ip_dst"].segments
+        )
+
+
+class TestFiltering:
+    def test_blacklist_property_proved_without_options_element(self):
+        pipeline = Pipeline.linear(
+            [CheckIPHeader(name="chk"),
+             IPFilter.blacklist_sources(["10.66.0.0/16"], name="fw")],
+            name="plain-firewall",
+        )
+        prop = FilteringProperty(expectation="dropped", src_prefix="10.66.0.0/16")
+        result = verify_filtering(pipeline, prop, config=CONFIG)
+        assert result.proved
+
+    def test_lsrr_bypass_violates_property_and_replays(self):
+        pipeline = build_lsrr_firewall(blacklist=("10.66.0.0/16",))
+        prop = FilteringProperty(expectation="dropped", src_prefix="10.66.0.0/16")
+        result = verify_filtering(pipeline, prop, config=CONFIG)
+        assert result.violated
+        packet = Packet.from_bytes(result.counterexamples[0].packet_bytes)
+        assert (packet.ip().src >> 16) == 0x0A42  # 10.66.x.x
+        replay = pipeline.run(packet)
+        assert replay.outputs, "counter-example must actually bypass the firewall"
+
+    def test_delivery_property_on_allowlisted_traffic(self):
+        pipeline = Pipeline.linear(
+            [HeaderFilter("ip_dst", "10.9.9.9", name="only-filter")], name="one-filter",
+        )
+        # Packets *not* addressed to the filtered destination must be delivered.
+        prop = FilteringProperty(expectation="delivered", dst_ip="10.1.1.1")
+        result = verify_filtering(pipeline, prop, config=CONFIG)
+        assert result.proved
+        # ... while packets to the filtered destination are provably dropped.
+        prop2 = FilteringProperty(expectation="dropped", dst_ip="10.9.9.9")
+        assert verify_filtering(pipeline, prop2, config=CONFIG).proved
+
+
+class TestSharedSummaries:
+    def test_summary_reuse_between_properties(self):
+        pipeline = build_filter_chain(["ip_dst", "ip_src"])
+        summary = summarize_once(pipeline, config=CONFIG)
+        crash = verify_crash_freedom(pipeline, config=CONFIG, summary=summary)
+        bounded = verify_bounded_execution(pipeline, config=CONFIG, summary=summary)
+        assert crash.proved and bounded.proved
+        # Reusing the summary means step 1 is not re-done: states match.
+        assert crash.stats.states == bounded.stats.states == summary.total_states

@@ -1,0 +1,59 @@
+"""Verifier integration tests for stateful elements and the generic baseline."""
+
+import pytest
+
+from repro.dataplane.elements import CounterOverflowExample, TrafficMonitor, VerifiedNat
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.pipelines import build_filter_chain, build_loop_microbenchmark
+from repro.verifier import GenericVerifier, Verdict, VerifierConfig, verify_crash_freedom
+from repro.verifier.state_patterns import analyze_element_summary
+from repro.verifier.summaries import summarize_element
+
+CONFIG = VerifierConfig(time_budget=120)
+
+
+class TestStatefulElements:
+    def test_verified_nat_is_crash_free_under_arbitrary_state(self):
+        pipeline = Pipeline.linear([VerifiedNat(name="nat")], name="nat-only")
+        result = verify_crash_freedom(pipeline, config=CONFIG)
+        assert result.verdict is Verdict.PROVED
+
+    def test_traffic_monitor_is_crash_free_and_counter_safe(self):
+        summary = summarize_element(TrafficMonitor(), CONFIG)
+        assert not summary.crash_segments
+        report = analyze_element_summary(summary)
+        assert report.safe, [f.pattern for f in report.findings]
+
+    def test_fig3_counter_overflow_is_detected_by_pattern_matching(self):
+        summary = summarize_element(CounterOverflowExample(), CONFIG)
+        report = analyze_element_summary(summary)
+        risky = report.overflow_risks
+        assert risky, "the unbounded counter must be flagged"
+        assert risky[0].pattern == "monotone-counter"
+        assert "induction" in risky[0].argument
+
+    def test_abstraction_restores_the_real_state_objects(self):
+        element = VerifiedNat(name="nat")
+        original = element.flow_map
+        summarize_element(element, CONFIG)
+        assert element.flow_map is original
+
+
+class TestGenericBaseline:
+    def test_generic_verifier_completes_on_a_tiny_pipeline(self):
+        pipeline = build_filter_chain(["ip_dst"])
+        outcome = GenericVerifier(time_budget=30).check_crash_freedom(pipeline)
+        assert outcome.completed
+        assert outcome.verdict is Verdict.PROVED
+        assert outcome.crashes == 0
+
+    def test_generic_state_count_grows_with_loop_iterations(self):
+        one = GenericVerifier(time_budget=30).check_crash_freedom(build_loop_microbenchmark(1))
+        three = GenericVerifier(time_budget=30).check_crash_freedom(build_loop_microbenchmark(3))
+        assert three.states > one.states
+
+    def test_generic_verifier_respects_its_time_budget(self):
+        pipeline = build_filter_chain(["ip_dst", "ip_src", "port_dst", "port_src"])
+        outcome = GenericVerifier(time_budget=0.0).check_crash_freedom(pipeline)
+        assert not outcome.completed
+        assert outcome.verdict is Verdict.INCONCLUSIVE

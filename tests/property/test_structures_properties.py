@@ -1,0 +1,116 @@
+"""Property-based tests for the verifiable data structures.
+
+The paper's Condition 3 requires data structures whose implementations are
+verified separately from the elements that use them.  These Hypothesis tests
+are that separate verification in this reproduction: they check the key/value
+semantics of the hash table against a Python dict model, the LPM table against
+a scan-all-routes reference, and crash-freedom of the array building block
+under arbitrary in-bounds access sequences.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addresses import int_to_ip
+from repro.structures import ChainedArrayHashTable, FlatLpmTable, PreallocatedArray
+
+keys = st.integers(min_value=0, max_value=2**32 - 1)
+values = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestHashTableAgainstDictModel:
+    @given(st.lists(st.tuples(keys, values), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_write_then_read_matches_model(self, pairs):
+        table = ChainedArrayHashTable(buckets=64, depth=3)
+        model = {}
+        for key, value in pairs:
+            if table.write(key, value):
+                model[key] = value
+            else:
+                # A refused write must be a *new* key (updates always succeed),
+                # and must leave the table untouched.
+                assert key not in model
+        for key, value in model.items():
+            assert table.read(key) == value
+            assert table.test(key)
+
+    @given(st.lists(st.tuples(st.sampled_from(["write", "expire", "read", "test"]),
+                              st.integers(min_value=0, max_value=40),
+                              values),
+                    max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_operation_sequences_match_model(self, operations):
+        table = ChainedArrayHashTable(buckets=16, depth=3)
+        model = {}
+        for operation, key, value in operations:
+            if operation == "write":
+                if table.write(key, value):
+                    model[key] = value
+                else:
+                    assert key not in model
+            elif operation == "expire":
+                assert table.expire(key) == model.pop(key, None)
+            elif operation == "read":
+                assert table.read(key) == model.get(key)
+            else:
+                assert table.test(key) == (key in model)
+        assert len(table) == len(model)
+        assert dict(table.items()) == model
+
+    @given(st.lists(st.tuples(keys, values), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_roundtrip_paper_property(self, pairs):
+        """The paper's hash-table correctness property: write(k,v); read(k) == v."""
+        table = ChainedArrayHashTable(buckets=128, depth=3)
+        for key, value in pairs:
+            if table.write(key, value):
+                assert table.read(key) == value
+
+
+class TestPreallocatedArrayProperties:
+    @given(st.integers(min_value=1, max_value=64),
+           st.lists(st.tuples(st.integers(min_value=0, max_value=63), values), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_in_bounds_accesses_never_crash_and_are_exact(self, capacity, writes):
+        array = PreallocatedArray(capacity, fill=0)
+        model = [0] * capacity
+        for index, value in writes:
+            index %= capacity
+            array.set(index, value)
+            model[index] = value
+        assert list(array) == model
+
+
+def _reference_lookup(routes, default, address):
+    best = None
+    best_len = -1
+    for prefix, plen, value in routes:
+        if plen == 0 or (address >> (32 - plen)) == (prefix >> (32 - plen)):
+            if plen > best_len:
+                best_len, best = plen, value
+    return best if best_len >= 0 else default
+
+
+prefix_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=24),
+)
+
+
+class TestLpmAgainstReference:
+    @given(st.lists(prefix_strategy, max_size=40), st.lists(keys, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_matches_scan_reference(self, raw_routes, addresses):
+        table = FlatLpmTable(first_level_bits=16, default="DEFAULT")
+        reference = []
+        for index, (address, plen) in enumerate(raw_routes):
+            mask = ~((1 << (32 - plen)) - 1) & 0xFFFFFFFF if plen else 0
+            prefix = address & mask
+            value = f"route-{index}"
+            table.add_route(f"{int_to_ip(prefix)}/{plen}", value)
+            # Later routes with the same prefix/plen overwrite earlier ones in
+            # both the table and the reference.
+            reference = [r for r in reference if (r[0], r[1]) != (prefix, plen)]
+            reference.append((prefix, plen, value))
+        for address in addresses:
+            assert table.lookup(address) == _reference_lookup(reference, "DEFAULT", address)

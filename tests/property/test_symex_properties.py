@@ -1,0 +1,140 @@
+"""Property-based tests for the symbolic-execution substrate.
+
+These check the invariants the verifier's soundness rests on:
+
+* expression evaluation agrees with Python integer arithmetic (modulo 2^w);
+* simplification and substitution preserve semantics;
+* interval analysis over-approximates evaluation;
+* solver models really satisfy the constraints they were produced for, and
+  UNSAT answers never contradict a brute-force witness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import checksum as cksum
+from repro.net.buffer import ConcreteBuffer
+from repro.symex import exprs as E
+from repro.symex.intervals import IntervalContext
+from repro.symex.simplify import simplify, substitute
+from repro.symex.solver import Solver
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+
+bytes_st = st.integers(min_value=0, max_value=MASK)
+ops = st.sampled_from(["add", "sub", "mul", "and", "or", "xor"])
+
+
+def build_expr(spec, names=("a", "b", "c")):
+    """Build an expression tree from a nested spec produced by Hypothesis."""
+    if isinstance(spec, int):
+        return E.bv_const(spec, WIDTH)
+    if isinstance(spec, str):
+        return E.bv_sym(spec, WIDTH)
+    op, left, right = spec
+    return E.bv_binop(op, build_expr(left), build_expr(right))
+
+
+expr_spec = st.recursive(
+    st.one_of(bytes_st, st.sampled_from(["a", "b", "c"])),
+    lambda children: st.tuples(ops, children, children),
+    max_leaves=12,
+)
+
+model_st = st.fixed_dictionaries({"a": bytes_st, "b": bytes_st, "c": bytes_st})
+
+
+def python_eval(spec, model):
+    if isinstance(spec, int):
+        return spec & MASK
+    if isinstance(spec, str):
+        return model[spec] & MASK
+    op, left, right = spec
+    a, b = python_eval(left, model), python_eval(right, model)
+    if op == "add":
+        return (a + b) & MASK
+    if op == "sub":
+        return (a - b) & MASK
+    if op == "mul":
+        return (a * b) & MASK
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    return a ^ b
+
+
+class TestExpressionSemantics:
+    @given(expr_spec, model_st)
+    @settings(max_examples=200, deadline=None)
+    def test_evaluation_matches_python_arithmetic(self, spec, model):
+        assert E.evaluate(build_expr(spec), model) == python_eval(spec, model)
+
+    @given(expr_spec, model_st)
+    @settings(max_examples=200, deadline=None)
+    def test_simplify_preserves_semantics(self, spec, model):
+        expr = build_expr(spec)
+        assert E.evaluate(simplify(expr), model) == E.evaluate(expr, model)
+
+    @given(expr_spec, expr_spec, model_st)
+    @settings(max_examples=100, deadline=None)
+    def test_substitution_equals_evaluation_composition(self, outer_spec, inner_spec, model):
+        outer = build_expr(outer_spec)
+        inner = build_expr(inner_spec)
+        substituted = substitute(outer, {"a": inner})
+        expected_model = dict(model)
+        expected_model["a"] = E.evaluate(inner, model)
+        assert E.evaluate(substituted, model) == E.evaluate(outer, expected_model)
+
+    @given(expr_spec, model_st)
+    @settings(max_examples=200, deadline=None)
+    def test_interval_contains_every_concrete_value(self, spec, model):
+        expr = build_expr(spec)
+        interval = IntervalContext({}).interval(expr)
+        assert interval.contains(E.evaluate(expr, model))
+
+
+class TestSolverSoundness:
+    @given(expr_spec, bytes_st)
+    @settings(max_examples=80, deadline=None)
+    def test_models_satisfy_equality_constraints(self, spec, target):
+        expr = build_expr(spec)
+        constraint = E.cmp_eq(expr, E.bv_const(target, WIDTH))
+        result = Solver(max_nodes=60000).check([constraint])
+        if result.is_sat:
+            model = dict(result.model)
+            for name in ("a", "b", "c"):
+                model.setdefault(name, 0)
+            assert E.evaluate(constraint, model) is True
+        elif result.is_unsat:
+            # Brute-force a small sample of assignments: none may satisfy it.
+            for a in range(0, 256, 51):
+                for b in range(0, 256, 51):
+                    for c in range(0, 256, 51):
+                        assert not E.evaluate(constraint, {"a": a, "b": b, "c": c})
+
+    @given(bytes_st, bytes_st)
+    @settings(max_examples=60, deadline=None)
+    def test_unsat_of_contradictory_point_constraints(self, value, other):
+        x = E.bv_sym("x", WIDTH)
+        constraints = [E.cmp_eq(x, E.bv_const(value, WIDTH)),
+                       E.cmp_eq(x, E.bv_const(other, WIDTH))]
+        result = Solver().check(constraints)
+        assert result.is_sat if value == other else result.is_unsat
+
+
+class TestChecksumProperties:
+    @given(st.binary(min_size=20, max_size=60).filter(lambda d: len(d) % 2 == 0))
+    @settings(max_examples=100, deadline=None)
+    def test_checksummed_header_verifies(self, data):
+        buf = ConcreteBuffer(data)
+        buf.store(10, 2, 0)
+        buf.store(10, 2, cksum.ip_checksum(buf, 0, len(data)))
+        assert cksum.verify_ip_checksum(buf, 0, len(data))
+
+    @given(st.binary(min_size=8, max_size=40), st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_ones_complement_sum_is_16_bit(self, data, initial):
+        buf = ConcreteBuffer(data)
+        total = cksum.ones_complement_sum(buf, 0, len(data), initial=initial)
+        assert 0 <= total <= 0xFFFF

@@ -1,0 +1,91 @@
+"""Unit tests for IP/MAC address parsing and formatting."""
+
+import pytest
+
+from repro.net.addresses import (
+    EtherAddress,
+    IPAddress,
+    int_to_ip,
+    int_to_mac,
+    ip_to_int,
+    mac_to_int,
+)
+
+
+class TestIpConversions:
+    def test_ip_to_int_basic(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+
+    def test_ip_to_int_extremes(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_int_to_ip_roundtrip(self):
+        for address in ("1.2.3.4", "192.168.255.0", "8.8.8.8"):
+            assert int_to_ip(ip_to_int(address)) == address
+
+    def test_ip_to_int_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+
+class TestMacConversions:
+    def test_mac_to_int(self):
+        assert mac_to_int("00:11:22:33:44:55") == 0x001122334455
+
+    def test_int_to_mac_roundtrip(self):
+        assert int_to_mac(mac_to_int("de:ad:be:ef:00:01")) == "de:ad:be:ef:00:01"
+
+    def test_mac_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            mac_to_int("00:11:22:33:44")
+        with pytest.raises(ValueError):
+            mac_to_int("00:11:22:33:44:zz")
+
+
+class TestIPAddress:
+    def test_from_string_int_and_copy(self):
+        a = IPAddress("10.1.2.3")
+        assert int(a) == ip_to_int("10.1.2.3")
+        assert IPAddress(int(a)) == a
+        assert IPAddress(a) == a
+
+    def test_equality_with_string_and_int(self):
+        a = IPAddress("10.1.2.3")
+        assert a == "10.1.2.3"
+        assert a == ip_to_int("10.1.2.3")
+        assert a != IPAddress("10.1.2.4")
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            IPAddress(1 << 33)
+        with pytest.raises(TypeError):
+            IPAddress(1.5)
+
+    def test_str_and_hash(self):
+        a = IPAddress("10.1.2.3")
+        assert str(a) == "10.1.2.3"
+        assert hash(a) == hash(IPAddress("10.1.2.3"))
+
+
+class TestEtherAddress:
+    def test_broadcast(self):
+        assert EtherAddress.broadcast().is_broadcast()
+        assert not EtherAddress("00:11:22:33:44:55").is_broadcast()
+
+    def test_multicast_bit(self):
+        assert EtherAddress("01:00:5e:00:00:01").is_multicast()
+        assert not EtherAddress("00:11:22:33:44:55").is_multicast()
+
+    def test_equality(self):
+        a = EtherAddress("00:11:22:33:44:55")
+        assert a == "00:11:22:33:44:55"
+        assert a == 0x001122334455

@@ -1,0 +1,89 @@
+"""Unit tests for the concrete packet buffer."""
+
+import pytest
+
+from repro.net.buffer import BufferError, ConcreteBuffer
+
+
+class TestConstruction:
+    def test_from_bytes(self):
+        buf = ConcreteBuffer(b"\x01\x02\x03")
+        assert len(buf) == 3
+        assert buf.tobytes() == b"\x01\x02\x03"
+
+    def test_with_explicit_length_pads_with_zeros(self):
+        buf = ConcreteBuffer(b"\xff", length=4)
+        assert buf.tobytes() == b"\xff\x00\x00\x00"
+
+    def test_copy_is_independent(self):
+        buf = ConcreteBuffer(b"\x01\x02")
+        other = buf.copy()
+        other.store_byte(0, 0x99)
+        assert buf.load_byte(0) == 0x01
+        assert other.load_byte(0) == 0x99
+
+    def test_is_not_symbolic(self):
+        assert ConcreteBuffer(b"ab").is_symbolic is False
+
+
+class TestSingleByteAccess:
+    def test_load_store_byte(self):
+        buf = ConcreteBuffer(length=4)
+        buf.store_byte(2, 0xAB)
+        assert buf.load_byte(2) == 0xAB
+
+    def test_store_truncates_to_8_bits(self):
+        buf = ConcreteBuffer(length=1)
+        buf.store_byte(0, 0x1FF)
+        assert buf.load_byte(0) == 0xFF
+
+    def test_out_of_bounds_load_raises(self):
+        buf = ConcreteBuffer(length=4)
+        with pytest.raises(BufferError):
+            buf.load_byte(4)
+        with pytest.raises(BufferError):
+            buf.load_byte(-1)
+
+    def test_non_integer_offset_raises(self):
+        buf = ConcreteBuffer(length=4)
+        with pytest.raises(BufferError):
+            buf.load_byte("zero")
+
+
+class TestMultiByteAccess:
+    def test_load_big_endian(self):
+        buf = ConcreteBuffer(b"\x12\x34\x56\x78")
+        assert buf.load(0, 2) == 0x1234
+        assert buf.load(0, 4) == 0x12345678
+
+    def test_store_big_endian(self):
+        buf = ConcreteBuffer(length=4)
+        buf.store(0, 4, 0xDEADBEEF)
+        assert buf.tobytes() == b"\xde\xad\xbe\xef"
+
+    def test_store_truncates_to_field_width(self):
+        buf = ConcreteBuffer(length=2)
+        buf.store(0, 2, 0x123456)
+        assert buf.load(0, 2) == 0x3456
+
+    def test_out_of_bounds_multibyte_raises(self):
+        buf = ConcreteBuffer(length=4)
+        with pytest.raises(BufferError):
+            buf.load(2, 4)
+        with pytest.raises(BufferError):
+            buf.store(3, 2, 0)
+
+
+class TestBulkAccess:
+    def test_load_store_bytes(self):
+        buf = ConcreteBuffer(length=8)
+        buf.store_bytes(2, b"\x01\x02\x03")
+        assert buf.load_bytes(2, 3) == b"\x01\x02\x03"
+
+    def test_store_bytes_out_of_bounds(self):
+        buf = ConcreteBuffer(length=2)
+        with pytest.raises(BufferError):
+            buf.store_bytes(1, b"ab")
+
+    def test_tolist(self):
+        assert ConcreteBuffer(b"\x01\x02").tolist() == [1, 2]

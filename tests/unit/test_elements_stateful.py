@@ -1,0 +1,204 @@
+"""Unit tests for the stateful elements (NAT, traffic monitor) and fragmenters."""
+
+import pytest
+
+from repro.dataplane.element import Element
+from repro.dataplane.elements import (
+    ClickIPFragmenter,
+    ClickNat,
+    CounterOverflowExample,
+    IPFragmenter,
+    TrafficMonitor,
+    VerifiedNat,
+)
+from repro.errors import AssertionFailure
+from repro.net.addresses import ip_to_int
+from repro.net.builder import PacketBuilder
+from repro.net.options import encode_lsrr, encode_option, pad_options
+
+
+def udp(src="192.168.1.5", dst="8.8.8.8", sport=5555, dport=53, payload=b"q" * 8, **ip_kwargs):
+    return (PacketBuilder().ethernet().ipv4(src=src, dst=dst, **ip_kwargs)
+            .udp(sport, dport).payload(payload).build())
+
+
+def tcp(src="192.168.1.5", dst="8.8.8.8", sport=5555, dport=80, flags=0x02):
+    return (PacketBuilder().ethernet().ipv4(src=src, dst=dst)
+            .tcp(src_port=sport, dst_port=dport, flags=flags).build())
+
+
+def ports(pkt):
+    t = pkt.transport_offset()
+    return pkt.buf.load(t, 2), pkt.buf.load(t + 2, 2)
+
+
+class TestVerifiedNat:
+    def test_outbound_rewrites_source_to_public_tuple(self):
+        nat = VerifiedNat(public_ip="1.2.3.4", port_base=10000)
+        pkt = udp()
+        port, out = Element.normalize_result(nat.process(pkt))[0]
+        assert port == 0
+        assert out.ip().src == ip_to_int("1.2.3.4")
+        sport, _ = ports(out)
+        assert sport == 10000
+
+    def test_same_flow_reuses_mapping(self):
+        nat = VerifiedNat()
+        nat.process(udp())
+        out2 = Element.normalize_result(nat.process(udp()))[0][1]
+        sport, _ = ports(out2)
+        assert sport == nat.port_base
+        assert len(nat.flow_map) == 1
+
+    def test_different_flows_get_different_ports(self):
+        nat = VerifiedNat()
+        nat.process(udp(sport=1000))
+        nat.process(udp(sport=2000))
+        assert len(nat.flow_map) == 2
+        assert nat.allocator.read(0) == 2
+
+    def test_inbound_translates_back_to_internal_host(self):
+        nat = VerifiedNat(public_ip="1.2.3.4", port_base=10000)
+        nat.process(udp(src="192.168.1.5", sport=5555))
+        reply = udp(src="8.8.8.8", dst="1.2.3.4", sport=53, dport=10000)
+        port, back = Element.normalize_result(nat.process(reply))[0]
+        assert port == 1
+        assert back.ip().dst == ip_to_int("192.168.1.5")
+        _, dport = ports(back)
+        assert dport == 5555
+
+    def test_inbound_without_mapping_is_dropped(self):
+        nat = VerifiedNat(public_ip="1.2.3.4")
+        assert nat.process(udp(src="8.8.8.8", dst="1.2.3.4", dport=12345)) is None
+
+    def test_non_tcp_udp_is_dropped(self):
+        nat = VerifiedNat()
+        icmp = PacketBuilder().ethernet().ipv4(src="192.168.1.5", dst="8.8.8.8").icmp().build()
+        assert nat.process(icmp) is None
+
+    def test_port_pool_exhaustion_drops_instead_of_overflowing(self):
+        nat = VerifiedNat(port_pool=2)
+        assert nat.process(udp(sport=1)) is not None
+        assert nat.process(udp(sport=2)) is not None
+        assert nat.process(udp(sport=3)) is None
+        assert nat.allocator.read(0) == 2
+
+    def test_state_is_registered_behind_kv_interface(self):
+        nat = VerifiedNat()
+        kinds = {binding.attribute: binding.kind for binding in nat.state_bindings}
+        assert kinds == {"flow_map": "private", "reverse_map": "private", "allocator": "private"}
+
+    def test_tcp_flows_are_translated_too(self):
+        nat = VerifiedNat(public_ip="1.2.3.4")
+        port, out = Element.normalize_result(nat.process(tcp()))[0]
+        assert port == 0
+        assert out.ip().src == ip_to_int("1.2.3.4")
+
+
+class TestClickNatBug3:
+    def test_hairpin_packet_hits_assertion(self):
+        nat = ClickNat(public_ip="1.2.3.4", public_port=10000)
+        evil = udp(src="1.2.3.4", dst="1.2.3.4", sport=10000, dport=10000)
+        with pytest.raises(AssertionFailure):
+            nat.process(evil)
+
+    def test_normal_traffic_is_not_affected(self):
+        nat = ClickNat(public_ip="1.2.3.4", public_port=10000)
+        assert nat.process(udp()) is not None
+
+    def test_partial_match_does_not_crash(self):
+        nat = ClickNat(public_ip="1.2.3.4", public_port=10000)
+        almost = udp(src="1.2.3.4", dst="1.2.3.4", sport=10000, dport=9999)
+        assert nat.process(almost) is not None
+
+
+class TestTrafficMonitor:
+    def test_counts_packets_per_flow(self):
+        monitor = TrafficMonitor()
+        for _ in range(3):
+            monitor.process(udp())
+        monitor.process(udp(src="10.0.0.9"))
+        counts = sorted(value for _, value in monitor.flows.items())
+        assert counts == [1, 3]
+
+    def test_fin_expires_the_flow(self):
+        monitor = TrafficMonitor()
+        monitor.process(tcp(flags=0x02))
+        assert len(monitor.flows) == 1
+        monitor.process(tcp(flags=0x01))  # FIN
+        assert len(monitor.flows) == 0
+
+    def test_counter_saturates_at_configured_maximum(self):
+        monitor = TrafficMonitor(counter_max=2)
+        for _ in range(5):
+            monitor.process(udp())
+        values = [value for _, value in monitor.flows.items()]
+        assert values == [2]
+
+    def test_full_table_does_not_crash(self):
+        monitor = TrafficMonitor(buckets=1, depth=1)
+        monitor.process(udp(src="10.0.0.1"))
+        monitor.process(udp(src="10.0.0.2"))
+        assert monitor.process(udp(src="10.0.0.3")) is not None
+
+    def test_counter_overflow_example_counts_without_bound_guard(self):
+        element = CounterOverflowExample()
+        for _ in range(4):
+            element.process(udp())
+        assert [v for _, v in element.counters.items()] == [4]
+
+
+class TestFragmenters:
+    def big_packet(self, options=b"", payload=300, **kwargs):
+        builder = PacketBuilder().ethernet().ipv4(**kwargs)
+        if options:
+            builder = builder.ip_options(options, pad=False)
+        return builder.udp(1, 2).payload(b"z" * payload).build()
+
+    def test_small_packets_pass_through(self):
+        frag = IPFragmenter(mtu=1500)
+        pkt = self.big_packet(payload=100)
+        assert Element.normalize_result(frag.process(pkt))[0][0] == 0
+
+    def test_fragments_cover_the_payload(self):
+        frag = IPFragmenter(mtu=100)
+        pkt = self.big_packet(payload=300)
+        emissions = Element.normalize_result(frag.process(pkt))
+        assert len(emissions) > 1
+        total = sum(f.ip().total_length - f.ip().header_length for _, f in emissions)
+        assert total == 300 + 8  # payload plus the UDP header
+        # All but the last fragment have MF set; offsets increase.
+        flags = [f.ip().more_fragments for _, f in emissions]
+        assert flags[:-1] == [1] * (len(emissions) - 1) and flags[-1] == 0
+        offsets = [f.ip().fragment_offset for _, f in emissions]
+        assert offsets == sorted(offsets)
+
+    def test_dont_fragment_goes_to_error_port(self):
+        frag = IPFragmenter(mtu=100)
+        pkt = self.big_packet(payload=300, dont_fragment=1)
+        assert Element.normalize_result(frag.process(pkt))[0][0] == 1
+
+    def test_fixed_fragmenter_handles_copied_options(self):
+        frag = IPFragmenter(mtu=100)
+        pkt = self.big_packet(options=pad_options(encode_lsrr(["9.9.9.9"])), payload=300)
+        emissions = Element.normalize_result(frag.process(pkt))
+        assert len(emissions) > 1
+
+    def test_fixed_fragmenter_handles_zero_length_option(self):
+        frag = IPFragmenter(mtu=100)
+        pkt = self.big_packet(options=bytes([7, 0, 0, 0]), payload=300)
+        emissions = Element.normalize_result(frag.process(pkt))
+        assert len(emissions) >= 1
+
+    def test_click_fragmenter_ok_without_options(self):
+        frag = ClickIPFragmenter(mtu=100)
+        pkt = self.big_packet(payload=300)
+        assert len(Element.normalize_result(frag.process(pkt))) > 1
+
+    def test_mtu_validation(self):
+        with pytest.raises(ValueError):
+            IPFragmenter(mtu=10)
+
+    # The infinite-loop behaviours of ClickIPFragmenter (bugs #1 and #2) are
+    # exercised in tests/integration/test_click_bugs.py with a watchdog, and
+    # found automatically by the verifier in the bounded-execution tests.

@@ -1,0 +1,331 @@
+"""Unit tests for the stateless packet-processing elements (concrete behaviour)."""
+
+import pytest
+
+from repro.dataplane.element import Element
+from repro.dataplane.elements import (
+    CheckIPHeader,
+    Classifier,
+    DecIPTTL,
+    DropBroadcasts,
+    EtherDecap,
+    EtherEncap,
+    HeaderFilter,
+    IPFilter,
+    IPLookup,
+    IPOptions,
+    PassThrough,
+    Sink,
+)
+from repro.dataplane.elements.ipfilter import ALLOW, DENY, FilterRule
+from repro.net.addresses import ip_to_int, mac_to_int
+from repro.net.builder import PacketBuilder
+from repro.net.checksum import verify_ip_checksum
+from repro.net.headers import ETHERTYPE_ARP
+from repro.net.options import encode_lsrr, encode_option, encode_record_route, pad_options
+
+
+def udp_packet(**kwargs):
+    ip_kwargs = {k: v for k, v in kwargs.items() if k in ("src", "dst", "ttl")}
+    return PacketBuilder().ethernet().ipv4(**ip_kwargs).udp(
+        kwargs.get("sport", 1111), kwargs.get("dport", 2222)).payload(b"pp").build()
+
+
+def emitted_port(result):
+    emissions = Element.normalize_result(result)
+    assert len(emissions) == 1
+    return emissions[0][0]
+
+
+class TestNormalizeResult:
+    def test_none_is_drop(self):
+        assert Element.normalize_result(None) == []
+
+    def test_bare_packet_goes_to_port_zero(self):
+        pkt = udp_packet()
+        assert Element.normalize_result(pkt) == [(0, pkt)]
+
+    def test_tuple_and_list_forms(self):
+        pkt = udp_packet()
+        assert Element.normalize_result((2, pkt)) == [(2, pkt)]
+        assert Element.normalize_result([(1, pkt), pkt]) == [(1, pkt), (0, pkt)]
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(TypeError):
+            Element.normalize_result(42)
+
+
+class TestClassifier:
+    def test_ethertype_dispatch(self):
+        classifier = Classifier.ethertype_classifier()
+        assert emitted_port(classifier.process(udp_packet())) == 0
+        arp = PacketBuilder().ethernet(ethertype=ETHERTYPE_ARP).ipv4().udp().build()
+        assert emitted_port(classifier.process(arp)) == 1
+
+    def test_unmatched_packet_dropped_by_default(self):
+        classifier = Classifier([[(12, 0xFFFF, 0x9999)]])
+        assert classifier.process(udp_packet()) is None
+
+    def test_default_port(self):
+        classifier = Classifier([[(12, 0xFFFF, 0x9999)]], default_port=3)
+        assert emitted_port(classifier.process(udp_packet())) == 3
+
+    def test_multi_clause_pattern(self):
+        classifier = Classifier([[(12, 0xFFFF, 0x0800), (23, 0xFF, 17)]])
+        assert emitted_port(classifier.process(udp_packet())) == 0
+
+
+class TestCheckIPHeader:
+    def test_accepts_well_formed_packet(self):
+        pkt = udp_packet()
+        out = CheckIPHeader().process(pkt)
+        assert emitted_port(out) == 0
+        assert pkt.get_meta("ip_header_ok") == 1
+
+    def test_rejects_bad_version(self):
+        pkt = PacketBuilder().ethernet().ipv4().udp().override_version(6).build()
+        assert CheckIPHeader().process(pkt) is None
+
+    def test_rejects_short_ihl(self):
+        pkt = PacketBuilder().ethernet().ipv4().udp().override_ihl(3).build()
+        assert CheckIPHeader().process(pkt) is None
+
+    def test_rejects_total_length_below_header(self):
+        pkt = PacketBuilder().ethernet().ipv4().udp().override_total_length(10).build()
+        assert CheckIPHeader().process(pkt) is None
+
+    def test_rejects_header_past_buffer(self):
+        pkt = PacketBuilder().ethernet().ipv4().udp().build()
+        # Claim a 60-byte header (and a matching total length) on a packet
+        # whose buffer is far shorter than that.
+        pkt.ip().ihl = 15
+        pkt.ip().total_length = 60
+        assert CheckIPHeader().process(pkt) is None
+
+    def test_rejects_bad_source(self):
+        pkt = udp_packet(src="255.255.255.255")
+        assert CheckIPHeader().process(pkt) is None
+
+    def test_checksum_verification_optional(self):
+        bad = PacketBuilder().ethernet().ipv4().udp().bad_ip_checksum().build()
+        assert CheckIPHeader(verify_checksum=False).process(bad) is not None
+        bad2 = PacketBuilder().ethernet().ipv4().udp().bad_ip_checksum().build()
+        assert CheckIPHeader(verify_checksum=True).process(bad2) is None
+
+    def test_rejects_truncated_packet(self):
+        from repro.net.packet import Packet
+
+        tiny = Packet.from_bytes(bytes(20))
+        assert CheckIPHeader().process(tiny) is None
+
+
+class TestEtherElements:
+    def test_decap_marks_annotation(self):
+        pkt = udp_packet()
+        EtherDecap().process(pkt)
+        assert pkt.get_meta("l2_stripped") == 1
+
+    def test_encap_rewrites_header(self):
+        pkt = udp_packet()
+        EtherEncap(src="00:00:00:00:00:aa", dst="00:00:00:00:00:bb").process(pkt)
+        assert pkt.ether().src == mac_to_int("00:00:00:00:00:aa")
+        assert pkt.ether().dst == mac_to_int("00:00:00:00:00:bb")
+        assert pkt.get_meta("l2_stripped") == 0
+
+
+class TestDecIPTTL:
+    def test_decrements_and_fixes_checksum(self):
+        pkt = udp_packet(ttl=64)
+        out = DecIPTTL().process(pkt)
+        assert emitted_port(out) == 0
+        assert pkt.ip().ttl == 63
+        assert verify_ip_checksum(pkt.buf, pkt.ip_offset, 20)
+
+    def test_expired_ttl_goes_to_error_port(self):
+        assert emitted_port(DecIPTTL().process(udp_packet(ttl=1))) == 1
+        assert emitted_port(DecIPTTL().process(udp_packet(ttl=0))) == 1
+
+
+class TestDropBroadcasts:
+    def test_drops_broadcast_destination(self):
+        pkt = PacketBuilder().ethernet(dst="ff:ff:ff:ff:ff:ff").ipv4().udp().build()
+        assert DropBroadcasts().process(pkt) is None
+
+    def test_drops_multicast_destination(self):
+        pkt = PacketBuilder().ethernet(dst="01:00:5e:00:00:05").ipv4().udp().build()
+        assert DropBroadcasts().process(pkt) is None
+
+    def test_drops_annotated_broadcast(self):
+        pkt = udp_packet()
+        pkt.set_meta("link_broadcast", 1)
+        assert DropBroadcasts().process(pkt) is None
+
+    def test_passes_unicast(self):
+        assert DropBroadcasts().process(udp_packet()) is not None
+
+
+class TestHeaderFilter:
+    def test_drops_matching_destination(self):
+        element = HeaderFilter("ip_dst", "10.9.9.9")
+        assert element.process(udp_packet(dst="10.9.9.9")) is None
+        assert element.process(udp_packet(dst="10.9.9.8")) is not None
+
+    def test_port_filters(self):
+        assert HeaderFilter("port_dst", 2222).process(udp_packet()) is None
+        assert HeaderFilter("port_src", 1111).process(udp_packet()) is None
+        assert HeaderFilter("port_dst", 9).process(udp_packet()) is not None
+
+    def test_source_filter(self):
+        assert HeaderFilter("ip_src", "10.0.0.1").process(udp_packet(src="10.0.0.1")) is None
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderFilter("ttl", 3)
+
+
+class TestIPLookup:
+    def build(self):
+        return IPLookup(routes=[("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("0.0.0.0/0", 0)],
+                        nports=4)
+
+    def test_longest_prefix_port(self):
+        lookup = self.build()
+        assert emitted_port(lookup.process(udp_packet(dst="10.1.2.3"))) == 2
+        assert emitted_port(lookup.process(udp_packet(dst="10.2.2.3"))) == 1
+        assert emitted_port(lookup.process(udp_packet(dst="8.8.8.8"))) == 0
+
+    def test_sets_forwarding_annotation(self):
+        lookup = self.build()
+        pkt = udp_packet(dst="10.1.2.3")
+        lookup.process(pkt)
+        assert pkt.get_meta("fwd_port") == 2
+
+    def test_no_route_drops(self):
+        lookup = IPLookup(routes=[("10.0.0.0/8", 1)], nports=4)
+        assert lookup.process(udp_packet(dst="11.0.0.1")) is None
+
+    def test_out_of_range_port_drops(self):
+        lookup = IPLookup(routes=[("0.0.0.0/0", 9)], nports=4)
+        assert lookup.process(udp_packet()) is None
+
+    def test_add_route_after_construction(self):
+        lookup = IPLookup(nports=2)
+        lookup.add_route("0.0.0.0/0", 1)
+        assert emitted_port(lookup.process(udp_packet())) == 1
+
+    def test_table_registered_as_static_state(self):
+        lookup = self.build()
+        kinds = {b.attribute: b.kind for b in lookup.state_bindings}
+        assert kinds == {"table": "static"}
+
+
+class TestIPOptions:
+    def element(self, **kwargs):
+        kwargs.setdefault("router_address", "192.168.0.1")
+        return IPOptions(**kwargs)
+
+    def packet_with_options(self, raw, **kwargs):
+        return (PacketBuilder().ethernet().ipv4(**kwargs)
+                .ip_options(pad_options(raw)).udp(1, 2).payload(b"xy").build())
+
+    def test_packet_without_options_passes_through(self):
+        assert self.element().process(udp_packet()) is not None
+
+    def test_nop_and_eol_terminate_cleanly(self):
+        pkt = self.packet_with_options(bytes([1, 1, 0, 0]))
+        assert self.element().process(pkt) is not None
+
+    def test_zero_length_option_is_dropped(self):
+        pkt = self.packet_with_options(bytes([7, 0, 0, 0]))
+        assert self.element().process(pkt) is None
+
+    def test_option_overrunning_header_is_dropped(self):
+        pkt = self.packet_with_options(bytes([7, 40, 4, 0]))
+        assert self.element().process(pkt) is None
+
+    def test_record_route_stores_router_address(self):
+        pkt = self.packet_with_options(encode_record_route(slots=2))
+        self.element().process(pkt)
+        base = pkt.ip_offset + 20
+        recorded = pkt.buf.load(base + 3, 4)
+        assert recorded == ip_to_int("192.168.0.1")
+        assert pkt.buf.load_byte(base + 2) == 8  # pointer advanced by 4
+
+    def test_lsrr_rewrites_destination_and_source(self):
+        pkt = self.packet_with_options(encode_lsrr(["7.7.7.7"]), src="10.66.1.1", dst="9.9.9.9")
+        self.element(lsrr_rewrites_source=True).process(pkt)
+        assert pkt.ip().dst == ip_to_int("7.7.7.7")
+        assert pkt.ip().src == ip_to_int("192.168.0.1")
+
+    def test_lsrr_source_rewrite_can_be_disabled(self):
+        pkt = self.packet_with_options(encode_lsrr(["7.7.7.7"]), src="10.66.1.1")
+        self.element(lsrr_rewrites_source=False).process(pkt)
+        assert pkt.ip().src == ip_to_int("10.66.1.1")
+
+    def test_exhausted_source_route_is_left_alone(self):
+        pkt = self.packet_with_options(encode_lsrr(["7.7.7.7"], pointer=8), dst="9.9.9.9")
+        self.element().process(pkt)
+        assert pkt.ip().dst == ip_to_int("9.9.9.9")
+
+    def test_unknown_option_is_ignored(self):
+        pkt = self.packet_with_options(encode_option(148, b"\x00\x00"))
+        assert self.element().process(pkt) is not None
+
+    def test_max_options_limits_processing(self):
+        raw = encode_record_route(slots=1) + encode_record_route(slots=1)
+        pkt = self.packet_with_options(raw)
+        element = self.element(max_options=1)
+        assert element.process(pkt) is not None
+        # Only the first option's pointer advanced.
+        base = pkt.ip_offset + 20
+        assert pkt.buf.load_byte(base + 2) == 8
+        second = base + 7
+        assert pkt.buf.load_byte(second + 2) == 4
+
+    def test_loop_interface_declared(self):
+        element = self.element()
+        assert element.LOOP_ELEMENT and element.LOOP_META == "opt_next"
+
+
+class TestIPFilter:
+    def test_blacklist_drops_matching_source(self):
+        firewall = IPFilter.blacklist_sources(["10.66.0.0/16"])
+        assert firewall.process(udp_packet(src="10.66.1.1")) is None
+        assert firewall.process(udp_packet(src="10.67.1.1")) is not None
+
+    def test_rule_order_matters(self):
+        firewall = IPFilter([
+            FilterRule(action=ALLOW, src_prefix="10.66.1.0/24"),
+            FilterRule(action=DENY, src_prefix="10.66.0.0/16"),
+        ])
+        assert firewall.process(udp_packet(src="10.66.1.5")) is not None
+        assert firewall.process(udp_packet(src="10.66.2.5")) is None
+
+    def test_protocol_and_port_matching(self):
+        firewall = IPFilter([
+            FilterRule(action=DENY, protocol=17, dst_port_range=(2000, 3000)),
+        ])
+        assert firewall.process(udp_packet(dport=2222)) is None
+        assert firewall.process(udp_packet(dport=80)) is not None
+
+    def test_default_deny(self):
+        firewall = IPFilter([], default=DENY)
+        assert firewall.process(udp_packet()) is None
+
+    def test_invalid_rule_rejected(self):
+        with pytest.raises(ValueError):
+            FilterRule(action="block")
+        with pytest.raises(ValueError):
+            IPFilter([], default="block")
+
+
+class TestInfraElements:
+    def test_sink_collects(self):
+        sink = Sink()
+        pkt = udp_packet()
+        assert sink.process(pkt) is None
+        assert sink.received == [pkt]
+
+    def test_passthrough(self):
+        pkt = udp_packet()
+        assert PassThrough().process(pkt) is pkt

@@ -1,0 +1,164 @@
+"""Unit tests for the bit-vector / boolean expression layer."""
+
+import pytest
+
+from repro.symex import exprs as E
+
+
+class TestConstructorsAndFolding:
+    def test_const_truncates_to_width(self):
+        assert E.bv_const(0x1FF, 8).value == 0xFF
+
+    def test_add_folds_constants_modularly(self):
+        result = E.bv_add(E.bv_const(0xFF, 8), E.bv_const(2, 8))
+        assert isinstance(result, E.BVConst)
+        assert result.value == 1
+
+    def test_identity_simplifications(self):
+        x = E.bv_sym("x", 8)
+        assert E.bv_add(x, 0) is x
+        assert E.bv_mul(x, 1) is x
+        assert E.bv_and(x, 0xFF) is x
+        assert isinstance(E.bv_and(x, 0), E.BVConst)
+        assert E.bv_or(x, 0) is x
+        assert E.bv_xor(x, x) == E.bv_const(0, 8)
+        assert E.bv_sub(x, x) == E.bv_const(0, 8)
+
+    def test_width_coercion_uses_max_width(self):
+        x = E.bv_sym("x", 8)
+        result = E.bv_add(x, 0x1234)
+        assert result.width == 16
+
+    def test_division_by_zero_constant_folds_to_all_ones(self):
+        result = E.bv_udiv(E.bv_const(7, 8), E.bv_const(0, 8))
+        assert result.value == 0xFF
+
+    def test_shift_folding(self):
+        assert E.bv_shl(E.bv_const(1, 8), E.bv_const(3, 8)).value == 8
+        assert E.bv_lshr(E.bv_const(0x80, 8), E.bv_const(7, 8)).value == 1
+        assert E.bv_shl(E.bv_const(1, 8), E.bv_const(9, 8)).value == 0
+
+    def test_not_double_negation(self):
+        x = E.bv_sym("x", 8)
+        assert E.bv_not(E.bv_not(x)) is x
+
+    def test_ite_constant_condition(self):
+        x = E.bv_sym("x", 8)
+        assert E.bv_ite(E.TRUE, x, E.bv_const(0, 8)) is x
+        assert E.bv_ite(E.FALSE, x, E.bv_const(3, 8)) == E.bv_const(3, 8)
+
+    def test_ite_same_branches_collapses(self):
+        x = E.bv_sym("x", 8)
+        assert E.bv_ite(E.cmp_eq(x, 1), x, x) is x
+
+    def test_zero_extend_and_truncate(self):
+        x = E.bv_sym("x", 8)
+        widened = E.zero_extend(x, 16)
+        assert widened.width == 16
+        assert E.truncate(widened, 8).width == 8
+        with pytest.raises(ValueError):
+            E.zero_extend(widened, 8)
+        with pytest.raises(ValueError):
+            E.truncate(x, 16)
+
+
+class TestComparisons:
+    def test_constant_comparison_folds(self):
+        assert E.cmp_ult(E.bv_const(1, 8), E.bv_const(2, 8)) == E.TRUE
+        assert E.cmp_eq(E.bv_const(1, 8), E.bv_const(2, 8)) == E.FALSE
+
+    def test_identical_operands_fold(self):
+        x = E.bv_sym("x", 8)
+        assert E.cmp_eq(x, x) == E.TRUE
+        assert E.cmp_ult(x, x) == E.FALSE
+        assert E.cmp_ule(x, x) == E.TRUE
+
+    def test_negation_of_comparison_flips_operator(self):
+        x = E.bv_sym("x", 8)
+        negated = E.bool_not(E.cmp_ult(x, E.bv_const(5, 8)))
+        assert isinstance(negated, E.Cmp)
+        assert negated.op == "uge"
+
+    def test_width_mismatch_is_coerced(self):
+        x = E.bv_sym("x", 8)
+        cmp_expr = E.cmp_eq(x, 0x1FF)
+        assert isinstance(cmp_expr, E.Cmp)
+        assert cmp_expr.left.width == cmp_expr.right.width
+
+
+class TestBooleanConnectives:
+    def test_and_or_folding(self):
+        x = E.cmp_eq(E.bv_sym("x", 8), 1)
+        assert E.bool_and(x, E.TRUE) is x
+        assert E.bool_and(x, E.FALSE) == E.FALSE
+        assert E.bool_or(x, E.FALSE) is x
+        assert E.bool_or(x, E.TRUE) == E.TRUE
+
+    def test_and_flattens_and_deduplicates(self):
+        x = E.cmp_eq(E.bv_sym("x", 8), 1)
+        y = E.cmp_eq(E.bv_sym("y", 8), 2)
+        combined = E.bool_and(E.bool_and(x, y), x)
+        assert isinstance(combined, E.BoolAnd)
+        assert len(combined.args) == 2
+
+    def test_empty_connectives(self):
+        assert E.bool_and() == E.TRUE
+        assert E.bool_or() == E.FALSE
+
+    def test_double_negation(self):
+        x = E.BoolNot(E.BoolOr((E.cmp_eq(E.bv_sym("x", 8), 1),)))
+        assert E.bool_not(E.bool_not(x)) == x
+
+
+class TestTraversal:
+    def test_free_symbols(self):
+        x, y = E.bv_sym("x", 8), E.bv_sym("y", 8)
+        expr = E.bv_add(E.bv_mul(x, 3), y)
+        assert {s.name for s in E.free_symbols(expr)} == {"x", "y"}
+
+    def test_constants_in(self):
+        x = E.bv_sym("x", 8)
+        expr = E.cmp_eq(E.bv_add(x, 3), E.bv_const(7, 8))
+        assert {3, 7} <= E.constants_in(expr)
+
+    def test_is_concrete(self):
+        assert E.is_concrete(E.bv_const(5, 8))
+        assert not E.is_concrete(E.bv_sym("x", 8))
+
+
+class TestEvaluation:
+    def test_evaluate_arithmetic(self):
+        x = E.bv_sym("x", 8)
+        expr = E.bv_add(E.bv_mul(x, 2), 1)
+        assert E.evaluate(expr, {"x": 10}) == 21
+
+    def test_evaluate_wraps_modularly(self):
+        x = E.bv_sym("x", 8)
+        assert E.evaluate(E.bv_add(x, 1), {"x": 255}) == 0
+
+    def test_evaluate_comparison_and_bool(self):
+        x = E.bv_sym("x", 8)
+        expr = E.bool_and(E.cmp_ult(x, 10), E.cmp_ne(x, 3))
+        assert E.evaluate(expr, {"x": 5}) is True
+        assert E.evaluate(expr, {"x": 3}) is False
+
+    def test_evaluate_ite(self):
+        x = E.bv_sym("x", 8)
+        expr = E.bv_ite(E.cmp_ult(x, 10), E.bv_const(1, 8), E.bv_const(2, 8))
+        assert E.evaluate(expr, {"x": 5}) == 1
+        assert E.evaluate(expr, {"x": 50}) == 2
+
+    def test_evaluate_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            E.evaluate(E.bv_sym("x", 8), {})
+
+
+class TestStructuralEquality:
+    def test_equal_expressions_hash_equal(self):
+        a = E.bv_add(E.bv_sym("x", 8), 1)
+        b = E.bv_add(E.bv_sym("x", 8), 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_widths_not_equal(self):
+        assert E.bv_sym("x", 8) != E.bv_sym("x", 16)

@@ -1,0 +1,186 @@
+"""Unit tests for header views, the packet builder and IP options encoding."""
+
+import pytest
+
+from repro.net.addresses import ip_to_int, mac_to_int
+from repro.net.builder import PacketBuilder, udp_flow_packets
+from repro.net.buffer import ConcreteBuffer
+from repro.net.checksum import ip_checksum, verify_ip_checksum
+from repro.net.headers import ETHERTYPE_IP, IP_PROTO_TCP, IP_PROTO_UDP
+from repro.net.options import (
+    IPOPT_LSRR,
+    IPOPT_NOP,
+    IPOPT_RR,
+    decode_options,
+    encode_lsrr,
+    encode_option,
+    encode_record_route,
+    pad_options,
+)
+from repro.net.packet import Packet
+
+
+def build_udp(**kwargs):
+    defaults = dict(src="10.0.0.1", dst="10.0.0.2", ttl=64)
+    defaults.update(kwargs)
+    return PacketBuilder().ethernet().ipv4(**defaults).udp(1111, 2222).payload(b"abc").build()
+
+
+class TestEthernetView:
+    def test_fields_roundtrip(self):
+        pkt = build_udp()
+        eth = pkt.ether()
+        assert eth.ethertype == ETHERTYPE_IP
+        eth.src = mac_to_int("aa:bb:cc:dd:ee:ff")
+        assert eth.src == mac_to_int("aa:bb:cc:dd:ee:ff")
+
+
+class TestIpv4View:
+    def test_basic_fields(self):
+        pkt = build_udp(src="1.2.3.4", dst="5.6.7.8", ttl=17)
+        ip = pkt.ip()
+        assert ip.version == 4
+        assert ip.ihl == 5
+        assert ip.header_length == 20
+        assert ip.ttl == 17
+        assert ip.protocol == IP_PROTO_UDP
+        assert ip.src == ip_to_int("1.2.3.4")
+        assert ip.dst == ip_to_int("5.6.7.8")
+
+    def test_total_length_matches_buffer(self):
+        pkt = build_udp()
+        assert pkt.ip().total_length == len(pkt) - 14
+
+    def test_fragment_fields(self):
+        pkt = build_udp()
+        ip = pkt.ip()
+        ip.more_fragments = 1
+        ip.fragment_offset = 185
+        assert ip.more_fragments == 1
+        assert ip.fragment_offset == 185
+        ip.dont_fragment = 1
+        assert ip.dont_fragment == 1
+        # Setting one flag must not clobber the others.
+        assert ip.more_fragments == 1
+
+    def test_version_and_ihl_are_independent_nibbles(self):
+        pkt = build_udp()
+        ip = pkt.ip()
+        ip.ihl = 7
+        assert ip.version == 4
+        assert ip.ihl == 7
+
+    def test_checksum_is_valid_after_build(self):
+        pkt = build_udp()
+        assert verify_ip_checksum(pkt.buf, pkt.ip_offset, 20)
+
+    def test_bad_checksum_builder_flag(self):
+        pkt = PacketBuilder().ethernet().ipv4().udp().bad_ip_checksum().build()
+        assert not verify_ip_checksum(pkt.buf, pkt.ip_offset, 20)
+
+
+class TestTransportViews:
+    def test_udp_fields(self):
+        pkt = build_udp()
+        udp = pkt.udp()
+        assert udp.src_port == 1111
+        assert udp.dst_port == 2222
+        assert udp.length == 8 + 3
+
+    def test_tcp_fields(self):
+        pkt = (PacketBuilder().ethernet().ipv4()
+               .tcp(src_port=80, dst_port=5000, seq=7, flags=0x12).build())
+        tcp = pkt.tcp()
+        assert pkt.ip().protocol == IP_PROTO_TCP
+        assert tcp.src_port == 80
+        assert tcp.dst_port == 5000
+        assert tcp.seq == 7
+        assert tcp.syn == 1 and tcp.ack_flag == 1 and tcp.fin == 0
+
+    def test_icmp_header(self):
+        pkt = PacketBuilder().ethernet().ipv4().icmp(icmp_type=8).build()
+        assert pkt.icmp().type == 8
+
+
+class TestPacket:
+    def test_clone_is_deep(self):
+        pkt = build_udp()
+        pkt.set_meta("color", 3)
+        clone = pkt.clone()
+        clone.ip().ttl = 1
+        clone.set_meta("color", 9)
+        assert pkt.ip().ttl == 64
+        assert pkt.get_meta("color") == 3
+
+    def test_meta_helpers(self):
+        pkt = build_udp()
+        assert not pkt.has_meta("x")
+        pkt.set_meta("x", 5)
+        assert pkt.get_meta("x") == 5
+        assert pkt.get_meta("missing", 42) == 42
+
+    def test_from_bytes(self):
+        raw = build_udp().buf.tobytes()
+        pkt = Packet.from_bytes(raw)
+        assert pkt.ip().version == 4
+
+    def test_transport_offset_follows_ihl(self):
+        lsrr = pad_options(encode_lsrr(["9.9.9.9"]))
+        pkt = PacketBuilder().ethernet().ipv4().ip_options(lsrr).udp(5, 6).build()
+        assert pkt.ip().ihl > 5
+        assert pkt.transport_offset() == 14 + pkt.ip().header_length
+        assert pkt.udp().src_port == 5
+
+
+class TestOptionsEncoding:
+    def test_encode_single_byte_options(self):
+        assert encode_option(IPOPT_NOP) == bytes([IPOPT_NOP])
+        with pytest.raises(ValueError):
+            encode_option(IPOPT_NOP, b"zz")
+
+    def test_encode_with_data(self):
+        raw = encode_option(IPOPT_RR, b"\x04\x00\x00\x00\x00")
+        assert raw[0] == IPOPT_RR
+        assert raw[1] == len(raw)
+
+    def test_lsrr_roundtrip(self):
+        raw = encode_lsrr(["1.2.3.4", "5.6.7.8"])
+        decoded = decode_options(raw)
+        assert decoded[0][0] == IPOPT_LSRR
+        assert len(decoded[0][1]) == 1 + 8
+
+    def test_record_route_slots(self):
+        raw = encode_record_route(slots=2)
+        assert raw[1] == 3 + 8
+
+    def test_pad_options_multiple_of_four(self):
+        assert len(pad_options(b"\x01\x01\x01")) == 4
+        assert len(pad_options(b"\x01" * 4)) == 4
+
+    def test_decode_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            decode_options(bytes([IPOPT_RR, 0, 0, 0]))
+
+    def test_decode_rejects_truncation(self):
+        with pytest.raises(ValueError):
+            decode_options(bytes([IPOPT_RR, 10, 1]))
+
+
+class TestBuilderWorkloads:
+    def test_udp_flow_packets(self):
+        flow = udp_flow_packets("10.0.0.1", "10.0.0.2", 1, 2, count=5)
+        assert len(flow) == 5
+        assert all(p.ip().src == ip_to_int("10.0.0.1") for p in flow)
+
+    def test_override_fields_produce_malformed_packets(self):
+        pkt = PacketBuilder().ethernet().ipv4().udp().override_version(6).build()
+        assert pkt.ip().version == 6
+        pkt = PacketBuilder().ethernet().ipv4().udp().override_total_length(5).build()
+        assert pkt.ip().total_length == 5
+
+    def test_ip_checksum_helper_consistency(self):
+        pkt = build_udp()
+        buf = ConcreteBuffer(pkt.buf.tobytes())
+        stored = pkt.ip().checksum
+        buf.store(pkt.ip_offset + 10, 2, 0)
+        assert ip_checksum(buf, pkt.ip_offset, 20) == stored

@@ -1,0 +1,172 @@
+"""Unit tests for the pipeline graph and concrete runner."""
+
+import pytest
+
+from repro.dataplane.element import Element
+from repro.dataplane.elements import DecIPTTL, Discard, PassThrough, Sink
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.pipelines import (
+    build_filter_chain,
+    build_ip_router,
+    build_loop_microbenchmark,
+    build_network_gateway,
+    ip_router_elements,
+    large_fib,
+    small_fib,
+)
+from repro.errors import AssertionFailure
+from repro.net.builder import PacketBuilder
+
+
+def udp(dst="10.1.2.3", ttl=64, src="1.1.1.1"):
+    return PacketBuilder().ethernet().ipv4(src=src, dst=dst, ttl=ttl).udp(1234, 80).build()
+
+
+class Crasher(Element):
+    def process(self, packet):
+        raise AssertionFailure("always crashes")
+
+
+class Duplicator(Element):
+    nports_out = 2
+
+    def process(self, packet):
+        return [(0, packet), (1, packet.clone())]
+
+
+class TestPipelineConstruction:
+    def test_linear_connects_port_zero(self):
+        a, b, c = PassThrough(name="a"), PassThrough(name="b"), Sink(name="c")
+        pipeline = Pipeline.linear([a, b, c])
+        assert pipeline.successor(a, 0) is b
+        assert pipeline.successor(b, 0) is c
+        assert pipeline.successor(c, 0) is None
+        assert pipeline.entry() is a
+
+    def test_duplicate_names_rejected(self):
+        pipeline = Pipeline()
+        pipeline.add(PassThrough(name="x"))
+        with pytest.raises(ValueError):
+            pipeline.add(PassThrough(name="x"))
+
+    def test_element_lookup_by_name(self):
+        pipeline = build_ip_router("edge")
+        assert pipeline.element("iplookup").name == "iplookup"
+        with pytest.raises(KeyError):
+            pipeline.element("nope")
+
+    def test_connected_ports(self):
+        router = build_ip_router("edge")
+        lookup = router.element("iplookup")
+        assert pipeline_ports(router, lookup) == list(range(lookup.nports_out))
+
+    def test_empty_pipeline_has_no_entry(self):
+        with pytest.raises(ValueError):
+            Pipeline().entry()
+
+
+def pipeline_ports(pipeline, element):
+    return pipeline.connected_ports(element)
+
+
+class TestPipelineRun:
+    def test_packet_flows_to_unconnected_port(self):
+        a, b = PassThrough(name="a"), PassThrough(name="b")
+        pipeline = Pipeline.linear([a, b])
+        result = pipeline.run(udp())
+        assert len(result.outputs) == 1
+        assert result.outputs[0][0] == "b"
+        assert not result.crashed
+
+    def test_drop_is_recorded(self):
+        pipeline = Pipeline.linear([PassThrough(name="a"), Discard(name="d")])
+        result = pipeline.run(udp())
+        assert result.outputs == []
+        assert result.drops[0][0] == "d"
+
+    def test_crash_is_reported_not_raised(self):
+        pipeline = Pipeline.linear([PassThrough(name="a"), Crasher(name="boom")])
+        result = pipeline.run(udp())
+        assert result.crashed
+        assert isinstance(result.crash, AssertionFailure)
+
+    def test_multiple_emissions_follow_their_ports(self):
+        dup = Duplicator(name="dup")
+        left, right = Sink(name="left"), Sink(name="right")
+        pipeline = Pipeline()
+        pipeline.connect(dup, 0, left)
+        pipeline.connect(dup, 1, right)
+        result = pipeline.run(udp(), entry=dup)
+        assert len(left.received) == 1 and len(right.received) == 1
+        assert result.outputs == []
+
+    def test_trace_records_each_hop(self):
+        pipeline = build_ip_router("edge")
+        result = pipeline.run(udp())
+        visited = [entry.element for entry in result.trace]
+        assert visited[:3] == ["classifier", "decap", "checkip"]
+
+    def test_run_many_stops_after_crash(self):
+        pipeline = Pipeline.linear([Crasher(name="boom")])
+        results = pipeline.run_many([udp(), udp(), udp()])
+        assert len(results) == 1
+
+    def test_wiring_loop_protection(self):
+        a, b = PassThrough(name="a"), PassThrough(name="b")
+        pipeline = Pipeline()
+        pipeline.connect(a, 0, b)
+        pipeline.connect(b, 0, a)
+        with pytest.raises(RuntimeError):
+            pipeline.run(udp(), max_hops=10)
+
+
+class TestStandardPipelines:
+    def test_edge_router_forwards_by_longest_prefix(self):
+        router = build_ip_router("edge")
+        result = router.run(udp(dst="10.1.2.3"))
+        assert len(result.outputs) == 1
+        # delivered out of the encapsulation element
+        assert result.outputs[0][0] == "encap"
+
+    def test_edge_router_drops_expired_ttl_at_decttl(self):
+        router = build_ip_router("edge")
+        result = router.run(udp(ttl=1))
+        assert result.outputs[0][0] == "decttl"
+        assert result.outputs[0][1] == 1
+
+    def test_router_stage_list_grows_with_stages(self):
+        short = ip_router_elements(stages=("preproc",))
+        longer = ip_router_elements(stages=("preproc", "+DecTTL", "+DropBcast"))
+        assert len(short) == 3
+        assert len(longer) == 5
+
+    def test_core_router_uses_large_fib(self):
+        router = build_ip_router("core", core_entries=2000)
+        lookup = router.element("iplookup")
+        assert len(lookup.table) == 2000
+
+    def test_large_fib_is_deterministic(self):
+        assert large_fib(entries=100) == large_fib(entries=100)
+        assert len(large_fib(entries=500)) == 500
+
+    def test_small_fib_has_ten_entries(self):
+        assert len(small_fib()) == 10
+
+    def test_gateway_translates_and_monitors(self):
+        gateway = build_network_gateway()
+        result = gateway.run(udp(src="192.168.0.2", dst="8.8.8.8"))
+        assert result.outputs[0][0] == "nat"
+        monitor = gateway.element("monitor")
+        assert len(monitor.flows) == 1
+
+    def test_filter_chain_criteria(self):
+        chain = build_filter_chain(["ip_dst", "ip_src", "port_dst", "port_src"])
+        assert [e.name for e in chain.elements] == [
+            "filter-ip_dst", "filter-ip_src", "filter-port_dst", "filter-port_src",
+        ]
+        assert chain.run(udp()).outputs  # an unrelated packet passes all filters
+
+    def test_loop_microbenchmark_pipeline(self):
+        pipeline = build_loop_microbenchmark(iterations=3)
+        assert pipeline.elements[0].iterations == 3
+        assert pipeline.run(udp()).outputs

@@ -1,0 +1,102 @@
+"""Unit tests for substitution/simplification and interval reasoning."""
+
+from repro.symex import exprs as E
+from repro.symex.intervals import Interval, constraint_status, interval_of, refine_with_constraint
+from repro.symex.simplify import partial_evaluate, simplify, substitute
+
+
+class TestSubstitute:
+    def test_paper_toy_example_composition(self):
+        # E1's segment e2 leaves out = in (for in >= 0); E2's crash segment e3
+        # requires in' < 0.  Substituting yields an unsatisfiable constant.
+        in_sym = E.bv_sym("in", 8)
+        crash_constraint = E.cmp_ult(E.bv_sym("out", 8), E.bv_const(0, 8))
+        composed = substitute(crash_constraint, {"out": in_sym})
+        # x < 0 is unsigned-impossible; the constructor folds it to False.
+        assert composed == E.FALSE
+
+    def test_substitute_constant_folds(self):
+        x = E.bv_sym("x", 8)
+        expr = E.bv_add(x, 5)
+        assert substitute(expr, {"x": E.bv_const(10, 8)}) == E.bv_const(15, 8)
+
+    def test_substitution_is_simultaneous(self):
+        x, y = E.bv_sym("x", 8), E.bv_sym("y", 8)
+        expr = E.bv_add(x, y)
+        out = substitute(expr, {"x": y, "y": E.bv_const(3, 8)})
+        # x must become the *original* y, not 3.
+        assert E.evaluate(out, {"y": 7}) == 10
+
+    def test_width_coercion_on_replacement(self):
+        x = E.bv_sym("x", 8)
+        out = substitute(x, {"x": E.bv_const(0x1234, 16)})
+        assert out.width == 8
+        assert out.value == 0x34
+
+    def test_substitute_inside_bool_structure(self):
+        x = E.bv_sym("x", 8)
+        expr = E.bool_or(E.cmp_eq(x, 1), E.cmp_eq(x, 2))
+        assert substitute(expr, {"x": E.bv_const(2, 8)}) == E.TRUE
+
+    def test_simplify_is_idempotent(self):
+        x = E.bv_sym("x", 8)
+        expr = E.bv_add(E.bv_mul(x, 1), E.bv_const(0, 8))
+        assert simplify(expr) == simplify(simplify(expr))
+
+    def test_partial_evaluate(self):
+        x, y = E.bv_sym("x", 8), E.bv_sym("y", 8)
+        expr = E.bv_add(x, y)
+        out = partial_evaluate(expr, {"x": 4})
+        assert {s.name for s in E.free_symbols(out)} == {"y"}
+
+
+class TestIntervals:
+    def test_interval_of_constant_and_symbol(self):
+        assert interval_of(E.bv_const(5, 8)) == Interval(5, 5)
+        assert interval_of(E.bv_sym("x", 8)) == Interval(0, 255)
+
+    def test_interval_addition_and_overflow_conservatism(self):
+        x = E.bv_sym("x", 8)
+        assert interval_of(E.bv_add(x, 10), {"x": Interval(0, 10)}) == Interval(10, 20)
+        # A sum that can wrap collapses to the full range (conservative).
+        assert interval_of(E.bv_add(x, 200), {"x": Interval(100, 255)}) == Interval(0, 255)
+
+    def test_interval_of_ite_is_union(self):
+        x = E.bv_sym("x", 8)
+        expr = E.bv_ite(E.cmp_eq(x, 0), E.bv_const(3, 8), E.bv_const(9, 8))
+        assert interval_of(expr) == Interval(3, 9)
+
+    def test_interval_and_bounded_by_operands(self):
+        x = E.bv_sym("x", 8)
+        assert interval_of(E.bv_and(x, 0x0F)).hi <= 0x0F
+
+    def test_constraint_status_decided(self):
+        x = E.bv_sym("x", 8)
+        env = {"x": Interval(0, 4)}
+        assert constraint_status(E.cmp_ult(x, E.bv_const(5, 8)), env) is True
+        assert constraint_status(E.cmp_uge(x, E.bv_const(5, 8)), env) is False
+        assert constraint_status(E.cmp_eq(x, E.bv_const(3, 8)), env) is None
+
+    def test_refine_with_constraint_narrows(self):
+        x = E.bv_sym("x", 8)
+        env = {}
+        assert refine_with_constraint(E.cmp_ult(x, E.bv_const(10, 8)), env)
+        assert env["x"] == Interval(0, 9)
+        refine_with_constraint(E.cmp_uge(x, E.bv_const(3, 8)), env)
+        assert env["x"] == Interval(3, 9)
+        refine_with_constraint(E.cmp_eq(x, E.bv_const(7, 8)), env)
+        assert env["x"] == Interval(7, 7)
+
+    def test_refine_contradiction_empties_interval(self):
+        x = E.bv_sym("x", 8)
+        env = {}
+        refine_with_constraint(E.cmp_ult(x, E.bv_const(5, 8)), env)
+        refine_with_constraint(E.cmp_uge(x, E.bv_const(10, 8)), env)
+        assert env["x"].is_empty()
+
+    def test_interval_helpers(self):
+        assert Interval(3, 2).is_empty()
+        assert Interval(4, 4).is_point()
+        assert Interval(1, 5).intersect(Interval(4, 9)) == Interval(4, 5)
+        assert Interval(1, 2).union(Interval(5, 6)) == Interval(1, 6)
+        assert Interval.empty().union(Interval(1, 2)) == Interval(1, 2)

@@ -1,0 +1,178 @@
+"""Unit tests for the constraint solver."""
+
+from repro.symex import exprs as E
+from repro.symex.solver import SAT, UNKNOWN, UNSAT, Solver
+
+
+def check(constraints, **kwargs):
+    return Solver(**kwargs).check(constraints)
+
+
+class TestTrivialCases:
+    def test_empty_constraint_set_is_sat(self):
+        result = check([])
+        assert result.is_sat
+        assert result.model == {}
+
+    def test_constant_false_is_unsat(self):
+        assert check([E.FALSE]).is_unsat
+
+    def test_constant_true_is_sat(self):
+        assert check([E.TRUE]).is_sat
+
+
+class TestSingleVariable:
+    def test_equality_produces_model(self):
+        x = E.bv_sym("x", 8)
+        result = check([E.cmp_eq(x, E.bv_const(42, 8))])
+        assert result.is_sat
+        assert result.model["x"] == 42
+
+    def test_contradictory_bounds_unsat(self):
+        x = E.bv_sym("x", 8)
+        result = check([E.cmp_ult(x, E.bv_const(5, 8)), E.cmp_uge(x, E.bv_const(5, 8))])
+        assert result.is_unsat
+
+    def test_range_with_exclusion(self):
+        x = E.bv_sym("x", 8)
+        result = check([
+            E.cmp_uge(x, E.bv_const(10, 8)),
+            E.cmp_ule(x, E.bv_const(11, 8)),
+            E.cmp_ne(x, E.bv_const(10, 8)),
+        ])
+        assert result.is_sat
+        assert result.model["x"] == 11
+
+    def test_exhaustive_exclusion_unsat(self):
+        x = E.bv_sym("x", 2)
+        constraints = [E.cmp_ne(x, E.bv_const(v, 2)) for v in range(4)]
+        assert check(constraints).is_unsat
+
+    def test_mask_constraint(self):
+        x = E.bv_sym("x", 8)
+        result = check([E.cmp_eq(E.bv_and(x, 0xF0), E.bv_const(0x50, 8)),
+                        E.cmp_eq(E.bv_and(x, 0x0F), E.bv_const(0x03, 8))])
+        assert result.is_sat
+        assert result.model["x"] == 0x53
+
+
+class TestMultiByteFields:
+    def _field(self, names):
+        total = len(names) * 8
+        value = E.bv_const(0, total)
+        for i, name in enumerate(names):
+            byte = E.zero_extend(E.bv_sym(name, 8), total)
+            value = E.bv_or(value, E.bv_shl(byte, E.bv_const(8 * (len(names) - 1 - i), total)))
+        return value
+
+    def test_ethertype_style_equality(self):
+        field = self._field(["a", "b"])
+        result = check([E.cmp_eq(field, E.bv_const(0x0800, 16))])
+        assert result.is_sat
+        assert (result.model["a"], result.model["b"]) == (0x08, 0x00)
+
+    def test_ip_address_style_equality(self):
+        field = self._field(["b0", "b1", "b2", "b3"])
+        result = check([E.cmp_eq(field, E.bv_const(0x0A000001, 32))])
+        assert result.is_sat
+        assert [result.model[f"b{i}"] for i in range(4)] == [0x0A, 0, 0, 1]
+
+    def test_conflicting_field_equalities_unsat(self):
+        field = self._field(["a", "b"])
+        result = check([
+            E.cmp_eq(field, E.bv_const(0x0800, 16)),
+            E.cmp_eq(field, E.bv_const(0x0806, 16)),
+        ])
+        assert result.is_unsat
+
+    def test_field_equality_with_byte_constraint(self):
+        field = self._field(["a", "b"])
+        result = check([
+            E.cmp_eq(field, E.bv_const(0x1234, 16)),
+            E.cmp_eq(E.bv_sym("a", 8), E.bv_const(0x12, 8)),
+        ])
+        assert result.is_sat
+
+
+class TestMultipleVariables:
+    def test_equality_between_variables(self):
+        x, y = E.bv_sym("x", 8), E.bv_sym("y", 8)
+        result = check([E.cmp_eq(x, y), E.cmp_eq(x, E.bv_const(9, 8))])
+        assert result.is_sat
+        assert result.model["y"] == 9
+
+    def test_sum_constraint(self):
+        x, y = E.bv_sym("x", 8), E.bv_sym("y", 8)
+        result = check([
+            E.cmp_eq(E.bv_add(E.zero_extend(x, 16), E.zero_extend(y, 16)), E.bv_const(300, 16)),
+        ])
+        assert result.is_sat
+        assert result.model["x"] + result.model["y"] == 300
+
+    def test_model_is_rechecked_against_every_constraint(self):
+        x, y = E.bv_sym("x", 8), E.bv_sym("y", 8)
+        result = check([
+            E.cmp_ult(x, y),
+            E.cmp_ult(y, E.bv_const(3, 8)),
+            E.cmp_ne(x, E.bv_const(0, 8)),
+        ])
+        assert result.is_sat
+        model = result.model
+        assert model["x"] < model["y"] < 3 and model["x"] != 0
+
+
+class TestIteAndWideDomains:
+    def test_ite_valued_constraint(self):
+        x = E.bv_sym("x", 8)
+        selected = E.bv_ite(E.cmp_ult(x, 10), E.bv_const(1, 8), E.bv_const(2, 8))
+        result = check([E.cmp_eq(selected, E.bv_const(2, 8))])
+        assert result.is_sat
+        assert result.model["x"] >= 10
+
+    def test_wide_variable_equality(self):
+        x = E.bv_sym("x", 32)
+        result = check([E.cmp_eq(x, E.bv_const(0xDEADBEEF, 32))])
+        assert result.is_sat
+        assert result.model["x"] == 0xDEADBEEF
+
+    def test_budget_exhaustion_reports_unknown_not_unsat(self):
+        # A constraint the probing strategy cannot solve in one node.
+        xs = [E.bv_sym(f"x{i}", 32) for i in range(6)]
+        total = E.bv_const(0, 32)
+        for x in xs:
+            total = E.bv_add(total, E.bv_mul(x, 7))
+        result = Solver(max_nodes=2).check([E.cmp_eq(total, E.bv_const(123456, 32))])
+        assert result.status in (UNKNOWN, SAT)  # never a wrong UNSAT
+
+
+class TestSolverBookkeeping:
+    def test_statistics_accumulate(self):
+        solver = Solver()
+        x = E.bv_sym("x", 8)
+        solver.check([E.cmp_eq(x, E.bv_const(1, 8))])
+        solver.check([E.FALSE])
+        assert solver.stats.queries == 2
+        assert solver.stats.sat == 1
+        assert solver.stats.unsat == 1
+
+    def test_cache_hit_on_repeated_query(self):
+        solver = Solver()
+        x = E.bv_sym("x", 8)
+        constraint = [E.cmp_eq(x, E.bv_const(1, 8))]
+        solver.check(constraint)
+        solver.check(constraint)
+        assert solver.stats.cache_hits >= 1
+
+    def test_is_feasible_treats_unknown_as_feasible(self):
+        solver = Solver(max_nodes=1)
+        xs = [E.bv_sym(f"y{i}", 32) for i in range(8)]
+        total = E.bv_const(0, 32)
+        for x in xs:
+            total = E.bv_add(total, E.bv_mul(x, 13))
+        assert solver.is_feasible([E.cmp_eq(total, E.bv_const(999983, 32))])
+
+    def test_model_helper(self):
+        solver = Solver()
+        x = E.bv_sym("x", 8)
+        assert solver.model([E.cmp_eq(x, E.bv_const(3, 8))]) == {"x": 3}
+        assert solver.model([E.FALSE]) is None

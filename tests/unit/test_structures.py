@@ -1,0 +1,197 @@
+"""Unit tests for the verifiable data structures (arrays, hash table, LPM)."""
+
+import pytest
+
+from repro.errors import OutOfBoundsAccess
+from repro.net.addresses import ip_to_int
+from repro.structures import ChainedArrayHashTable, FlatLpmTable, PreallocatedArray
+from repro.structures.lpm import parse_prefix
+
+
+class TestPreallocatedArray:
+    def test_fixed_capacity_and_fill(self):
+        array = PreallocatedArray(4, fill=0)
+        assert len(array) == 4
+        assert list(array) == [0, 0, 0, 0]
+
+    def test_get_set(self):
+        array = PreallocatedArray(4)
+        array[2] = "x"
+        assert array[2] == "x"
+        assert array.get(0) is None
+
+    def test_out_of_bounds_is_a_dataplane_crash(self):
+        array = PreallocatedArray(4)
+        with pytest.raises(OutOfBoundsAccess):
+            array.get(4)
+        with pytest.raises(OutOfBoundsAccess):
+            array.set(-1, 0)
+
+    def test_non_integer_index_rejected(self):
+        array = PreallocatedArray(4)
+        with pytest.raises(OutOfBoundsAccess):
+            array.get("zero")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PreallocatedArray(0)
+
+    def test_fill_resets_every_slot(self):
+        array = PreallocatedArray(3)
+        array[0] = 1
+        array.fill(9)
+        assert list(array) == [9, 9, 9]
+
+
+class TestChainedArrayHashTable:
+    def test_read_write_test_expire_interface(self):
+        table = ChainedArrayHashTable(buckets=16, depth=2)
+        assert table.read(5) is None
+        assert not table.test(5)
+        assert table.write(5, "value")
+        assert table.test(5)
+        assert table.read(5) == "value"
+        assert table.expire(5) == "value"
+        assert not table.test(5)
+        assert table.expire(5) is None
+
+    def test_write_updates_in_place(self):
+        table = ChainedArrayHashTable(buckets=16, depth=2)
+        table.write(1, "a")
+        table.write(1, "b")
+        assert table.read(1) == "b"
+        assert len(table) == 1
+
+    def test_write_fails_after_depth_collisions(self):
+        table = ChainedArrayHashTable(buckets=4, depth=3)
+        colliders = []
+        key = 0
+        while len(colliders) < 4:
+            if table._hash(key, 4) == 0:
+                colliders.append(key)
+            key += 1
+        assert table.write(colliders[0], 0)
+        assert table.write(colliders[1], 1)
+        assert table.write(colliders[2], 2)
+        assert table.write(colliders[3], 3) is False
+        # The first three are still retrievable.
+        assert [table.read(k) for k in colliders[:3]] == [0, 1, 2]
+
+    def test_capacity_and_load_factor(self):
+        table = ChainedArrayHashTable(buckets=8, depth=2)
+        assert table.capacity == 16
+        table.write(1, 1)
+        assert table.load_factor() == pytest.approx(1 / 16)
+
+    def test_items_iterates_everything(self):
+        table = ChainedArrayHashTable(buckets=8, depth=2)
+        for key in range(5):
+            table.write(key, key * 10)
+        assert dict(table.items()) == {k: k * 10 for k in range(5)}
+
+    def test_operation_cost_is_bounded_by_depth(self):
+        # The whole point of the chained-array design: every operation touches
+        # at most ``depth`` slots, regardless of how full the table is.
+        table = ChainedArrayHashTable(buckets=64, depth=3)
+        for key in range(100):
+            table.write(key, key)
+        accesses = 0
+        original_get = PreallocatedArray.get
+
+        def counting_get(self, index):
+            nonlocal accesses
+            accesses += 1
+            return original_get(self, index)
+
+        PreallocatedArray.get = counting_get
+        try:
+            table.read(12345)
+        finally:
+            PreallocatedArray.get = original_get
+        assert accesses <= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChainedArrayHashTable(buckets=0)
+        with pytest.raises(ValueError):
+            ChainedArrayHashTable(depth=0)
+
+
+class TestParsePrefix:
+    def test_basic(self):
+        value, plen = parse_prefix("10.1.0.0/16")
+        assert (value, plen) == (ip_to_int("10.1.0.0"), 16)
+
+    def test_host_route_default_length(self):
+        value, plen = parse_prefix("1.2.3.4")
+        assert plen == 32
+
+    def test_prefix_is_masked(self):
+        value, plen = parse_prefix("10.1.2.3/16")
+        assert value == ip_to_int("10.1.0.0")
+
+    def test_illegal_length_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prefix("10.0.0.0/33")
+
+
+class TestFlatLpmTable:
+    def build(self):
+        table = FlatLpmTable(first_level_bits=16, default="default")
+        table.add_route("10.0.0.0/8", "ten")
+        table.add_route("10.1.0.0/16", "ten-one")
+        table.add_route("10.1.2.0/24", "ten-one-two")
+        table.add_route("0.0.0.0/0", "zero")
+        return table
+
+    def test_longest_prefix_wins(self):
+        table = self.build()
+        assert table.lookup(ip_to_int("10.1.2.9")) == "ten-one-two"
+        assert table.lookup(ip_to_int("10.1.9.9")) == "ten-one"
+        assert table.lookup(ip_to_int("10.9.9.9")) == "ten"
+        assert table.lookup(ip_to_int("11.0.0.1")) == "zero"
+
+    def test_insertion_order_does_not_matter(self):
+        table = FlatLpmTable(first_level_bits=16, default=None)
+        table.add_route("10.1.2.0/24", "long")
+        table.add_route("10.0.0.0/8", "short")
+        assert table.lookup(ip_to_int("10.1.2.1")) == "long"
+        assert table.lookup(ip_to_int("10.2.0.1")) == "short"
+        reordered = FlatLpmTable(first_level_bits=16, default=None)
+        reordered.add_route("10.0.0.0/8", "short")
+        reordered.add_route("10.1.2.0/24", "long")
+        assert reordered.lookup(ip_to_int("10.1.2.1")) == "long"
+
+    def test_default_when_no_route(self):
+        table = FlatLpmTable(default="nothing")
+        assert table.lookup(ip_to_int("9.9.9.9")) == "nothing"
+
+    def test_granularity_limit_enforced(self):
+        table = FlatLpmTable(first_level_bits=16)
+        with pytest.raises(ValueError):
+            table.add_route("1.2.3.4/32", "host")
+
+    def test_wider_first_level_supports_longer_prefixes(self):
+        table = FlatLpmTable(first_level_bits=24, default=None)
+        table.add_route("1.2.3.4/32", "host")
+        assert table.lookup(ip_to_int("1.2.3.4")) == "host"
+        assert table.lookup(ip_to_int("1.2.3.5")) is None
+
+    def test_routes_property_and_len(self):
+        table = self.build()
+        assert len(table) == 4
+        assert len(table.routes) == 4
+
+    def test_matches_reference_implementation(self):
+        # Compare against a straightforward "scan all routes" reference.
+        table = self.build()
+        routes = table.routes
+        for address in ("10.0.0.1", "10.1.0.1", "10.1.2.3", "10.200.0.1", "192.168.1.1"):
+            value = ip_to_int(address)
+            best = None
+            for route in sorted(routes, key=lambda r: -r.plen):
+                if route.matches(value):
+                    best = route.value
+                    break
+            expected = best if best is not None else "default"
+            assert table.lookup(value) == expected

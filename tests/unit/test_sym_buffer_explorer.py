@@ -1,0 +1,182 @@
+"""Unit tests for symbolic buffers and the path explorer."""
+
+import pytest
+
+from repro.errors import AssertionFailure, OutOfBoundsAccess
+from repro.symex import exprs as E
+from repro.symex.explorer import PathExplorer
+from repro.symex.runtime import SymbolicRuntime, activate
+from repro.symex.sym_buffer import SymbolicBuffer
+from repro.symex.values import SymVal
+
+
+class TestSymbolicBufferConcreteOffsets:
+    def test_fully_symbolic_cells_have_canonical_names(self):
+        buf = SymbolicBuffer.fully_symbolic(4, prefix="pkt")
+        assert buf.symbol_names() == [f"pkt[{i}]" for i in range(4)]
+        assert buf.is_symbolic
+
+    def test_from_concrete_reads_plain_ints(self):
+        buf = SymbolicBuffer.from_concrete(b"\x01\x02")
+        assert buf.load_byte(0) == 1
+        assert buf.load(0, 2) == 0x0102
+
+    def test_mixed_buffer(self):
+        buf = SymbolicBuffer.mixed(b"\x01\x02\x03\x04", [(1, 2)])
+        assert buf.load_byte(0) == 1
+        assert isinstance(buf.load_byte(1), SymVal)
+
+    def test_store_then_load_concrete(self):
+        buf = SymbolicBuffer.fully_symbolic(8)
+        buf.store(2, 2, 0xBEEF)
+        assert buf.load(2, 2) == 0xBEEF
+
+    def test_multibyte_load_is_big_endian_expression(self):
+        buf = SymbolicBuffer.fully_symbolic(4)
+        value = buf.load(0, 2)
+        assert isinstance(value, SymVal)
+        assert E.evaluate(value.expr, {"pkt[0]": 0x12, "pkt[1]": 0x34}) == 0x1234
+
+    def test_out_of_bounds_concrete_offset_raises(self):
+        buf = SymbolicBuffer.fully_symbolic(4)
+        with pytest.raises(OutOfBoundsAccess):
+            buf.load_byte(4)
+        with pytest.raises(OutOfBoundsAccess):
+            buf.load(3, 2)
+
+    def test_copy_is_independent(self):
+        buf = SymbolicBuffer.fully_symbolic(4)
+        clone = buf.copy()
+        clone.store_byte(0, 7)
+        assert isinstance(buf.load_byte(0), SymVal)
+        assert clone.load_byte(0) == 7
+
+    def test_concretize_uses_model_and_default(self):
+        buf = SymbolicBuffer.fully_symbolic(3)
+        data = buf.concretize({"pkt[0]": 0xAA}, default=0x11)
+        assert data == bytes([0xAA, 0x11, 0x11])
+
+
+class TestSymbolicBufferSymbolicOffsets:
+    def test_symbolic_load_is_ite_over_cells(self):
+        runtime = SymbolicRuntime()
+        with activate(runtime):
+            buf = SymbolicBuffer.from_concrete(bytes(range(8)))
+            index = SymVal(E.bv_and(E.bv_sym("i", 8), E.bv_const(0x07, 8)))
+            value = buf.load_byte(index)
+        # Evaluating the ITE chain at a concrete index must give that cell.
+        assert E.evaluate(value.expr, {"i": 5}) == 5
+        assert E.evaluate(value.expr, {"i": 8 + 3}) == 3  # masked to 3
+
+    def test_symbolic_store_updates_selected_cell_only(self):
+        runtime = SymbolicRuntime()
+        with activate(runtime):
+            buf = SymbolicBuffer.from_concrete(bytes(4))
+            index = SymVal(E.bv_and(E.bv_sym("i", 8), E.bv_const(0x03, 8)))
+            buf.store_byte(index, 0x55)
+        cell0 = buf.cell_expr(0)
+        assert E.evaluate(cell0, {"i": 0}) == 0x55
+        assert E.evaluate(cell0, {"i": 1}) == 0
+
+    def test_possibly_out_of_bounds_symbolic_offset_branches(self):
+        # With an unconstrained 8-bit offset over a 16-byte buffer the access
+        # may be out of bounds: the explorer must see both a crashing and a
+        # non-crashing path.
+        def target(runtime):
+            buf = SymbolicBuffer.fully_symbolic(16)
+            index = SymVal(runtime.fresh_symbol("idx", 8))
+            return buf.load_byte(index)
+
+        result = PathExplorer().explore(target)
+        assert any(p.crashed for p in result.paths)
+        assert any(not p.crashed for p in result.paths)
+
+
+class TestPathExplorer:
+    def test_enumerates_all_feasible_paths(self):
+        def target(runtime):
+            x = SymVal(runtime.fresh_symbol("x", 8))
+            if x < 10:
+                return "small"
+            if x < 100:
+                return "medium"
+            return "large"
+
+        result = PathExplorer().explore(target)
+        outputs = {p.output for p in result.paths}
+        assert outputs == {"small", "medium", "large"}
+        assert result.complete
+
+    def test_crash_paths_are_recorded_not_raised(self):
+        def target(runtime):
+            x = SymVal(runtime.fresh_symbol("x", 8))
+            if x == 0x41:
+                raise AssertionFailure("boom")
+            return "ok"
+
+        result = PathExplorer().explore(target)
+        assert len(result.crashing_paths) == 1
+        crash_path = result.crashing_paths[0]
+        assert isinstance(crash_path.crash, AssertionFailure)
+        # The crash path's constraint pins the byte to 0x41.
+        model = PathExplorer().solver.model(crash_path.constraints)
+        assert model["x#0"] == 0x41
+
+    def test_budget_exceeded_paths_flagged(self):
+        def target(runtime):
+            x = SymVal(runtime.fresh_symbol("x", 8))
+            if x == 1:
+                total = x
+                while True:
+                    total = total + 1
+            return "done"
+
+        result = PathExplorer(max_ops_per_path=100).explore(target)
+        assert len(result.unbounded_paths) == 1
+        assert result.max_ops() >= 100
+
+    def test_max_paths_budget_marks_incomplete(self):
+        def target(runtime):
+            count = 0
+            for i in range(6):
+                x = SymVal(runtime.fresh_symbol(f"x{i}", 8))
+                if x == i:
+                    count += 1
+            return count
+
+        result = PathExplorer(max_paths=5).explore(target)
+        assert not result.complete
+        assert len(result.paths) == 5
+
+    def test_infeasible_branches_are_not_scheduled(self):
+        def target(runtime):
+            x = SymVal(runtime.fresh_symbol("x", 8))
+            if x < 10:
+                if x >= 10:  # infeasible given the first branch
+                    return "impossible"
+                return "a"
+            return "b"
+
+        result = PathExplorer().explore(target)
+        outputs = {p.output for p in result.paths}
+        assert outputs == {"a", "b"}
+
+    def test_analysis_errors_are_captured(self):
+        def target(runtime):
+            raise ValueError("element bug")
+
+        result = PathExplorer().explore(target)
+        assert len(result.paths) == 1
+        assert isinstance(result.paths[0].analysis_error, ValueError)
+
+    def test_time_budget_marks_timed_out(self):
+        def target(runtime):
+            x = SymVal(runtime.fresh_symbol("x", 16))
+            total = 0
+            for i in range(200):
+                if x == i:
+                    total += 1
+            return total
+
+        result = PathExplorer(time_budget=0.0).explore(target)
+        assert result.timed_out or not result.complete

@@ -1,0 +1,157 @@
+"""Unit tests for symbolic value wrappers and the symbolic runtime."""
+
+import pytest
+
+from repro.errors import ConcretizationError, DivisionByZero, ExecutionBudgetExceeded
+from repro.symex import exprs as E
+from repro.symex.runtime import SymbolicRuntime, activate, current_runtime
+from repro.symex.values import SymBool, SymVal, is_symbolic, make_symbolic, unwrap, wrap
+
+
+def sym(name="x", width=8):
+    return make_symbolic(name, width)
+
+
+class TestWrapUnwrap:
+    def test_wrap_constant_returns_plain_int(self):
+        assert wrap(E.bv_const(7, 8)) == 7
+
+    def test_wrap_symbolic_returns_symval(self):
+        assert isinstance(wrap(E.bv_sym("x", 8)), SymVal)
+
+    def test_unwrap_roundtrip(self):
+        value = sym()
+        assert unwrap(value) is value.expr
+        assert unwrap(5) == 5
+        assert unwrap(True) == 1
+
+    def test_unwrap_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            unwrap("nope")
+
+    def test_is_symbolic(self):
+        assert is_symbolic(sym())
+        assert not is_symbolic(5)
+
+
+class TestArithmeticWithoutRuntime:
+    def test_operations_build_expressions(self):
+        x = sym()
+        assert isinstance(x + 1, SymVal)
+        assert isinstance(1 + x, SymVal)
+        assert isinstance(x * 3, SymVal)
+        assert isinstance(x - 1, SymVal)
+        assert isinstance(x & 0x0F, SymVal)
+        assert isinstance(x | 0x80, SymVal)
+        assert isinstance(x ^ 0xFF, SymVal)
+        assert isinstance(x << 2, SymVal)
+        assert isinstance(x >> 2, SymVal)
+        assert isinstance(~x, SymVal)
+
+    def test_symbolic_and_symbolic(self):
+        x, y = sym("x"), sym("y")
+        combined = x + y
+        assert {s.name for s in E.free_symbols(combined.expr)} == {"x", "y"}
+
+    def test_concretization_is_rejected(self):
+        x = sym()
+        with pytest.raises(ConcretizationError):
+            int(x)
+        with pytest.raises(ConcretizationError):
+            hash(x)
+        with pytest.raises(ConcretizationError):
+            bool(x == 1)  # no runtime active
+
+    def test_comparison_against_other_types_falls_back(self):
+        assert (sym() == "text") is False
+
+    def test_division_by_concrete_zero_raises(self):
+        with pytest.raises(DivisionByZero):
+            sym() // 0
+        with pytest.raises(DivisionByZero):
+            sym() % 0
+
+
+class TestRuntimeBranching:
+    def test_branch_records_constraint_and_decision(self):
+        runtime = SymbolicRuntime()
+        with activate(runtime):
+            x = sym()
+            taken = bool(x < 10)
+        assert taken is True
+        assert len(runtime.decisions) == 1
+        assert runtime.decisions[0].both_feasible is True
+        assert runtime.path_constraints[0] == E.cmp_ult(x.expr, E.bv_const(10, 8))
+
+    def test_forced_decisions_replay(self):
+        runtime = SymbolicRuntime(forced_decisions=[False])
+        with activate(runtime):
+            x = sym()
+            taken = bool(x < 10)
+        assert taken is False
+        assert runtime.path_constraints[0] == E.cmp_uge(x.expr, E.bv_const(10, 8))
+
+    def test_infeasible_direction_not_offered(self):
+        runtime = SymbolicRuntime()
+        with activate(runtime):
+            x = sym()
+            assert bool(x < 10)
+            # Given x < 10, the branch x >= 200 has only one feasible direction.
+            taken = bool(x >= 200)
+        assert taken is False
+        assert runtime.decisions[1].both_feasible is False
+
+    def test_concrete_condition_does_not_branch(self):
+        runtime = SymbolicRuntime()
+        with activate(runtime):
+            assert bool(SymBool(E.TRUE)) is True
+        assert runtime.decisions == []
+
+    def test_ops_budget_enforced(self):
+        runtime = SymbolicRuntime(max_ops=5)
+        with pytest.raises(ExecutionBudgetExceeded):
+            with activate(runtime):
+                x = sym()
+                for _ in range(10):
+                    x = x + 1
+
+    def test_division_by_possibly_zero_symbolic_value(self):
+        runtime = SymbolicRuntime()
+        with pytest.raises(DivisionByZero):
+            with activate(runtime):
+                x, y = sym("x"), sym("y")
+                _ = x // y  # the engine explores the y == 0 side first? no: true side
+        # The true direction of "y == 0" is feasible, so the engine raises.
+
+    def test_assume_adds_constraint_without_decision(self):
+        runtime = SymbolicRuntime()
+        with activate(runtime):
+            x = sym()
+            runtime.assume(E.cmp_ult(x.expr, E.bv_const(5, 8)))
+            taken = bool(x >= 5)
+        assert taken is False
+
+    def test_fresh_symbols_are_unique_and_recorded(self):
+        runtime = SymbolicRuntime()
+        a = runtime.fresh_symbol("kv", 8)
+        b = runtime.fresh_symbol("kv", 8)
+        assert a.name != b.name
+        assert runtime.fresh_symbols == [a, b]
+
+    def test_activation_nests_and_restores(self):
+        outer, inner = SymbolicRuntime(), SymbolicRuntime()
+        assert current_runtime() is None
+        with activate(outer):
+            assert current_runtime() is outer
+            with activate(inner):
+                assert current_runtime() is inner
+            assert current_runtime() is outer
+        assert current_runtime() is None
+
+    def test_symbool_connectives(self):
+        a = SymBool(E.cmp_eq(E.bv_sym("x", 8), 1))
+        b = SymBool(E.cmp_eq(E.bv_sym("y", 8), 2))
+        assert isinstance(a & b, SymBool)
+        assert isinstance(a | b, SymBool)
+        assert isinstance(~a, SymBool)
+        assert isinstance(a & True, SymBool)

@@ -1,0 +1,193 @@
+"""Unit tests for verifier internals: abstraction, composition, loops, reports."""
+
+import pytest
+
+from repro.dataplane.element import Element
+from repro.dataplane.elements import IPOptions, SimplifiedOptionsLoop, VerifiedNat
+from repro.dataplane.pipeline import Pipeline
+from repro.errors import AssertionFailure
+from repro.net.packet import Packet
+from repro.symex import exprs as E
+from repro.symex.runtime import SymbolicRuntime, activate
+from repro.verifier.abstraction import AbstractStore, abstracted_state
+from repro.verifier.composition import PathComposer, search_paths_to_segment
+from repro.verifier.config import VerifierConfig
+from repro.verifier.loops import expand_loop_element
+from repro.verifier.report import format_counterexample, format_results, format_table
+from repro.verifier.results import Counterexample, VerificationResult, Verdict
+from repro.verifier.summaries import (
+    Segment,
+    SegmentEmission,
+    make_symbolic_packet,
+    packet_symbol_name,
+    summarize_element,
+)
+
+CONFIG = VerifierConfig(time_budget=60)
+
+
+class TestAbstraction:
+    def test_abstract_store_requires_a_runtime(self):
+        store = AbstractStore("elem", "table", "private")
+        with pytest.raises(RuntimeError):
+            store.read(1)
+
+    def test_reads_are_fresh_symbols_and_journaled(self):
+        store = AbstractStore("elem", "table", "private")
+        runtime = SymbolicRuntime()
+        with activate(runtime):
+            first = store.read(1)
+            second = store.read(1)
+            store.write(2, 7)
+        assert first.expr != second.expr  # over-approximation: unconstrained per read
+        operations = [entry.detail["operation"] for entry in runtime.journal]
+        assert operations == ["read", "read", "write"]
+
+    def test_abstracted_state_swaps_and_restores(self):
+        nat = VerifiedNat(name="nat")
+        original = nat.flow_map
+        with abstracted_state(nat, CONFIG) as installed:
+            assert isinstance(nat.flow_map, AbstractStore)
+            assert set(installed) == {"flow_map", "reverse_map", "allocator"}
+        assert nat.flow_map is original
+
+    def test_static_state_kept_when_config_disables_abstraction(self):
+        nat = VerifiedNat(name="nat")
+        config = CONFIG.copy(abstract_private_state=False)
+        with abstracted_state(nat, config):
+            assert not isinstance(nat.flow_map, AbstractStore)
+
+
+def make_segment(element, index, constraints, state=None, port=0, crash=None, ops=10):
+    emissions = [] if crash else [SegmentEmission(port=port, state=state or {})]
+    return Segment(element=element, index=index, constraints=constraints,
+                   emissions=emissions, crash=crash, budget_exceeded=False, ops=ops)
+
+
+class TestCompositionToyPipeline:
+    """The paper's Fig. 1 example, expressed directly over segments."""
+
+    def setup_method(self):
+        self.in_byte = E.bv_sym(packet_symbol_name(0), 8)
+        # Element E1: segment e1 (in < 128 -> out = 0), e2 (in >= 128 -> out = in).
+        self.e1_seg1 = make_segment("E1", 0, [E.cmp_ult(self.in_byte, E.bv_const(128, 8))],
+                                    state={packet_symbol_name(0): E.bv_const(0, 8)})
+        self.e1_seg2 = make_segment("E1", 1, [E.cmp_uge(self.in_byte, E.bv_const(128, 8))])
+        # Element E2: crash segment e3 requires its input byte >= 200.
+        self.e2_crash = make_segment(
+            "E2", 0, [E.cmp_uge(self.in_byte, E.bv_const(200, 8))],
+            crash=AssertionFailure("assert"),
+        )
+
+    def test_extend_substitutes_upstream_state(self):
+        composer = PathComposer(config=CONFIG)
+        base = composer.extend(composer.initial_path(), "E1", self.e1_seg1)
+        composed = composer.extend(base, "E2", self.e2_crash)
+        # Upstream wrote 0 into the byte, so the crash constraint becomes
+        # 0 >= 200, i.e. False.
+        assert composer.check(composed).is_unsat
+
+    def test_feasible_crash_path_produces_model(self):
+        composer = PathComposer(config=CONFIG)
+        base = composer.extend(composer.initial_path(), "E1", self.e1_seg2)
+        composed = composer.extend(base, "E2", self.e2_crash)
+        verdict = composer.check(composed)
+        assert verdict.is_sat
+        assert verdict.model[packet_symbol_name(0)] >= 200
+        packet = composer.counterexample_bytes(verdict.model)
+        assert len(packet) == CONFIG.packet_size
+
+    def test_search_paths_to_segment_over_a_pipeline(self):
+        class E1(Element):
+            def process(self, packet):
+                return packet
+
+        class E2(Element):
+            def process(self, packet):
+                return packet
+
+        e1, e2 = E1(name="E1"), E2(name="E2")
+        pipeline = Pipeline.linear([e1, e2], name="toy")
+        summaries = {
+            "E1": type("S", (), {"segments": [self.e1_seg1, self.e1_seg2]})(),
+            "E2": type("S", (), {"segments": [self.e2_crash]})(),
+        }
+        composer = PathComposer(config=CONFIG)
+        result = search_paths_to_segment(pipeline, summaries, composer, "E2",
+                                         self.e2_crash, config=CONFIG)
+        assert len(result.feasible_paths) == 1
+        path, model = result.feasible_paths[0]
+        assert [name for name, _ in path.steps] == ["E1", "E2"]
+
+    def test_fresh_symbols_are_renamed_per_instance(self):
+        fresh = [("E1.table.read#0", 64)]
+        seg = Segment(element="E1", index=0,
+                      constraints=[E.cmp_eq(E.bv_sym("E1.table.read#0", 64), E.bv_const(1, 64))],
+                      emissions=[SegmentEmission(port=0, state={})],
+                      crash=None, budget_exceeded=False, ops=1, fresh_symbols=fresh)
+        composer = PathComposer(config=CONFIG)
+        first = composer.extend(composer.initial_path(), "E1", seg)
+        second = composer.extend(first, "E1", seg)
+        names = {s.name for c in second.constraints for s in E.free_symbols(c)}
+        assert len(names) == 2  # two distinct instances of the read symbol
+
+
+class TestLoopExpansion:
+    def test_simplified_loop_expands_to_done_segments(self):
+        analysis = expand_loop_element(SimplifiedOptionsLoop(iterations=2), CONFIG)
+        assert analysis.expanded.segments
+        assert not analysis.expanded.crash_segments
+        assert analysis.body.complete
+
+    def test_ipoptions_expansion_has_no_crash_segments(self):
+        analysis = expand_loop_element(IPOptions(max_options=1), CONFIG)
+        assert not analysis.expanded.crash_segments
+        assert analysis.compositions > 0
+
+
+class TestSummaries:
+    def test_symbolic_packet_uses_canonical_names(self):
+        packet = make_symbolic_packet(CONFIG)
+        assert len(packet.buf) == CONFIG.packet_size
+        assert packet.buf.symbol_names()[0] == packet_symbol_name(0)
+
+    def test_segment_describe_mentions_outcome(self):
+        element = VerifiedNat(name="nat")
+        summary = summarize_element(element, CONFIG)
+        text = "\n".join(segment.describe() for segment in summary.segments)
+        assert "drop" in text or "emit" in text
+
+
+class TestReports:
+    def make_result(self):
+        return VerificationResult(
+            property_name="crash-freedom",
+            pipeline_name="toy",
+            verdict=Verdict.VIOLATED,
+            counterexamples=[Counterexample(packet_bytes=bytes(range(32)), path=["a#0", "b#1"],
+                                            detail={"crash": "assert"})],
+            reason="example",
+        )
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_results_contains_verdict(self):
+        text = format_results([self.make_result()])
+        assert "violated" in text and "toy" in text
+
+    def test_format_counterexample_hexdump(self):
+        text = format_counterexample(self.make_result())
+        assert "a#0 -> b#1" in text
+        assert "00 01 02" in text
+
+    def test_format_counterexample_without_examples(self):
+        empty = VerificationResult("p", "q", Verdict.PROVED)
+        assert "no counter-example" in format_counterexample(empty)
+
+    def test_result_summary_line(self):
+        summary = self.make_result().summary()
+        assert "crash-freedom" in summary and "violated" in summary
