@@ -8,8 +8,23 @@ every possible input packet -- not just the ones in the test set.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py              # serial, no cache
+    PYTHONPATH=src python examples/quickstart.py --workers 4  # parallel step 1
+    PYTHONPATH=src python examples/quickstart.py --cache      # memoised step 1
+
+``--workers N`` summarises the pipeline's elements on ``N`` worker processes
+(``0`` = one per CPU core); ``--cache`` persists the element summaries under
+``.repro_cache/quickstart`` so that re-running the script skips step 1 for
+unchanged elements.  Typical timings for the verification half on a laptop
+core: a cold run spends roughly 50-100 ms summarising this four-element
+pipeline (and proportionally more on the paper's larger pipelines, where the
+IP-options element dominates at tens of seconds); a warm ``--cache`` re-run
+reports ``4 hit(s), 0 miss(es)`` and finishes step 1 in under a millisecond
+-- the whole cost collapses to the two property checks.  Both knobs change
+only where and when summaries are computed, never the verdicts.
 """
+
+import argparse
 
 from repro.dataplane.elements import CheckIPHeader, Classifier, DecIPTTL, EtherDecap
 from repro.dataplane.pipeline import Pipeline
@@ -53,10 +68,16 @@ def run_concrete_traffic(pipeline: Pipeline) -> None:
     print()
 
 
-def verify(pipeline: Pipeline) -> None:
+def verify(pipeline: Pipeline, workers: int = 1, cache: bool = False) -> None:
     """Prove crash-freedom and bounded-execution for *any* input packet."""
     print("== verification ==")
-    config = VerifierConfig(time_budget=120)
+    config = VerifierConfig(
+        time_budget=120,
+        # Step-1 scalability knobs (see the module docstring for timings):
+        workers=workers,
+        cache_enabled=cache,
+        cache_dir=".repro_cache/quickstart",
+    )
     results = [
         verify_crash_freedom(pipeline, config=config),
         verify_bounded_execution(pipeline, instruction_bound=4000, config=config),
@@ -64,12 +85,22 @@ def verify(pipeline: Pipeline) -> None:
     print(format_results(results))
     for result in results:
         print(f"  {result.property_name}: {result.verdict} -- {result.reason}")
+    if cache:
+        step1 = results[0].stats
+        print(f"  summary cache: {step1.cache_hits} hit(s), "
+              f"{step1.cache_misses} miss(es) -- re-run me for a warm start")
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="step-1 worker processes (0 = one per core)")
+    parser.add_argument("--cache", action="store_true",
+                        help="persist element summaries under .repro_cache/quickstart")
+    args = parser.parse_args()
     pipeline = build_pipeline()
     run_concrete_traffic(pipeline)
-    verify(pipeline)
+    verify(pipeline, workers=args.workers, cache=args.cache)
 
 
 if __name__ == "__main__":

@@ -1,11 +1,31 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that the
-package can also be installed in environments whose tooling predates PEP 660
-editable installs (``pip install -e . --no-use-pep517`` falls back to
-``setup.py develop``, which does not require the ``wheel`` package).
+Build configuration lives in ``pyproject.toml``; the metadata here keeps the
+package installable in environments whose tooling predates PEP 660 editable
+installs (``pip install -e . --no-use-pep517`` falls back to ``setup.py
+develop``, which does not require the ``wheel`` package).
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_README = Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-dataplane-verification",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Software Dataplane Verification' (Dobrescu & "
+        "Argyraki, NSDI '14): compositional symbolic verification of "
+        "Click-style packet-processing pipelines"
+    ),
+    long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro-verify = repro.cli:main"]},
+)

@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro``.
+
+Drives the verifier's public API (:mod:`repro.verifier.api`) over the
+evaluation pipelines of :mod:`repro.dataplane.pipelines` without writing any
+Python::
+
+    python -m repro pipelines                       # list available pipelines
+    python -m repro verify --pipeline edge-router --property crash-freedom
+    python -m repro verify --pipeline lsrr-firewall --property filtering \\
+        --src-prefix 10.66.0.0/16 --expect dropped
+    python -m repro summarize --pipeline network-gateway --workers 4
+    python -m repro cache stats
+    python -m repro cache clear
+
+Caching is **on by default** here (unlike the library, where it is opt-in):
+repeating a ``verify`` against an unchanged pipeline reports its step-1 cache
+hits on stderr and skips element re-exploration entirely.  ``--no-cache``
+disables it; ``--cache-dir`` relocates the store.
+
+Exit status: ``0`` when the property is proved, ``1`` when it is violated,
+``2`` when the analysis was inconclusive, ``3`` on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.dataplane import pipelines as pipeline_builders
+from repro.dataplane.pipeline import Pipeline
+from repro.verifier.api import (
+    FilteringProperty,
+    VerificationResult,
+    VerifierConfig,
+    summarize_once,
+    verify_bounded_execution,
+    verify_crash_freedom,
+    verify_filtering,
+)
+from repro.verifier.cache import DEFAULT_CACHE_DIR, SummaryCache
+
+def _build_preproc_router() -> Pipeline:
+    pipeline = pipeline_builders.build_ip_router(
+        stages=("preproc", "+DecTTL", "+DropBcast")
+    )
+    # build_ip_router names by FIB kind; report the name users asked for.
+    pipeline.name = "preproc-router"
+    return pipeline
+
+
+#: name -> zero-argument pipeline builder
+PIPELINES: Dict[str, Callable[[], Pipeline]] = {
+    "preproc-router": _build_preproc_router,
+    "edge-router": lambda: pipeline_builders.build_ip_router("edge"),
+    "core-router": lambda: pipeline_builders.build_ip_router("core"),
+    "network-gateway": pipeline_builders.build_network_gateway,
+    "gateway-click-nat": pipeline_builders.build_click_nat_gateway,
+    "edge-router-fragmenter": pipeline_builders.build_fragmenter_pipeline,
+    "filter-chain": pipeline_builders.build_filter_chain,
+    "loop-microbenchmark": pipeline_builders.build_loop_microbenchmark,
+    "lsrr-firewall": pipeline_builders.build_lsrr_firewall,
+}
+
+PROPERTIES = ("crash-freedom", "bounded-execution", "filtering")
+
+_EXIT_BY_VERDICT = {"proved": 0, "violated": 1, "inconclusive": 2}
+
+
+def _build_pipeline(name: str) -> Pipeline:
+    try:
+        builder = PIPELINES[name]
+    except KeyError:
+        known = ", ".join(sorted(PIPELINES))
+        raise SystemExit(f"unknown pipeline {name!r}; available: {known}")
+    return builder()
+
+
+def _build_config(args: argparse.Namespace) -> VerifierConfig:
+    config = VerifierConfig(
+        workers=args.workers,
+        cache_enabled=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    if args.time_budget is not None:
+        config = config.copy(time_budget=args.time_budget)
+    return config
+
+
+def _report_cache(result_stats, config: VerifierConfig) -> None:
+    if not config.cache_enabled:
+        return
+    print(
+        f"[cache] step 1: {result_stats.cache_hits} hit(s), "
+        f"{result_stats.cache_misses} miss(es) ({config.cache_dir})",
+        file=sys.stderr,
+    )
+
+
+def _print_result(result: VerificationResult, as_json: bool) -> int:
+    if as_json:
+        payload = {
+            "property": result.property_name,
+            "pipeline": result.pipeline_name,
+            "verdict": str(result.verdict),
+            "reason": result.reason,
+            "stats": {
+                "elapsed": result.stats.elapsed,
+                "step1_elapsed": result.stats.step1_elapsed,
+                "step2_elapsed": result.stats.step2_elapsed,
+                "states": result.stats.states,
+                "segments": result.stats.segments,
+                "paths_composed": result.stats.paths_composed,
+                "cache_hits": result.stats.cache_hits,
+                "cache_misses": result.stats.cache_misses,
+                "element_elapsed": result.stats.element_elapsed,
+            },
+            "counterexamples": [
+                {
+                    "packet": counterexample.packet_bytes.hex(),
+                    "path": counterexample.path,
+                    "detail": {k: str(v) for k, v in counterexample.detail.items()},
+                }
+                for counterexample in result.counterexamples
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        for counterexample in result.counterexamples:
+            print(f"  {counterexample.summary()}")
+            print(f"    packet: {counterexample.packet_bytes.hex()}")
+    return _EXIT_BY_VERDICT[str(result.verdict)]
+
+
+def _cmd_pipelines(_args: argparse.Namespace) -> int:
+    for name in sorted(PIPELINES):
+        pipeline = _build_pipeline(name)
+        elements = " -> ".join(element.name for element in pipeline.elements)
+        print(f"{name:24s} {elements}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    pipeline = _build_pipeline(args.pipeline)
+    config = _build_config(args)
+    if args.property == "crash-freedom":
+        result = verify_crash_freedom(pipeline, config=config)
+    elif args.property == "bounded-execution":
+        result = verify_bounded_execution(
+            pipeline, instruction_bound=args.bound, config=config
+        )
+    else:
+        prop = FilteringProperty(
+            expectation=args.expect,
+            src_prefix=args.src_prefix,
+            dst_prefix=args.dst_prefix,
+            protocol=args.protocol,
+            dst_port=args.dst_port,
+        )
+        result = verify_filtering(pipeline, prop, config=config)
+    _report_cache(result.stats, config)
+    return _print_result(result, args.json)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    pipeline = _build_pipeline(args.pipeline)
+    config = _build_config(args)
+    summary = summarize_once(pipeline, config=config)
+    print(f"pipeline {pipeline.name}: step 1 in {summary.elapsed:.2f}s "
+          f"(complete={summary.complete}, timed_out={summary.timed_out})")
+    header = f"{'element':20s} {'segments':>8s} {'states':>7s} {'crash':>6s} " \
+             f"{'unbnd':>6s} {'this-run':>9s}"
+    print(header)
+    for name, element_summary in summary.summaries.items():
+        elapsed = summary.element_elapsed.get(name, 0.0)
+        print(
+            f"{name:20s} {len(element_summary.segments):8d} "
+            f"{element_summary.states:7d} {len(element_summary.crash_segments):6d} "
+            f"{len(element_summary.unbounded_segments):6d} {elapsed:8.3f}s"
+        )
+    missing = [e.name for e in pipeline.elements if e.name not in summary.summaries]
+    if missing:
+        print(f"unsummarised (timed out): {', '.join(missing)}")
+    _report_cache(summary, config)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = SummaryCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache file(s) from {cache.base_dir}")
+        return 0
+    stats = cache.disk_stats()
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Compositional dataplane verification (NSDI'14 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--pipeline", required=True,
+                         help="pipeline name (see `python -m repro pipelines`)")
+        sub.add_argument("--workers", type=int, default=1,
+                         help="step-1 worker processes (<=0 = one per core; default 1)")
+        sub.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent summary cache")
+        sub.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help=f"summary cache directory (default {DEFAULT_CACHE_DIR})")
+        sub.add_argument("--time-budget", type=float, default=None,
+                         help="wall-clock budget in seconds (default: unlimited)")
+
+    verify = subparsers.add_parser("verify", help="prove or disprove a property")
+    add_common(verify)
+    verify.add_argument("--property", required=True, choices=PROPERTIES)
+    verify.add_argument("--bound", type=int, default=None,
+                        help="instruction bound for bounded-execution")
+    verify.add_argument("--expect", choices=("dropped", "delivered"),
+                        default="dropped", help="filtering expectation")
+    verify.add_argument("--src-prefix", default=None)
+    verify.add_argument("--dst-prefix", default=None)
+    verify.add_argument("--protocol", type=int, default=None)
+    verify.add_argument("--dst-port", type=int, default=None)
+    verify.add_argument("--json", action="store_true", help="machine-readable output")
+    verify.set_defaults(func=_cmd_verify)
+
+    summarize = subparsers.add_parser(
+        "summarize", help="run step 1 only and show per-element accounting"
+    )
+    add_common(summarize)
+    summarize.set_defaults(func=_cmd_summarize)
+
+    cache = subparsers.add_parser("cache", help="inspect or clear the summary cache")
+    cache.add_argument("cache_command", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    cache.set_defaults(func=_cmd_cache)
+
+    pipelines = subparsers.add_parser("pipelines", help="list available pipelines")
+    pipelines.set_defaults(func=_cmd_pipelines)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        if exc.code in (0, None):  # --help / --version
+            return 0
+        # argparse exits 2 on usage errors, but 2 is this tool's
+        # "inconclusive" verdict; remap so scripts can tell them apart.
+        return 3
+    try:
+        return args.func(args)
+    except SystemExit as exc:
+        if isinstance(exc.code, str):
+            print(exc.code, file=sys.stderr)
+            return 3
+        raise
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed stdout early; exit
+        # quietly the way well-behaved CLI tools do.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,36 @@ class Element:
             return out
         raise TypeError(f"element {type(result).__name__!r} returned an unsupported value")
 
+    def config_fingerprint(self) -> Optional[str]:
+        """A deterministic token for the element's verifier-relevant configuration.
+
+        The persistent summary cache keys an element's summary on this token
+        (together with the element class, name and verifier settings), so two
+        instances with equal fingerprints must behave identically under
+        summarisation.  The default walks every public attribute *except* the
+        registered state stores -- the cache fingerprints those separately,
+        because whether their contents matter depends on the active abstraction
+        flags.  Returns ``None`` when any attribute has no stable token, which
+        marks the element uncacheable (never silently mis-keyed).  Elements
+        with unusual configuration (e.g. injected callables) can override this.
+        """
+        from repro.fingerprint import stable_token
+
+        state_attrs = {binding.attribute for binding in self._state_bindings}
+        parts = []
+        for key in sorted(vars(self)):
+            # ``input_port`` is scratch state written by Pipeline.run; ``name``
+            # is keyed separately by the cache.
+            if key.startswith("_") or key in ("name", "input_port"):
+                continue
+            if key in state_attrs:
+                continue
+            token = stable_token(getattr(self, key))
+            if token is None:
+                return None
+            parts.append(f"{key}={token}")
+        return ";".join(parts)
+
     def configuration(self) -> Dict[str, Any]:
         """A human-readable snapshot of the element configuration (for reports)."""
         skip = {"name", "_state_bindings"}

@@ -30,7 +30,9 @@ class SimplifiedOptionsLoop(Element):
         if iterations < 1:
             raise ValueError("the loop needs at least one iteration")
         self.iterations = iterations
-        self.MAX_LOOP_ITERATIONS = iterations
+        # One extra slot so loop decomposition can compose the final iteration
+        # that *observes* the bound and reports "done".
+        self.MAX_LOOP_ITERATIONS = iterations + 1
 
     def loop_setup(self, packet: Packet) -> None:
         packet.set_meta("sloop_next", 0)
@@ -40,7 +42,14 @@ class SimplifiedOptionsLoop(Element):
         buf = packet.buf
         position = packet.get_meta("sloop_next")
         cost(3)
-        if position >= IPV4_MIN_HEADER_LEN:
+        # ``position`` equals the number of completed iterations (it starts at
+        # 0 and advances by 1), so this single test is the loop's *whole*
+        # termination condition -- the configured depth or the header end,
+        # whichever comes first.  Encoding the depth bound here (rather than
+        # only in ``process``'s iteration counter) is what lets loop
+        # decomposition prove the loop terminates instead of conservatively
+        # reporting a possibly-unbounded chain.
+        if position >= min(self.iterations, IPV4_MIN_HEADER_LEN):
             return "done"
         value = buf.load_byte(packet.ip_offset + position)
         # One data-dependent branch per iteration -- the source of the

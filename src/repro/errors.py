@@ -59,6 +59,12 @@ class ExecutionBudgetExceeded(ReproError):
         self.ops = ops
         self.budget = budget
 
+    def __reduce__(self):
+        # Default exception pickling would replay the formatted message into
+        # ``__init__(ops, budget)``; rebuild from the original arguments so the
+        # exception survives the summary cache and process-pool transport.
+        return (type(self), (self.ops, self.budget))
+
 
 class ConcretizationError(ReproError):
     """Element code tried to force a symbolic value into a concrete context.

@@ -1,0 +1,105 @@
+"""Stable content fingerprints for cache keys.
+
+The persistent summary cache (:mod:`repro.verifier.cache`) must decide whether
+an element it sees today is *the same* element it summarised yesterday.  That
+decision cannot use ``hash()`` (salted per process) or default ``repr()``
+(which may embed object addresses); it needs a deterministic token derived
+only from the object's verifier-relevant content.
+
+:func:`stable_token` produces such a token for plain data (ints, strings,
+bytes, containers, dataclasses) and for objects that opt in by implementing a
+``fingerprint()`` method (the data structures in :mod:`repro.structures` do)
+or a ``config_fingerprint()`` method (elements do).  For anything it cannot
+tokenise deterministically it returns ``None``, and callers must treat the
+object as *uncacheable* -- a silent wrong token would make the cache unsound,
+a ``None`` merely makes it skip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Iterable, Optional
+
+#: Maximum recursion depth while tokenising nested containers.
+_MAX_DEPTH = 12
+
+
+def stable_token(value: object, depth: int = 0) -> Optional[str]:
+    """A deterministic string token for ``value``, or ``None`` when impossible."""
+    if depth > _MAX_DEPTH:
+        return None
+    if value is None or isinstance(value, (bool, int)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        return "s" + repr(value)
+    if isinstance(value, (bytes, bytearray)):
+        return "b" + bytes(value).hex()
+    if isinstance(value, enum.Enum):
+        return f"e{type(value).__module__}.{type(value).__qualname__}.{value.name}"
+    if isinstance(value, (list, tuple)):
+        parts = [stable_token(item, depth + 1) for item in value]
+        if any(part is None for part in parts):
+            return None
+        opener = "[" if isinstance(value, list) else "("
+        return opener + ",".join(parts) + ("]" if isinstance(value, list) else ")")
+    if isinstance(value, (set, frozenset)):
+        parts = [stable_token(item, depth + 1) for item in value]
+        if any(part is None for part in parts):
+            return None
+        return "{" + ",".join(sorted(parts)) + "}"
+    if isinstance(value, dict):
+        entries = []
+        for key, item in value.items():
+            key_token = stable_token(key, depth + 1)
+            item_token = stable_token(item, depth + 1)
+            if key_token is None or item_token is None:
+                return None
+            entries.append(f"{key_token}:{item_token}")
+        return "{" + ",".join(sorted(entries)) + "}"
+    # Objects that know how to fingerprint themselves.
+    for method in ("fingerprint", "config_fingerprint"):
+        hook = getattr(value, method, None)
+        if callable(hook):
+            token = hook()
+            if token is None:
+                return None
+            return f"<{type(value).__module__}.{type(value).__qualname__}:{token}>"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts = []
+        for field in dataclasses.fields(value):
+            token = stable_token(getattr(value, field.name), depth + 1)
+            if token is None:
+                return None
+            parts.append(f"{field.name}={token}")
+        return f"<{type(value).__module__}.{type(value).__qualname__}({';'.join(parts)})>"
+    # Plain named functions (e.g. an injected hash function) are identified by
+    # their import path; lambdas and bound closures have no stable identity.
+    name = getattr(value, "__qualname__", None)
+    module = getattr(value, "__module__", None)
+    if callable(value) and name and module and "<lambda>" not in name and "<locals>" not in name:
+        return f"f{module}.{name}"
+    return None
+
+
+def stable_tokens(values: Iterable[object]) -> Optional[list]:
+    """Tokenise several values; ``None`` as soon as any value is untokenisable."""
+    out = []
+    for value in values:
+        token = stable_token(value)
+        if token is None:
+            return None
+        out.append(token)
+    return out
+
+
+def digest(parts: Iterable[str]) -> str:
+    """Collapse an iterable of token strings into a hex content hash."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8", "surrogatepass"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()

@@ -67,6 +67,15 @@ class PreallocatedArray:
         for i in range(self._capacity):
             self._slots[i] = value
 
+    def fingerprint(self) -> "str | None":
+        """Deterministic content token for the summary cache (None = uncacheable)."""
+        from repro.fingerprint import stable_token
+
+        slots = stable_token(self._slots)
+        if slots is None:
+            return None
+        return f"cap={self._capacity};slots={slots}"
+
     def __repr__(self) -> str:
         used = sum(1 for s in self._slots if s is not None)
         return f"PreallocatedArray(capacity={self._capacity}, used={used})"

@@ -140,6 +140,19 @@ class ChainedArrayHashTable(KeyValueStore):
         """Fraction of slots currently occupied."""
         return self._count / self.capacity
 
+    def fingerprint(self) -> "str | None":
+        """Deterministic content token for the summary cache (None = uncacheable)."""
+        from repro.fingerprint import stable_token
+
+        entries = stable_token(list(self.items()))
+        hash_name = stable_token(self._hash)
+        if entries is None or hash_name is None:
+            return None
+        return (
+            f"buckets={self.buckets};depth={self.depth};hash={hash_name};"
+            f"entries={entries}"
+        )
+
     def __repr__(self) -> str:
         return (
             f"ChainedArrayHashTable(buckets={self.buckets}, depth={self.depth}, "

@@ -199,6 +199,16 @@ class FlatLpmTable:
     def __len__(self) -> int:
         return len(self._routes)
 
+    def fingerprint(self) -> "str | None":
+        """Deterministic content token for the summary cache (None = uncacheable)."""
+        from repro.fingerprint import stable_token
+
+        routes = stable_token(self._routes)
+        default = stable_token(self.default)
+        if routes is None or default is None:
+            return None
+        return f"l1={self.first_level_bits};default={default};routes={routes}"
+
     def __repr__(self) -> str:
         return (
             f"FlatLpmTable(routes={len(self._routes)}, "

@@ -74,6 +74,27 @@ class Expr:
             object.__setattr__(self, "_hash", h)
         return h
 
+    # Expressions are serialised when element summaries are persisted to the
+    # on-disk summary cache (:mod:`repro.verifier.cache`).  The cached ``_hash``
+    # slot must never travel with them: it is derived from ``hash(str)``, which
+    # is salted per interpreter process, so a pickled hash would poison dict
+    # and set lookups in the process that loads the summary.
+    def __getstate__(self) -> dict:
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot == "_hash":
+                    continue
+                try:
+                    state[slot] = getattr(self, slot)
+                except AttributeError:
+                    pass
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
 
 class BV(Expr):
     """Base class of bit-vector expressions; every node carries a width."""

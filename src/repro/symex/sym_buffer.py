@@ -81,6 +81,14 @@ class SymbolicBuffer:
     def copy(self) -> "SymbolicBuffer":
         return SymbolicBuffer(self._cells, prefix=self._prefix)
 
+    # Pickle support (symbolic packets can end up inside persisted summaries).
+    def __getstate__(self):
+        return {"cells": self._cells, "prefix": self._prefix}
+
+    def __setstate__(self, state):
+        self._cells = list(state["cells"])
+        self._prefix = state["prefix"]
+
     def cell_expr(self, index: int) -> E.BV:
         """The raw expression stored in cell ``index`` (constants are wrapped)."""
         cell = self._cells[index]

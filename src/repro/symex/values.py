@@ -100,6 +100,15 @@ class SymBool:
         _charge()
         return SymBool(E.bool_not(self.expr))
 
+    # Explicit pickle support: journal entries inside cached element summaries
+    # may carry these wrappers, and the default slot-state protocol would go
+    # through the (deliberately hostile) comparison operators on some paths.
+    def __getstate__(self):
+        return {"expr": self.expr}
+
+    def __setstate__(self, state):
+        self.expr = state["expr"]
+
     def __repr__(self):
         return f"SymBool({self.expr!r})"
 
@@ -265,6 +274,14 @@ class SymVal:
 
     def __rlt__(self, other):  # pragma: no cover - Python never calls these
         return self._cmp("ugt", other)
+
+    # Pickle support mirrors SymBool: serialise exactly the wrapped expression
+    # (``__hash__`` raises on purpose, so the state must never be hashed).
+    def __getstate__(self):
+        return {"expr": self.expr}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "expr", state["expr"])
 
     def __repr__(self):
         return f"SymVal({self.expr!r})"

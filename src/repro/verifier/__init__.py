@@ -13,6 +13,7 @@ Layout:
 * :mod:`repro.verifier.properties` -- crash-freedom, bounded-execution,
   filtering;
 * :mod:`repro.verifier.generic` -- the vanilla whole-pipeline baseline;
+* :mod:`repro.verifier.cache` -- the persistent cache of step-1 summaries;
 * :mod:`repro.verifier.api` -- the public entry points.
 """
 
@@ -29,9 +30,11 @@ from repro.verifier.api import (
     verify_crash_freedom,
     verify_filtering,
 )
+from repro.verifier.cache import SummaryCache
 from repro.verifier.generic import GenericVerificationResult, GenericVerifier
 
 __all__ = [
+    "SummaryCache",
     "Counterexample",
     "EffortStats",
     "FilteringProperty",

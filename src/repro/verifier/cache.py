@@ -1,0 +1,445 @@
+"""Persistent cache of step-1 element summaries.
+
+The paper's scalability argument is that per-element summaries are computed
+*once* and then composed; this module extends "once" across process
+boundaries.  An element summary depends only on
+
+* the element's code (class) and configuration,
+* the contents of any registered state store that is **not** abstracted away
+  under the active configuration, and
+* the verifier settings that shape exploration (symbolic packet size,
+  abstraction flags, exploration budgets).
+
+All of that is collapsed into a content-hash key (:meth:`SummaryCache.element_key`)
+via :mod:`repro.fingerprint`; the summary object itself is pickled into
+``<cache_dir>/v<N>/<key>.pkl``.  Anything that cannot be fingerprinted
+deterministically yields no key and is simply recomputed -- the cache is
+allowed to miss, never to lie.
+
+Invalidation is by construction: changing an element's configuration, the
+installed routes/rules (when they matter), or any keyed verifier knob changes
+the key; bumping :data:`FORMAT_VERSION` orphans every old entry (and
+``SummaryCache.clear`` removes them).  Entries that fail to load (truncated
+file, incompatible pickle) are deleted and treated as misses.
+
+Only *clean* results are stored: summaries that are complete, not timed out
+and free of analysis errors.  A summary cut short by a wall-clock budget must
+not masquerade as the element's full behaviour on the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import io
+import json
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.dataplane.element import Element
+from repro.fingerprint import digest, stable_token
+from repro.verifier.config import VerifierConfig
+
+#: Bump to invalidate every existing cache entry after a format change.
+FORMAT_VERSION = 1
+
+#: Default on-disk location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Configuration fields that shape a step-1 summary and therefore key it.
+#: (``time_budget`` is deliberately absent: it cannot change a *clean* summary,
+#: only abort one, and aborted summaries are never stored.)
+_KEYED_CONFIG_FIELDS = (
+    "packet_size",
+    "ip_offset",
+    "abstract_private_state",
+    "abstract_static_state",
+    "decompose_loops",
+    "max_segments_per_element",
+    "max_ops_per_segment",
+    "max_composed_paths",
+    "solver_max_nodes",
+    "branch_check_nodes",
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`SummaryCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: elements that produced no cache key (unstable fingerprint)
+    uncacheable: int = 0
+    #: entries dropped because they failed to load or to pickle
+    errors: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.uncacheable += other.uncacheable
+        self.errors += other.errors
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "uncacheable": self.uncacheable,
+            "errors": self.errors,
+        }
+
+
+def _binding_abstracted(kind: str, config: VerifierConfig) -> bool:
+    if kind == "private":
+        return config.abstract_private_state
+    if kind == "static":
+        return config.abstract_static_state
+    return False
+
+
+#: per-process memo of the whole-package source hash
+_ENGINE_TOKEN: Optional[str] = None
+
+#: per-process memo of class-source hashes (source inspection is not free)
+_CLASS_SOURCE_TOKENS: Dict[type, Optional[str]] = {}
+
+
+def _engine_source_token() -> str:
+    """A hash over every ``repro`` source file (computed once per process).
+
+    A summary is produced *by* the engine as much as by the element: an edit
+    to the symbolic buffer, the explorer, the abstraction layer or the packet
+    model changes what a summary means, and none of those modules appear in an
+    element's MRO.  Hashing the whole package source (the in-tree equivalent
+    of CI's ``hashFiles('src/repro/**/*.py')``) keeps the cache conservative:
+    any repo edit orphans old entries instead of letting them lie.
+    """
+    global _ENGINE_TOKEN
+    if _ENGINE_TOKEN is None:
+        import repro
+
+        hasher = hashlib.sha256()
+        try:
+            root = Path(repro.__file__).parent
+            for path in sorted(root.rglob("*.py")):
+                hasher.update(str(path.relative_to(root)).encode("utf-8"))
+                hasher.update(b"\x00")
+                hasher.update(path.read_bytes())
+        except OSError:
+            pass  # fall back to whatever was hashed plus the version in the key
+        _ENGINE_TOKEN = hasher.hexdigest()
+    return _ENGINE_TOKEN
+
+
+def _class_source_token(cls: type) -> Optional[str]:
+    """A hash of the element class's *source code* (its whole MRO within repro).
+
+    A summary is a statement about the element's code; keying only on the
+    class name would keep serving yesterday's summary after today's bug fix.
+    Hashing the source of every ``repro``-defined class in the MRO invalidates
+    entries whenever the element implementation (or the shared ``Element``
+    base) changes.  Returns ``None`` when source is unavailable (e.g. a
+    zipimported deployment) -- the element is then uncacheable rather than
+    mis-keyed.
+    """
+    token = _CLASS_SOURCE_TOKENS.get(cls)
+    if token is not None or cls in _CLASS_SOURCE_TOKENS:
+        return token
+    hasher = hashlib.sha256()
+    try:
+        for klass in cls.__mro__:
+            if klass.__module__ == "builtins":
+                continue
+            hasher.update(inspect.getsource(klass).encode("utf-8"))
+    except (OSError, TypeError):
+        _CLASS_SOURCE_TOKENS[cls] = None
+        return None
+    token = hasher.hexdigest()
+    _CLASS_SOURCE_TOKENS[cls] = token
+    return token
+
+
+class SummaryCache:
+    """Two-level (memory + disk) store of pickled element summaries."""
+
+    #: byte budget of the in-process memory layer (the disk layer is the
+    #: durable store; this only avoids re-reading hot entries)
+    MEMORY_BUDGET = 64 * 1024 * 1024
+
+    def __init__(self, cache_dir: str = DEFAULT_CACHE_DIR):
+        self.base_dir = Path(cache_dir)
+        self.directory = self.base_dir / f"v{FORMAT_VERSION}"
+        self.stats = CacheStats()
+        # The memory layer holds pickled *bytes*, not live objects: every hit
+        # deserialises a fresh copy, so callers can never alias (and mutate)
+        # each other's summaries through the cache.  It is LRU-bounded by
+        # MEMORY_BUDGET -- one cache instance can live for a whole benchmark
+        # session and must not accumulate every summary it ever saw.
+        self._memory: Dict[str, bytes] = {}
+        self._memory_bytes = 0
+
+    def _memory_store(self, key: str, payload: bytes) -> None:
+        previous = self._memory.pop(key, None)
+        if previous is not None:
+            self._memory_bytes -= len(previous)
+        if len(payload) > self.MEMORY_BUDGET:
+            return
+        self._memory[key] = payload  # (re-)inserted last = most recently used
+        self._memory_bytes += len(payload)
+        while self._memory_bytes > self.MEMORY_BUDGET:
+            oldest_key = next(iter(self._memory))
+            self._memory_bytes -= len(self._memory.pop(oldest_key))
+
+    def _memory_get(self, key: str) -> Optional[bytes]:
+        payload = self._memory.get(key)
+        if payload is not None:
+            # Refresh recency by moving the entry to the end.
+            del self._memory[key]
+            self._memory[key] = payload
+        return payload
+
+    # -- keying ---------------------------------------------------------------
+
+    def element_key(self, element: Element, config: VerifierConfig,
+                    kind: str = "process") -> Optional[str]:
+        """Content-hash key for ``element`` under ``config``, or ``None``.
+
+        ``kind`` distinguishes the summary flavour stored under the key
+        (``"process"`` for plain element summaries, ``"loop"`` for whole
+        loop-analysis results).
+        """
+        from repro import __version__
+
+        config_token = element.config_fingerprint()
+        source_token = _class_source_token(type(element))
+        if config_token is None or source_token is None:
+            self.stats.uncacheable += 1
+            return None
+        parts = [
+            f"format={FORMAT_VERSION}",
+            f"repro={__version__}",
+            f"engine={_engine_source_token()}",
+            f"kind={kind}",
+            f"class={type(element).__module__}.{type(element).__qualname__}",
+            f"source={source_token}",
+            f"name={element.name}",
+            f"config={config_token}",
+        ]
+        for binding in sorted(element.state_bindings, key=lambda b: b.attribute):
+            if _binding_abstracted(binding.kind, config):
+                # Abstracted stores contribute fresh symbols regardless of
+                # their contents; only the binding's existence matters.
+                parts.append(f"state:{binding.attribute}={binding.kind}:abstract")
+                continue
+            store_token = stable_token(getattr(element, binding.attribute))
+            if store_token is None:
+                self.stats.uncacheable += 1
+                return None
+            parts.append(f"state:{binding.attribute}={binding.kind}:{store_token}")
+        for field_name in _KEYED_CONFIG_FIELDS:
+            parts.append(f"cfg:{field_name}={getattr(config, field_name)!r}")
+        return digest(parts)
+
+    # -- store / load ---------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: Optional[str]):
+        """Load and return the object stored under ``key`` (``None`` on miss)."""
+        if key is None:
+            return None
+        payload = self._memory_get(key)
+        if payload is None:
+            path = self._path(key)
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                self.stats.misses += 1
+                return None
+        try:
+            value = pickle.loads(payload)
+        except Exception:
+            # A stale or corrupt entry: drop it and recompute.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            if self._memory.pop(key, None) is not None:
+                self._memory_bytes -= len(payload)
+            try:
+                self._path(key).unlink()
+            except OSError:
+                pass
+            return None
+        self._memory_store(key, payload)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Optional[str], value: object) -> bool:
+        """Persist ``value`` under ``key``; returns True when actually stored."""
+        if key is None:
+            return False
+        try:
+            buffer = io.BytesIO()
+            pickle.dump(value, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = buffer.getvalue()
+        except Exception:
+            self.stats.errors += 1
+            return False
+        self._memory_store(key, payload)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(payload)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            # Disk persistence is best-effort; the memory layer still serves
+            # this process.
+            self.stats.errors += 1
+            return False
+        self.stats.stores += 1
+        return True
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry (all format versions); returns files removed."""
+        removed = 0
+        self._memory.clear()
+        self._memory_bytes = 0
+        if not self.base_dir.exists():
+            return removed
+        for path in sorted(self.base_dir.rglob("*"), reverse=True):
+            try:
+                if path.is_file():
+                    path.unlink()
+                    removed += 1
+                elif path.is_dir():
+                    path.rmdir()
+            except OSError:
+                pass
+        try:
+            self.base_dir.rmdir()
+        except OSError:
+            pass
+        return removed
+
+    def disk_stats(self) -> Dict[str, object]:
+        """Entry count and byte size of the on-disk store, plus run totals."""
+        entries = 0
+        size = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    size += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        totals = self._load_persistent_stats()
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": size,
+            "lifetime": totals,
+            "session": self.stats.as_dict(),
+        }
+
+    # -- persistent accounting -------------------------------------------------
+
+    @property
+    def _stats_path(self) -> Path:
+        return self.base_dir / "stats.json"
+
+    def _load_persistent_stats(self) -> Dict[str, int]:
+        try:
+            with open(self._stats_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return {key: int(data.get(key, 0)) for key in CacheStats().as_dict()}
+        except (OSError, ValueError):
+            return CacheStats().as_dict()
+
+    def flush_stats(self) -> None:
+        """Fold this session's counters into ``stats.json`` (best effort)."""
+        totals = self._load_persistent_stats()
+        session = self.stats.as_dict()
+        merged = {key: totals[key] + session[key] for key in totals}
+        merged["updated"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        try:
+            self.base_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self._stats_path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(merged, handle, indent=2)
+            os.replace(tmp, self._stats_path)
+        except OSError:
+            return
+        # Counters were folded into the persistent totals; reset the session
+        # view so repeated flushes do not double-count.
+        self.stats = CacheStats()
+
+
+# ---------------------------------------------------------------------------
+# process-wide cache selection
+# ---------------------------------------------------------------------------
+
+#: Cache installed for the whole process (e.g. by the benchmark harness).
+_ACTIVE: Optional[SummaryCache] = None
+
+#: Per-directory singletons used when configs merely say ``cache_enabled``.
+_BY_DIR: Dict[str, SummaryCache] = {}
+
+
+def install(cache: Optional[SummaryCache]) -> Optional[SummaryCache]:
+    """Install ``cache`` as the process-wide default; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous
+
+
+def active_cache() -> Optional[SummaryCache]:
+    """The process-wide cache, if one was installed."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(cache: SummaryCache) -> Iterator[SummaryCache]:
+    """Temporarily install ``cache`` as the process-wide default."""
+    previous = install(cache)
+    try:
+        yield cache
+    finally:
+        install(previous)
+
+
+def cache_for(cache_dir: str = DEFAULT_CACHE_DIR) -> SummaryCache:
+    """A shared :class:`SummaryCache` for ``cache_dir`` (one per directory)."""
+    key = str(Path(cache_dir).resolve())
+    cache = _BY_DIR.get(key)
+    if cache is None:
+        cache = SummaryCache(cache_dir)
+        _BY_DIR[key] = cache
+    return cache
+
+
+def resolve_cache(config: VerifierConfig,
+                  explicit: Optional[SummaryCache] = None) -> Optional[SummaryCache]:
+    """Pick the cache a summarisation run should use.
+
+    Priority: an explicitly passed cache, then the process-wide installed
+    cache, then (when ``config.cache_enabled``) the per-directory singleton
+    for ``config.cache_dir``.  Returns ``None`` when caching is off.
+    """
+    if explicit is not None:
+        return explicit
+    if _ACTIVE is not None:
+        return _ACTIVE
+    if getattr(config, "cache_enabled", False):
+        return cache_for(getattr(config, "cache_dir", DEFAULT_CACHE_DIR))
+    return None

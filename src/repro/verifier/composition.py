@@ -241,7 +241,12 @@ def search_paths_to_segment(
             elif feasibility.is_unknown:
                 result.any_unknown = True
             continue
-        summary = summaries[element.name]
+        summary = summaries.get(element.name)
+        if summary is None:
+            # Step 1 never reached this element (timed out); paths through it
+            # cannot be enumerated, so the search is not exhaustive.
+            result.exhaustive = False
+            continue
         for segment in summary.segments:
             if segment.crashed or segment.budget_exceeded or not segment.emissions:
                 continue  # the packet never leaves this element on such segments
@@ -291,7 +296,10 @@ def iterate_pipeline_paths(
         if deadline is not None and time.monotonic() > deadline:
             return
         element, base = stack.pop()
-        summary = summaries[element.name]
+        summary = summaries.get(element.name)
+        if summary is None:
+            # Unsummarised element (step 1 timed out before reaching it).
+            continue
         for segment in summary.segments:
             for emission_index in range(max(1, len(segment.emissions))):
                 extended = composer.extend(base, element.name, segment, emission_index)

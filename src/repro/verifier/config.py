@@ -60,6 +60,18 @@ class VerifierConfig:
     #: the Imax bound proved/disproved by the bounded-execution property
     instruction_bound: int = 4000
 
+    # -- step-1 parallelism and caching -------------------------------------------------
+    #: number of worker processes used to summarise distinct elements
+    #: concurrently in step 1; ``1`` keeps the original serial driver, values
+    #: ``<= 0`` mean "one per CPU core"
+    workers: int = 1
+    #: reuse persisted element summaries across runs (soundness-preserving:
+    #: only complete, error-free summaries are ever stored, keyed on element
+    #: class + configuration + the exploration budgets above)
+    cache_enabled: bool = False
+    #: directory of the persistent summary store
+    cache_dir: str = ".repro_cache"
+
     def without_abstraction(self) -> "VerifierConfig":
         """A copy configured for specific-configuration (filtering) proofs."""
         return replace(self, abstract_static_state=False)

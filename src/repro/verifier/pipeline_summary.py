@@ -6,14 +6,29 @@ elements go through plain element summarisation.  The result bundles the
 per-element summaries with the accounting the evaluation reports (states,
 segments, elapsed time) and with the loop analyses, which some reports
 (Table 2's "which techniques were needed") want to inspect.
+
+Two scalability features live here, both configuration-driven and both
+soundness-preserving:
+
+* **Parallelism** -- elements are summarised in isolation (that is the whole
+  point of pipeline decomposition), so distinct elements can be explored by
+  distinct worker processes.  ``config.workers > 1`` switches the driver to a
+  :mod:`concurrent.futures` process pool; ``workers <= 0`` means one worker
+  per CPU core; the default ``1`` keeps the original serial loop.
+* **Memoisation** -- when a :class:`repro.verifier.cache.SummaryCache` is
+  active, each element's summary is looked up by content hash before any
+  exploration happens and persisted afterwards, so re-verifying an unchanged
+  pipeline skips step 1 entirely.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.dataplane.element import Element
 from repro.dataplane.pipeline import Pipeline
 from repro.symex.solver import Solver
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
@@ -30,10 +45,25 @@ class PipelineSummary:
     loop_analyses: Dict[str, LoopAnalysis] = field(default_factory=dict)
     elapsed: float = 0.0
     timed_out: bool = False
+    #: wall-clock seconds this run spent on each element (a cache hit costs
+    #: only the lookup, regardless of the original exploration time recorded
+    #: inside the summary itself)
+    element_elapsed: Dict[str, float] = field(default_factory=dict)
+    #: elements whose summaries were served from the summary cache
+    cache_hits: int = 0
+    #: elements that had to be explored (and, when clean, were then stored)
+    cache_misses: int = 0
 
     @property
     def complete(self) -> bool:
-        """True when every element summary is exhaustive."""
+        """True when every pipeline element has an exhaustive summary.
+
+        Coverage is part of completeness: a step-1 run cut short can leave
+        elements with *no* summary at all, and a proof must never rest on a
+        summaries map that silently skips an element's behaviour.
+        """
+        if any(e.name not in self.summaries for e in self.pipeline.elements):
+            return False
         return all(summary.complete for summary in self.summaries.values())
 
     @property
@@ -67,26 +97,227 @@ class PipelineSummary:
                 yield name, segment
 
 
+#: A step-1 result for one element: a plain summary or a whole loop analysis.
+_ElementResult = Union[ElementSummary, LoopAnalysis]
+
+
+def _wants_loop_expansion(element: Element, config: VerifierConfig) -> bool:
+    return config.decompose_loops and element.LOOP_ELEMENT
+
+
+def _clean(summary: ElementSummary) -> bool:
+    """True when a summary is safe to memoise (complete, untruncated, no errors)."""
+    return (
+        summary.complete
+        and not summary.timed_out
+        and all(segment.analysis_error is None for segment in summary.segments)
+    )
+
+
+def _cacheable(result: _ElementResult) -> bool:
+    if isinstance(result, LoopAnalysis):
+        return _clean(result.expanded) and _clean(result.setup) and _clean(result.body)
+    return _clean(result)
+
+
+def _record(result_summary: PipelineSummary, element: Element,
+            result: _ElementResult) -> ElementSummary:
+    """File one element's step-1 result on the pipeline summary."""
+    if isinstance(result, LoopAnalysis):
+        result_summary.loop_analyses[element.name] = result
+        summary = result.expanded
+    else:
+        summary = result
+    result_summary.summaries[element.name] = summary
+    return summary
+
+
+def _compute_element(element: Element, config: VerifierConfig,
+                     solver: Optional[Solver],
+                     deadline: Optional[float]) -> _ElementResult:
+    if _wants_loop_expansion(element, config):
+        return expand_loop_element(element, config, solver, deadline)
+    return summarize_element(element, config, solver, deadline)
+
+
+def _worker_summarize(element: Element, config: VerifierConfig,
+                      deadline: Optional[float]) -> Tuple[float, _ElementResult]:
+    """Process-pool entry point: summarise one element with a fresh solver.
+
+    Runs in a worker process, so it rebuilds its own solver (solvers hold
+    per-process result caches).  ``deadline`` is the parent's absolute
+    ``time.monotonic()`` deadline: CLOCK_MONOTONIC is system-wide on the
+    platforms we support, so the shared budget holds even when this task sat
+    in the pool's queue for a while -- a late-dequeued element gets only the
+    time actually left, not a fresh copy of the whole budget.
+
+    Returns ``(elapsed, result)``: the element's own compute time, measured
+    here so the parent's per-element accounting excludes pool queue wait.
+    """
+    solver = Solver(max_nodes=config.solver_max_nodes)
+    started = time.monotonic()
+    computed = _compute_element(element, config, solver, deadline)
+    return time.monotonic() - started, computed
+
+
+def _resolved_workers(config: VerifierConfig) -> int:
+    workers = getattr(config, "workers", 1)
+    if workers is None or workers == 1:
+        return 1
+    if workers <= 0:
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
 def summarize_pipeline(pipeline: Pipeline, config: VerifierConfig = DEFAULT_CONFIG,
                        solver: Optional[Solver] = None,
-                       deadline: Optional[float] = None) -> PipelineSummary:
-    """Run verification step 1 on every element of ``pipeline``."""
+                       deadline: Optional[float] = None,
+                       cache=None) -> PipelineSummary:
+    """Run verification step 1 on every element of ``pipeline``.
+
+    ``cache`` overrides the cache selection of
+    :func:`repro.verifier.cache.resolve_cache`; the default consults the
+    process-wide installed cache and ``config.cache_enabled``.
+    """
+    from repro.verifier.cache import resolve_cache
+
     solver = solver or Solver(max_nodes=config.solver_max_nodes)
+    cache = resolve_cache(config, cache)
     result = PipelineSummary(pipeline=pipeline)
     started = time.monotonic()
     if deadline is None and config.time_budget is not None:
         deadline = started + config.time_budget
+
+    # Probe the cache for every element up front (cheap), keeping only the
+    # misses for actual exploration.
+    pending: List[Tuple[Element, Optional[str]]] = []
     for element in pipeline.elements:
+        element_started = time.monotonic()
+        key = None
+        if cache is not None:
+            kind = "loop" if _wants_loop_expansion(element, config) else "process"
+            key = cache.element_key(element, config, kind)
+            cached = cache.get(key) if key is not None else None
+            if cached is not None:
+                _record(result, element, cached)
+                result.element_elapsed[element.name] = time.monotonic() - element_started
+                result.cache_hits += 1
+                continue
+        pending.append((element, key))
+
+    if _resolved_workers(config) > 1 and len(pending) > 1:
+        _summarize_parallel(pipeline, pending, result, config, cache, deadline)
+    else:
+        _summarize_serial(pending, result, config, solver, cache, deadline)
+
+    # Re-order the summary maps to pipeline order (cache hits and parallel
+    # completions may have interleaved arbitrarily).
+    order = [e.name for e in pipeline.elements]
+    result.summaries = {n: result.summaries[n] for n in order if n in result.summaries}
+    result.loop_analyses = {
+        n: result.loop_analyses[n] for n in order if n in result.loop_analyses
+    }
+    if cache is not None:
+        # Misses = elements that actually had to be explored this run; a
+        # step-1 timeout can leave pending elements unattempted, and those
+        # are neither hits nor misses.
+        result.cache_misses = sum(
+            1 for element, _ in pending if element.name in result.summaries
+        )
+    result.elapsed = time.monotonic() - started
+    if cache is not None:
+        cache.flush_stats()
+    return result
+
+
+def _store(cache, key: Optional[str], computed: _ElementResult) -> None:
+    if cache is not None and key is not None and _cacheable(computed):
+        cache.put(key, computed)
+
+
+def _summarize_serial(pending: List[Tuple[Element, Optional[str]]],
+                      result: PipelineSummary, config: VerifierConfig,
+                      solver: Solver, cache, deadline: Optional[float]) -> None:
+    for element, key in pending:
         if deadline is not None and time.monotonic() > deadline:
             result.timed_out = True
             break
-        if config.decompose_loops and element.LOOP_ELEMENT:
-            analysis = expand_loop_element(element, config, solver, deadline)
-            result.loop_analyses[element.name] = analysis
-            result.summaries[element.name] = analysis.expanded
-        else:
-            result.summaries[element.name] = summarize_element(element, config, solver, deadline)
-        if result.summaries[element.name].timed_out:
+        element_started = time.monotonic()
+        computed = _compute_element(element, config, solver, deadline)
+        summary = _record(result, element, computed)
+        result.element_elapsed[element.name] = time.monotonic() - element_started
+        if summary.timed_out:
             result.timed_out = True
-    result.elapsed = time.monotonic() - started
-    return result
+        _store(cache, key, computed)
+
+
+def _summarize_parallel(pipeline: Pipeline,
+                        pending: List[Tuple[Element, Optional[str]]],
+                        result: PipelineSummary, config: VerifierConfig,
+                        cache, deadline: Optional[float]) -> None:
+    """Summarise the pending elements on a process pool.
+
+    Each element is independent, so failures fall back to in-process
+    computation and a missed deadline simply leaves the remaining elements
+    unsummarised -- exactly what the serial driver's early ``break`` does.
+    """
+    workers = min(_resolved_workers(config), len(pending))
+    by_name = {element.name: (element, key) for element, key in pending}
+    leftovers: List[Tuple[Element, Optional[str]]] = []
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError):
+        # No process support on this platform: keep the semantics, lose the
+        # concurrency.
+        _summarize_serial(pending, result, config,
+                          Solver(max_nodes=config.solver_max_nodes), cache, deadline)
+        return
+
+    try:
+        futures = {}
+        for element, key in pending:
+            if deadline is not None and time.monotonic() >= deadline:
+                result.timed_out = True
+                break
+            try:
+                future = executor.submit(_worker_summarize, element, config, deadline)
+            except Exception:
+                # Unpicklable element (or a dying pool): run it in-process.
+                leftovers.append((element, key))
+                continue
+            futures[future] = element.name
+
+        remaining = set(futures)
+        while remaining:
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            done, remaining = wait(remaining, timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+            if not done:
+                # Deadline expired with work still in flight.
+                result.timed_out = True
+                for future in remaining:
+                    future.cancel()
+                break
+            for future in done:
+                name = futures[future]
+                element, key = by_name[name]
+                try:
+                    elapsed, computed = future.result()
+                except Exception:
+                    leftovers.append((element, key))
+                    continue
+                summary = _record(result, element, computed)
+                result.element_elapsed[name] = elapsed
+                if summary.timed_out:
+                    result.timed_out = True
+                _store(cache, key, computed)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    if leftovers and not result.timed_out:
+        _summarize_serial(leftovers, result, config,
+                          Solver(max_nodes=config.solver_max_nodes), cache, deadline)

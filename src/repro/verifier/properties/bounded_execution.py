@@ -123,7 +123,12 @@ class _BestFirstSearch:
                 found.append(base)
                 continue
             base_path = base if base is not None else self.composer.initial_path()
-            summary = self.summaries[element.name]
+            summary = self.summaries.get(element.name)
+            if summary is None:
+                # Step 1 was cut short before this element was summarised;
+                # no continuation through it can be enumerated.
+                self.exhaustive = False
+                continue
             for segment in summary.segments:
                 emission_count = max(1, len(segment.emissions))
                 for emission_index in range(emission_count):
@@ -178,6 +183,9 @@ class BoundedExecutionChecker:
             step1_elapsed=summary.elapsed,
             states=summary.total_states,
             segments=summary.total_segments,
+            cache_hits=summary.cache_hits,
+            cache_misses=summary.cache_misses,
+            element_elapsed=dict(summary.element_elapsed),
         )
         result = VerificationResult(
             property_name=PROPERTY_NAME,

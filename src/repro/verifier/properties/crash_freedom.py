@@ -52,6 +52,9 @@ class CrashFreedomChecker:
             step1_elapsed=summary.elapsed,
             states=summary.total_states,
             segments=summary.total_segments,
+            cache_hits=summary.cache_hits,
+            cache_misses=summary.cache_misses,
+            element_elapsed=dict(summary.element_elapsed),
         )
 
         result = VerificationResult(

@@ -140,6 +140,9 @@ class FilteringChecker:
             step1_elapsed=summary.elapsed,
             states=summary.total_states,
             segments=summary.total_segments,
+            cache_hits=summary.cache_hits,
+            cache_misses=summary.cache_misses,
+            element_elapsed=dict(summary.element_elapsed),
         )
         result = VerificationResult(
             property_name=f"{PROPERTY_NAME}: {prop.describe()}",

@@ -67,6 +67,13 @@ class EffortStats:
     paths_composed: int = 0
     #: number of solver queries issued
     solver_queries: int = 0
+    #: element summaries served from the persistent summary cache in step 1
+    cache_hits: int = 0
+    #: element summaries that had to be explored in step 1
+    cache_misses: int = 0
+    #: wall-clock seconds step 1 spent per element *in this run* (cache hits
+    #: cost only the lookup)
+    element_elapsed: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass

@@ -55,6 +55,7 @@ def options_packet(options, payload=300, **ip_kwargs):
 class TestBug1FragmenterWithCopiedOption:
     """Fragmenting a packet that carries a copied option loops forever."""
 
+    @pytest.mark.slow
     def test_infinite_loop_on_lsrr_option(self):
         pipeline = build_fragmenter_pipeline(with_ip_options=True, mtu=96)
         packet = options_packet(pad_options(encode_lsrr(["10.1.2.3"])))
@@ -76,6 +77,7 @@ class TestBug2FragmenterWithZeroLengthOption:
 
     ZERO_LENGTH_OPTION = bytes([7, 0, 0, 0])
 
+    @pytest.mark.slow
     def test_infinite_loop_without_ip_options_element(self):
         pipeline = build_fragmenter_pipeline(with_ip_options=False, mtu=96)
         packet = options_packet(self.ZERO_LENGTH_OPTION)

@@ -110,6 +110,7 @@ class TestBoundedExecution:
         assert result.proved
         assert result.detail["longest_path_ops"] <= 500
 
+    @pytest.mark.slow
     def test_too_tight_bound_is_violated_with_packet(self):
         pipeline = Pipeline.linear(
             [CheckIPHeader(name="chk"), IPOptions(max_options=1, name="opts")], name="tight",
@@ -139,6 +140,7 @@ class TestFiltering:
         result = verify_filtering(pipeline, prop, config=CONFIG)
         assert result.proved
 
+    @pytest.mark.slow
     def test_lsrr_bypass_violates_property_and_replays(self):
         pipeline = build_lsrr_firewall(blacklist=("10.66.0.0/16",))
         prop = FilteringProperty(expectation="dropped", src_prefix="10.66.0.0/16")

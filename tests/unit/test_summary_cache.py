@@ -1,0 +1,206 @@
+"""Tests of the persistent summary cache and the parallel step-1 driver."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.dataplane.elements import CheckIPHeader, DecIPTTL, EtherDecap
+from repro.dataplane.pipeline import Pipeline
+from repro.errors import ExecutionBudgetExceeded
+from repro.symex import exprs as E
+from repro.verifier.api import summarize_once, verify_crash_freedom
+from repro.verifier.cache import SummaryCache, activated, resolve_cache
+from repro.verifier.config import VerifierConfig
+from repro.verifier.summaries import summarize_element
+
+
+def _pipeline() -> Pipeline:
+    return Pipeline.linear(
+        [EtherDecap(name="decap"), CheckIPHeader(name="checkip"), DecIPTTL(name="decttl")],
+        name="cache-test",
+    )
+
+
+# ---------------------------------------------------------------------------
+# serialization round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_expression_pickle_drops_cached_hash():
+    expr = E.bv_add(E.bv_sym("pkt[0]", 8), 1)
+    hash(expr)  # populate the _hash slot
+    assert hasattr(expr, "_hash")
+    clone = pickle.loads(pickle.dumps(expr))
+    # The cached slot must not survive the round-trip: hash(str) is salted
+    # per process, so a deserialised _hash would be stale in another process.
+    assert not hasattr(clone, "_hash")
+    assert clone == expr
+    assert hash(clone) == hash(expr)  # recomputed lazily in this process
+
+
+def test_element_summary_round_trip():
+    element = CheckIPHeader(name="checkip")
+    summary = summarize_element(element, VerifierConfig())
+    clone = pickle.loads(pickle.dumps(summary))
+    assert clone.element == summary.element
+    assert clone.complete == summary.complete
+    assert clone.states == summary.states
+    assert len(clone.segments) == len(summary.segments)
+    for original, restored in zip(summary.segments, clone.segments):
+        assert restored.describe() == original.describe()
+        assert restored.path_constraint() == original.path_constraint()
+        assert [e.port for e in restored.emissions] == [e.port for e in original.emissions]
+        assert restored.fresh_symbols == original.fresh_symbols
+
+
+def test_budget_exception_pickle_round_trip():
+    exc = ExecutionBudgetExceeded(123, 100)
+    clone = pickle.loads(pickle.dumps(exc))
+    assert clone.ops == 123 and clone.budget == 100
+
+
+# ---------------------------------------------------------------------------
+# keying: hits, misses, invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hit_and_miss_on_config_change(tmp_path):
+    cache = SummaryCache(str(tmp_path))
+    config = VerifierConfig()
+    element = CheckIPHeader(name="checkip")
+
+    key = cache.element_key(element, config)
+    assert key is not None
+    assert cache.get(key) is None  # cold
+
+    summary = summarize_element(element, config)
+    assert cache.put(key, summary)
+    restored = cache.get(key)
+    assert restored is not None and restored.element == "checkip"
+
+    # Same element, same config, fresh instance: identical key.
+    assert cache.element_key(CheckIPHeader(name="checkip"), config) == key
+    # Element configuration change: different key.
+    changed_element = CheckIPHeader(name="checkip", verify_checksum=True)
+    assert cache.element_key(changed_element, config) != key
+    # Verifier knob change: different key.
+    assert cache.element_key(element, config.copy(packet_size=130)) != key
+    assert cache.element_key(element, config.copy(abstract_static_state=False)) != key
+    # Element name is part of the key (summaries embed it).
+    assert cache.element_key(CheckIPHeader(name="other"), config) != key
+
+
+def test_key_covers_element_source_code():
+    # The key material must reflect the element's *code*, not just its name:
+    # a summary is a statement about the code, and an edited process() must
+    # invalidate old entries.
+    from repro.verifier.cache import _class_source_token
+
+    class Variant(CheckIPHeader):
+        pass
+
+    class VariantChanged(CheckIPHeader):
+        def process(self, packet):
+            return packet
+
+    token_a = _class_source_token(Variant)
+    token_b = _class_source_token(VariantChanged)
+    assert token_a is not None and token_b is not None
+    assert token_a != token_b
+    # And the base implementation's source is part of every subclass token.
+    assert _class_source_token(CheckIPHeader) is not None
+
+
+def test_memory_layer_is_lru_bounded(tmp_path):
+    cache = SummaryCache(str(tmp_path))
+    cache.MEMORY_BUDGET = 1024
+    payloads = {f"k{i}": pickle.dumps(b"x" * 300) for i in range(6)}
+    for key, payload in payloads.items():
+        cache._memory_store(key, payload)
+    assert cache._memory_bytes <= cache.MEMORY_BUDGET
+    assert "k0" not in cache._memory          # evicted
+    assert "k5" in cache._memory              # most recent survives
+    # An oversized payload is not memory-cached but must not corrupt the
+    # accounting.
+    cache._memory_store("huge", b"y" * 2048)
+    assert "huge" not in cache._memory
+    assert cache._memory_bytes <= cache.MEMORY_BUDGET
+
+
+def test_unstable_fingerprint_is_uncacheable(tmp_path):
+    cache = SummaryCache(str(tmp_path))
+    element = CheckIPHeader(name="checkip")
+    element.weird = lambda packet: packet  # no stable token
+    assert element.config_fingerprint() is None
+    assert cache.element_key(element, VerifierConfig()) is None
+    assert cache.stats.uncacheable >= 1
+
+
+def test_cache_clear_and_corrupt_entry(tmp_path):
+    cache = SummaryCache(str(tmp_path))
+    config = VerifierConfig()
+    element = CheckIPHeader(name="checkip")
+    key = cache.element_key(element, config)
+    cache.put(key, summarize_element(element, config))
+
+    # A corrupted on-disk entry is dropped and treated as a miss.
+    fresh = SummaryCache(str(tmp_path))
+    fresh._path(key).write_bytes(b"not a pickle")
+    assert fresh.get(key) is None
+    assert fresh.stats.errors == 1
+
+    # Repopulate (the corrupt entry was auto-deleted), then clear everything.
+    cache.put(key, summarize_element(element, config))
+    assert cache.clear() >= 1
+    fresh = SummaryCache(str(tmp_path))
+    assert fresh.get(key) is None
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: warm runs are equivalent to cold runs
+# ---------------------------------------------------------------------------
+
+
+def test_warm_verify_matches_cold_run(tmp_path):
+    config = VerifierConfig(cache_enabled=True, cache_dir=str(tmp_path))
+    cold = verify_crash_freedom(_pipeline(), config=config)
+    warm = verify_crash_freedom(_pipeline(), config=config)
+
+    assert cold.stats.cache_hits == 0 and cold.stats.cache_misses == 3
+    assert warm.stats.cache_hits == 3 and warm.stats.cache_misses == 0
+    assert warm.verdict == cold.verdict
+    assert warm.reason == cold.reason
+    assert warm.stats.states == cold.stats.states
+    assert warm.stats.segments == cold.stats.segments
+    assert [c.packet_bytes for c in warm.counterexamples] == [
+        c.packet_bytes for c in cold.counterexamples
+    ]
+
+
+def test_installed_cache_is_used_without_config_flag(tmp_path):
+    cache = SummaryCache(str(tmp_path))
+    config = VerifierConfig()  # cache_enabled defaults to False
+    assert resolve_cache(config) is None
+    with activated(cache):
+        assert resolve_cache(config) is cache
+        summary = summarize_once(_pipeline(), config=config)
+        assert summary.cache_misses == 3
+        summary = summarize_once(_pipeline(), config=config)
+        assert summary.cache_hits == 3
+    assert resolve_cache(config) is None
+
+
+def test_parallel_summaries_match_serial():
+    serial = summarize_once(_pipeline(), config=VerifierConfig())
+    parallel = summarize_once(_pipeline(), config=VerifierConfig(workers=2))
+    assert list(parallel.summaries) == list(serial.summaries)
+    for name, summary in serial.summaries.items():
+        other = parallel.summaries[name]
+        assert other.complete == summary.complete
+        assert other.states == summary.states
+        assert [s.describe() for s in other.segments] == [
+            s.describe() for s in summary.segments
+        ]
+    assert set(parallel.element_elapsed) == set(serial.element_elapsed)

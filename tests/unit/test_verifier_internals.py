@@ -139,6 +139,7 @@ class TestLoopExpansion:
         assert not analysis.expanded.crash_segments
         assert analysis.body.complete
 
+    @pytest.mark.slow
     def test_ipoptions_expansion_has_no_crash_segments(self):
         analysis = expand_loop_element(IPOptions(max_options=1), CONFIG)
         assert not analysis.expanded.crash_segments
