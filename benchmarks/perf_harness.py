@@ -1,0 +1,20 @@
+"""Runnable wrapper around :mod:`repro.bench` (the perf-trajectory harness).
+
+The harness itself lives in ``src/repro/bench.py`` so that ``python -m repro
+bench`` works from any working directory; this wrapper exists so the perf
+suite is discoverable next to the figure benchmarks it mirrors::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick
+
+See ``BENCH_pr4.json`` at the repo root for the tracked trajectory (baseline
+= pre-optimisation tree, current = the tree that committed the file).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,9 @@ Python::
     python -m repro verify --pipeline edge-router --property crash-freedom
     python -m repro verify --pipeline lsrr-firewall --property filtering \\
         --src-prefix 10.66.0.0/16 --expect dropped
+    python -m repro verify --pipeline edge-router --property crash-freedom --stats
     python -m repro summarize --pipeline network-gateway --workers 4
+    python -m repro bench --quick                   # perf trajectory harness
     python -m repro cache stats
     python -m repro cache clear
 
@@ -98,6 +100,29 @@ def _report_cache(result_stats, config: VerifierConfig) -> None:
     )
 
 
+def _print_solver_stats(result: VerificationResult) -> None:
+    """Dump the solver-internal counters (``verify --stats``) to stderr."""
+    stats = result.stats
+    lookups = stats.solver_cache_hits + stats.solver_cache_misses
+    hit_rate = stats.solver_cache_hits / lookups if lookups else 0.0
+    print("[solver] queries:            "
+          f"{stats.solver_queries} ({stats.solver_nodes} search nodes)",
+          file=sys.stderr)
+    print(f"[solver] components:         {stats.solver_components} examined, "
+          f"{stats.solver_cache_hits} cache hit(s), "
+          f"{stats.solver_cache_misses} miss(es) (hit rate {hit_rate:.1%})",
+          file=sys.stderr)
+    print(f"[solver] model reuse:        {stats.solver_model_reuse} "
+          "query(ies) answered by warm-start evaluation", file=sys.stderr)
+    print(f"[solver] intern table:       {stats.intern_table_size} live "
+          "expression node(s)", file=sys.stderr)
+    if stats.slowest_queries:
+        print("[solver] slowest queries:", file=sys.stderr)
+        for elapsed, natoms, description in stats.slowest_queries:
+            print(f"[solver]   {elapsed * 1000.0:8.2f} ms  {natoms:4d} atom(s)  "
+                  f"{description}", file=sys.stderr)
+
+
 def _print_result(result: VerificationResult, as_json: bool) -> int:
     if as_json:
         payload = {
@@ -115,6 +140,17 @@ def _print_result(result: VerificationResult, as_json: bool) -> int:
                 "cache_hits": result.stats.cache_hits,
                 "cache_misses": result.stats.cache_misses,
                 "element_elapsed": result.stats.element_elapsed,
+                "solver_queries": result.stats.solver_queries,
+                "solver_nodes": result.stats.solver_nodes,
+                "solver_cache_hits": result.stats.solver_cache_hits,
+                "solver_cache_misses": result.stats.solver_cache_misses,
+                "solver_components": result.stats.solver_components,
+                "solver_model_reuse": result.stats.solver_model_reuse,
+                "intern_table_size": result.stats.intern_table_size,
+                "slowest_queries": [
+                    {"seconds": s, "atoms": n, "query": q}
+                    for s, n, q in result.stats.slowest_queries
+                ],
             },
             "counterexamples": [
                 {
@@ -161,6 +197,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         )
         result = verify_filtering(pipeline, prop, config=config)
     _report_cache(result.stats, config)
+    if args.stats:
+        _print_solver_stats(result)
     return _print_result(result, args.json)
 
 
@@ -229,7 +267,19 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--protocol", type=int, default=None)
     verify.add_argument("--dst-port", type=int, default=None)
     verify.add_argument("--json", action="store_true", help="machine-readable output")
+    verify.add_argument("--stats", action="store_true",
+                        help="print solver internals (queries, component cache "
+                             "hits/misses, intern table size, slowest queries)")
     verify.set_defaults(func=_cmd_verify)
+
+    # `bench` is dispatched in main() before this parser runs (the harness in
+    # repro.bench owns its options); registered here only so it shows up in
+    # the subcommand listing and --help.
+    subparsers.add_parser(
+        "bench", help="run the Fig. 4 perf scenarios and track BENCH_*.json "
+                      "(see `python -m repro bench --help` for options)",
+        add_help=False,
+    )
 
     summarize = subparsers.add_parser(
         "summarize", help="run step 1 only and show per-element accounting"
@@ -249,6 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    # The bench subcommand owns its own argparse surface (the perf harness in
+    # repro.bench); dispatch it before the main parser ever sees its options,
+    # so `python -m repro bench ...` and `benchmarks/perf_harness.py ...`
+    # accept exactly the same flags and cannot drift.  Every other
+    # subcommand keeps the ordinary strict parse below.
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw[:1] == ["bench"]:
+        from repro import bench
+
+        return bench.main(raw[1:])
+
     parser = build_parser()
     try:
         args = parser.parse_args(argv)

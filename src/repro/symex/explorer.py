@@ -117,7 +117,10 @@ class PathExplorer:
         or record journal entries) and returns an arbitrary output object that
         is preserved on the corresponding :class:`PathResult`.
         """
-        pending: List[List[bool]] = [[]]
+        #: scheduled prefixes, each with the warm-start model recorded when
+        #: the parent path proved the flipped direction feasible -- the child
+        #: run starts its branch checks from that known-good assignment
+        pending: List[tuple] = [([], None)]
         paths: List[PathResult] = []
         complete = True
         states = 0
@@ -134,7 +137,7 @@ class PathExplorer:
                 complete = False
                 timed_out = True
                 break
-            prefix = pending.pop()
+            prefix, warm_model = pending.pop()
             runtime = SymbolicRuntime(
                 solver=self.solver,
                 forced_decisions=prefix,
@@ -142,6 +145,7 @@ class PathExplorer:
                 branch_check_nodes=self.branch_check_nodes,
                 feasibility_checks=self.feasibility_checks,
                 deadline=deadline,
+                warm_model=warm_model,
             )
             states += 1
             crash: Optional[DataplaneCrash] = None
@@ -187,7 +191,7 @@ class PathExplorer:
                     continue
                 flipped = [d.taken for d in runtime.decisions[:index]]
                 flipped.append(not decision.taken)
-                pending.append(flipped)
+                pending.append((flipped, decision.alt_model))
 
         return ExplorationResult(paths=paths, complete=complete, states=states,
                                  timed_out=timed_out)

@@ -22,7 +22,8 @@ by any component that needs to talk about packet contents symbolically.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple, Union
+import weakref
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
 
 # --------------------------------------------------------------------------
 # helpers
@@ -48,10 +49,73 @@ def width_for_value(value: int) -> int:
 # --------------------------------------------------------------------------
 
 
-class Expr:
-    """Common base class of bit-vector and boolean expressions."""
+# --------------------------------------------------------------------------
+# hash-consing (interning)
+# --------------------------------------------------------------------------
 
-    __slots__ = ("_hash",)
+#: Weak-value intern table: ``(class, structural key) -> canonical node``.
+#: Nodes referenced by nobody are collected and drop out of the table, so
+#: long-running verifications do not accumulate dead expressions.
+_INTERN_TABLE: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+
+def intern_table_size() -> int:
+    """Number of live interned expression nodes (exposed via ``--stats``)."""
+    return len(_INTERN_TABLE)
+
+
+#: slots holding per-node derived data; never pickled, never part of identity
+#: (``_split`` belongs to the solver's field-equality splitting -- kept here
+#: so the memo cannot pin otherwise-dead nodes in the intern table)
+_DERIVED_SLOTS = ("_hash", "_simplified", "_symbols", "_lanes", "_split",
+                  "__weakref__")
+
+
+def _intern(obj: "Expr") -> "Expr":
+    """Return the canonical node for ``obj``, registering it if new.
+
+    The single intern lookup shared by construction (:class:`_Interned`) and
+    unpickling (:func:`_unpickle_expr`), so the key shape cannot drift
+    between the two paths.
+    """
+    key = (type(obj), obj._key())
+    canonical = _INTERN_TABLE.get(key)
+    if canonical is not None:
+        return canonical
+    _INTERN_TABLE[key] = obj
+    return obj
+
+
+class _Interned(type):
+    """Metaclass routing every construction through the intern table.
+
+    Two structurally equal expressions are therefore always the *same object*,
+    which turns deep structural comparisons (the hottest operation of the
+    solver's preprocessing and caching layers) into pointer checks, and lets
+    per-node caches (simplification, free symbols, byte lanes) live directly
+    on the canonical node.
+    """
+
+    def __call__(cls, *args, **kwargs):
+        return _intern(super().__call__(*args, **kwargs))
+
+
+def _unpickle_expr(cls, state: dict):
+    """Rebuild a pickled expression and re-intern it in this process."""
+    obj = cls.__new__(cls)
+    for slot, value in state.items():
+        object.__setattr__(obj, slot, value)
+    return _intern(obj)
+
+
+class Expr(metaclass=_Interned):
+    """Common base class of bit-vector and boolean expressions.
+
+    Nodes are *hash-consed*: constructing a node structurally equal to an
+    existing live node returns the existing node (see :class:`_Interned`).
+    """
+
+    __slots__ = _DERIVED_SLOTS
 
     def children(self) -> Tuple["Expr", ...]:
         """The sub-expressions of this node (empty for leaves)."""
@@ -61,29 +125,36 @@ class Expr:
     def _key(self) -> tuple:
         raise NotImplementedError
 
-    def __eq__(self, other: object) -> bool:  # structural equality
+    def __eq__(self, other: object) -> bool:
+        # Interning makes structurally equal nodes identical; the structural
+        # fallback only matters for exotic cases (e.g. nodes resurrected by
+        # pickle machinery mid-collection) and stays as a safety net.
+        if self is other:
+            return True
         return type(self) is type(other) and self._key() == other._key()
 
     def __ne__(self, other: object) -> bool:
         return not self.__eq__(other)
 
     def __hash__(self) -> int:
-        h = getattr(self, "_hash", None)
-        if h is None:
+        try:
+            return self._hash
+        except AttributeError:
             h = hash((type(self).__name__,) + self._key())
             object.__setattr__(self, "_hash", h)
-        return h
+            return h
 
     # Expressions are serialised when element summaries are persisted to the
-    # on-disk summary cache (:mod:`repro.verifier.cache`).  The cached ``_hash``
-    # slot must never travel with them: it is derived from ``hash(str)``, which
-    # is salted per interpreter process, so a pickled hash would poison dict
-    # and set lookups in the process that loads the summary.
+    # on-disk summary cache (:mod:`repro.verifier.cache`).  The derived slots
+    # must never travel with them: ``_hash`` comes from ``hash(str)``, which is
+    # salted per interpreter process, and the other caches reference nodes of
+    # this process's intern table.  ``__reduce__`` routes unpickling through
+    # :func:`_unpickle_expr` so loaded expressions are interned like any other.
     def __getstate__(self) -> dict:
         state = {}
         for klass in type(self).__mro__:
             for slot in getattr(klass, "__slots__", ()):
-                if slot == "_hash":
+                if slot in _DERIVED_SLOTS:
                     continue
                 try:
                     state[slot] = getattr(self, slot)
@@ -94,6 +165,9 @@ class Expr:
     def __setstate__(self, state: dict) -> None:
         for slot, value in state.items():
             object.__setattr__(self, slot, value)
+
+    def __reduce__(self):
+        return (_unpickle_expr, (type(self), self.__getstate__()))
 
 
 class BV(Expr):
@@ -699,25 +773,50 @@ def bool_ite(cond: BoolExpr, then: BoolExpr, orelse: BoolExpr) -> BoolExpr:
 # --------------------------------------------------------------------------
 
 
-def free_symbols(expr: Expr) -> Set[BVSym]:
-    """Collect every :class:`BVSym` occurring in ``expr``."""
-    out: Set[BVSym] = set()
+def free_symbols(expr: Expr) -> FrozenSet[BVSym]:
+    """Collect every :class:`BVSym` occurring in ``expr``.
+
+    Results are memoised on the interned node (``_symbols`` slot): the solver
+    partitions every query's constraints by their symbols, so the same nodes
+    are asked for their symbols over and over along a path prefix.
+    """
+    try:
+        return expr._symbols
+    except AttributeError:
+        pass
+    # Iterative post-order so deep if-then-else chains cannot overflow the
+    # Python recursion limit; child results are reused through the same memo.
     stack = [expr]
     while stack:
-        node = stack.pop()
+        node = stack[-1]
+        try:
+            node._symbols
+            stack.pop()
+            continue
+        except AttributeError:
+            pass
+        children = node.children()
+        missing = [c for c in children if not hasattr(c, "_symbols")]
+        if missing:
+            stack.extend(missing)
+            continue
+        stack.pop()
         if isinstance(node, BVSym):
-            out.add(node)
+            result: FrozenSet[BVSym] = frozenset((node,))
+        elif children:
+            result = frozenset().union(*[c._symbols for c in children])
         else:
-            stack.extend(node.children())
-    return out
+            result = frozenset()
+        object.__setattr__(node, "_symbols", result)
+    return expr._symbols
 
 
-def free_symbols_of(exprs: Iterable[Expr]) -> Set[BVSym]:
+def free_symbols_of(exprs: Iterable[Expr]) -> FrozenSet[BVSym]:
     """Collect the symbols of several expressions at once."""
     out: Set[BVSym] = set()
     for expr in exprs:
         out |= free_symbols(expr)
-    return out
+    return frozenset(out)
 
 
 def constants_in(expr: Expr) -> Set[int]:
@@ -771,14 +870,29 @@ def is_concrete(expr: Expr) -> bool:
     return not free_symbols(expr)
 
 
-def byte_lanes(expr: BV):
+def byte_lanes(expr: BV) -> Optional[Dict[int, BV]]:
     """Decompose ``expr`` into disjoint byte lanes: ``{bit shift -> 8-bit expr}``.
 
     Packet headers are read by or-ing together shifted, zero-extended bytes;
     recognising that shape lets the solver and the interval refiner treat a
     multi-byte field comparison as per-byte information.  Returns ``None``
     when the expression does not have the byte-lane shape.
+
+    The decomposition is memoised on the interned node (``_lanes`` slot) as an
+    immutable tuple; callers receive a fresh ``dict`` they are free to mutate.
     """
+    try:
+        cached = expr._lanes
+    except AttributeError:
+        result = _byte_lanes_uncached(expr)
+        object.__setattr__(
+            expr, "_lanes", None if result is None else tuple(result.items())
+        )
+        return result
+    return None if cached is None else dict(cached)
+
+
+def _byte_lanes_uncached(expr: BV) -> Optional[Dict[int, BV]]:
     if isinstance(expr, BVZeroExt):
         return byte_lanes(expr.arg)
     if expr.width == 8:

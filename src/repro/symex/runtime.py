@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionBudgetExceeded, VerificationBudgetExceeded
 from repro.symex import exprs as E
 from repro.symex.simplify import simplify
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, SolverContext
 
 # The active runtime.  ``None`` means concrete execution: symbolic wrappers are
 # then never created, and dataplane helpers fall back to concrete behaviour.
@@ -66,6 +66,11 @@ class Decision:
     #: whether the *other* direction was also feasible at the branch point
     #: (the explorer only schedules alternatives for such decisions)
     both_feasible: bool
+    #: the solver model of the *untaken* direction (when it was feasible) --
+    #: the explorer hands it to the sibling path as a warm start, so the
+    #: sibling's branch checks start from a known-good assignment of the
+    #: shared prefix instead of searching from scratch
+    alt_model: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -87,6 +92,7 @@ class SymbolicRuntime:
         branch_check_nodes: int = 1500,
         feasibility_checks: bool = True,
         deadline: Optional[float] = None,
+        warm_model: Optional[Dict[str, int]] = None,
     ):
         self.solver = solver or Solver()
         self.forced_decisions = list(forced_decisions or [])
@@ -96,6 +102,15 @@ class SymbolicRuntime:
         #: absolute ``time.monotonic()`` deadline; exceeding it aborts the
         #: whole analysis (the paper's "12 hours later we gave up" situation)
         self.deadline = deadline
+        #: warm-start model inherited from the parent path at the fork point
+        self.warm_model = warm_model
+        #: incremental per-path solver state: the constraint prefix stays
+        #: partitioned into connected components, so a branch check re-solves
+        #: only the component the branch condition touches
+        self._context: Optional[SolverContext] = (
+            self.solver.context(max_nodes=branch_check_nodes)
+            if feasibility_checks else None
+        )
 
         self.path_constraints: List[E.BoolExpr] = []
         self._constraint_index: set = set()
@@ -151,6 +166,8 @@ class SymbolicRuntime:
             return
         self._constraint_index.add(condition)
         self.path_constraints.append(condition)
+        if self._context is not None:
+            self._context.assume(condition)
 
     def assume(self, condition: E.BoolExpr) -> None:
         """Add a constraint without branching (used for input assumptions)."""
@@ -194,32 +211,46 @@ class SymbolicRuntime:
             self.decisions.append(Decision(condition, False, both_feasible=False))
             return False
 
-        taken, both = self._pick_direction(condition)
-        self.decisions.append(Decision(condition, taken, both_feasible=both))
+        taken, both, alt_model = self._pick_direction(condition)
+        self.decisions.append(
+            Decision(condition, taken, both_feasible=both, alt_model=alt_model)
+        )
         self._add_constraint(condition if taken else E.bool_not(condition))
         return taken
 
-    def _pick_direction(self, condition: E.BoolExpr) -> Tuple[bool, bool]:
-        """Choose a feasible direction; report whether both are feasible."""
+    def _pick_direction(
+        self, condition: E.BoolExpr
+    ) -> Tuple[bool, bool, Optional[Dict[str, int]]]:
+        """Choose a feasible direction; report whether both are feasible.
+
+        Returns ``(taken, both_feasible, alt_model)`` where ``alt_model`` is
+        the model witnessing the *untaken* direction (the sibling path's warm
+        start).  Each side costs one component solve through the incremental
+        context -- the prefix components stay memoised -- and usually less:
+        one side is satisfied by the prefix's own model and is answered by
+        evaluation alone.
+        """
         if not self.feasibility_checks:
-            return True, True
-        true_side = self.path_constraints + [condition]
-        false_side = self.path_constraints + [E.bool_not(condition)]
-        true_result = self.solver.check(true_side, max_nodes=self.branch_check_nodes)
-        false_result = self.solver.check(false_side, max_nodes=self.branch_check_nodes)
+            return True, True, None
+        # feasibility_checks implies the incremental context exists (__init__).
+        negated = E.bool_not(condition)
+        true_result = self._context.check_extension(
+            condition, max_nodes=self.branch_check_nodes, hint=self.warm_model)
+        false_result = self._context.check_extension(
+            negated, max_nodes=self.branch_check_nodes, hint=self.warm_model)
         true_ok = not true_result.is_unsat
         false_ok = not false_result.is_unsat
         if true_ok and false_ok:
-            return True, True
+            return True, True, false_result.model
         if true_ok:
-            return True, False
+            return True, False, None
         if false_ok:
-            return False, False
+            return False, False, None
         # Both sides look infeasible -- the path constraint itself must be
         # unsatisfiable (possible when over-approximated branches were taken
         # earlier).  Continue down the "true" side; the final feasibility check
         # in the verifier will discard the path.
-        return True, False
+        return True, False, None
 
     # -- convenience ------------------------------------------------------------
 

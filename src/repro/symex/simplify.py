@@ -11,12 +11,13 @@ re-simplified.  In the paper's toy example this is exactly the computation
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from repro.symex import exprs as E
 
 
-def substitute(expr: E.Expr, mapping: Mapping[str, E.BV]) -> E.Expr:
+def substitute(expr: E.Expr, mapping: Mapping[str, E.BV],
+               cache: Optional[Dict[int, E.Expr]] = None) -> E.Expr:
     """Replace every symbol named in ``mapping`` with its replacement expression.
 
     Replacements are made simultaneously (the replacement expressions are not
@@ -25,8 +26,17 @@ def substitute(expr: E.Expr, mapping: Mapping[str, E.BV]) -> E.Expr:
     are reconciled by zero-extending or truncating replacements to the width of
     the symbol they replace, matching the usual semantics of storing a value
     into a fixed-width location.
+
+    ``cache`` memoises per-node rewrites by identity.  Callers substituting
+    *several* expressions under the *same* mapping (path composition rewrites
+    every constraint atom and every output-state cell of a segment) should
+    pass one shared dict, so subtrees shared between those expressions --
+    packet reads at symbolic offsets expand into large if-then-else chains
+    that appear in many atoms of the same segment -- are rewritten once, not
+    once per atom.
     """
-    cache: Dict[int, E.Expr] = {}
+    if cache is None:
+        cache = {}
 
     def rewrite(node: E.Expr) -> E.Expr:
         key = id(node)
@@ -76,28 +86,24 @@ def _rewrite_node(node: E.Expr, mapping: Mapping[str, E.BV], rewrite) -> E.Expr:
     raise TypeError(f"cannot substitute into node {type(node).__name__}")
 
 
-#: Global memo for :func:`simplify`.  Expressions are immutable and hashable,
-#: so caching by value is safe; the cache is bounded to keep memory in check.
-_SIMPLIFY_CACHE: Dict[E.Expr, E.Expr] = {}
-_SIMPLIFY_CACHE_LIMIT = 200000
-
-
 def simplify(expr: E.Expr) -> E.Expr:
     """Rebuild ``expr`` bottom-up through the smart constructors.
 
     This folds constants that appeared after substitution and applies the
     algebraic identities implemented by the constructors.  It is idempotent,
-    and results are memoised (the solver re-simplifies the same path-constraint
-    atoms on every feasibility query).
+    and results are memoised directly on the interned node (``_simplified``
+    slot): the solver re-simplifies the same path-constraint atoms on every
+    feasibility query, and hash-consing guarantees one canonical node per
+    distinct expression to hang the result on.
     """
-    cached = _SIMPLIFY_CACHE.get(expr)
-    if cached is not None:
-        return cached
+    try:
+        return expr._simplified
+    except AttributeError:
+        pass
     result = substitute(expr, {})
-    if len(_SIMPLIFY_CACHE) >= _SIMPLIFY_CACHE_LIMIT:
-        _SIMPLIFY_CACHE.clear()
-    _SIMPLIFY_CACHE[expr] = result
-    _SIMPLIFY_CACHE[result] = result
+    object.__setattr__(expr, "_simplified", result)
+    if result is not expr:
+        object.__setattr__(result, "_simplified", result)
     return result
 
 

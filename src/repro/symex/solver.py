@@ -14,18 +14,31 @@ and bounded counters.  The solver is:
   answers UNKNOWN, which the verifier propagates as an INCONCLUSIVE verdict
   ("when we fail, we know it").
 
-Algorithm: simplification, then interval propagation, then depth-first search
-over the constrained symbols with forward checking.  Candidate values are
-drawn from the constants mentioned in the constraints (and their byte
-decompositions), interval endpoints, and finally interval bisection, so that
+Algorithm: simplification, then **connected-component decomposition**, then --
+per component -- interval propagation and depth-first search over the
+constrained symbols with forward checking.  Dataplane constraints are
+overwhelmingly independent per header field (the same structural insight the
+paper exploits at pipeline granularity), so a query usually splits into many
+tiny components; each component's verdict is memoised in a bounded LRU keyed
+by the component's atoms, which makes the sibling-path queries issued during
+path exploration near-free: a branch feasibility check re-solves only the one
+component the branch condition touches.
+
+Candidate values are drawn from the constants mentioned in the constraints
+(and their byte decompositions), interval endpoints, warm-start hints (the
+model of the parent path), and finally interval bisection, so that
 equality-heavy dataplane constraints are usually solved after a handful of
 probes.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.symex import exprs as E
 from repro.symex.intervals import Interval, IntervalContext
@@ -45,6 +58,12 @@ class SolverResult:
     model: Optional[Dict[str, int]] = None
     #: number of search nodes explored (for benchmarking / evaluation counters)
     nodes: int = 0
+    #: for UNKNOWN results: the node budget the deciding search actually had
+    #: (less than requested when a failed warm-start residual attempt consumed
+    #: part of it) -- the component cache must tag the entry with this, not
+    #: the requested budget, or an equal-budget hint-free query would replay
+    #: a verdict starved below its own budget
+    effective_budget: Optional[int] = None
 
     @property
     def is_sat(self) -> bool:
@@ -68,7 +87,63 @@ class SolverStats:
     unsat: int = 0
     unknown: int = 0
     nodes: int = 0
+    #: component results served from the per-component LRU cache
     cache_hits: int = 0
+    #: component results that had to be searched
+    cache_misses: int = 0
+    #: total connected components examined across all queries
+    components: int = 0
+    #: queries answered by re-evaluating a warm-start model (no search at all)
+    model_reuse_hits: int = 0
+    #: the slowest component solves as ``(seconds, tiebreak, atoms)``, kept as
+    #: a bounded min-heap; read through :meth:`slowest_queries`.  The atoms
+    #: are kept verbatim and only rendered when somebody asks (``--stats``):
+    #: building a recursive repr of large if-then-else chains on the solve
+    #: hot path would cost more than many of the solves it measures.
+    slowest: List[tuple] = field(default_factory=list)
+    _slowest_seq: int = 0
+
+    #: how many slow queries to remember
+    SLOWEST_KEPT = 5
+
+    def note_solve(self, elapsed: float, atoms: Sequence[E.BoolExpr]) -> None:
+        """Record a component solve for the top-N slowest accounting."""
+        self._slowest_seq += 1
+        entry = (elapsed, self._slowest_seq, atoms)
+        if len(self.slowest) < self.SLOWEST_KEPT:
+            heapq.heappush(self.slowest, entry)
+        elif elapsed > self.slowest[0][0]:
+            heapq.heapreplace(self.slowest, entry)
+
+    def slowest_queries(self) -> List[Tuple[float, int, str]]:
+        """The recorded slowest solves, slowest first: (seconds, #atoms, text)."""
+        ordered = sorted(self.slowest, key=lambda e: e[0], reverse=True)
+        return [(elapsed, len(atoms), _describe_atoms(atoms))
+                for elapsed, _, atoms in ordered]
+
+    def snapshot(self) -> Dict[str, int]:
+        """The cumulative counters as a plain dict.
+
+        Callers sharing one solver across several verifications snapshot at
+        the start of each run and report the *delta* (see
+        ``EffortStats.record_solver``), so per-run numbers do not include
+        earlier runs' work.
+        """
+        return {
+            "queries": self.queries,
+            "nodes": self.nodes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "components": self.components,
+            "model_reuse_hits": self.model_reuse_hits,
+        }
+
+
+def _describe_atoms(atoms: Sequence[E.BoolExpr], limit: int = 120) -> str:
+    text = " AND ".join(repr(a) for a in atoms[:3])
+    if len(atoms) > 3:
+        text += f" AND ... ({len(atoms)} atoms)"
+    return text[:limit]
 
 
 class _Budget:
@@ -86,20 +161,82 @@ class _Budget:
         return True
 
 
+
+
+def _combine_component_results(results: "Iterable[SolverResult]") -> SolverResult:
+    """Fold per-component verdicts into one query verdict.
+
+    UNSAT dominates (an unsatisfiable component makes the conjunction
+    unsatisfiable, so the fold short-circuits without consuming -- and thus
+    without solving -- the remaining components); any UNKNOWN degrades SAT to
+    UNKNOWN and discards the model; otherwise models merge, which is
+    well-defined because components share no symbols.  Shared by
+    :meth:`Solver.check` and :meth:`SolverContext.check_extension` so the
+    combine rule cannot drift between them.
+    """
+    status = SAT
+    model: Optional[Dict[str, int]] = {}
+    nodes = 0
+    for result in results:
+        nodes += result.nodes
+        if result.is_unsat:
+            return SolverResult(UNSAT, nodes=nodes)
+        if result.is_unknown:
+            status = UNKNOWN
+            model = None
+        elif model is not None and result.model:
+            model.update(result.model)
+    if status == SAT:
+        return SolverResult(SAT, model=model, nodes=nodes)
+    return SolverResult(UNKNOWN, nodes=nodes)
+
+
+def _replay_ok(result: SolverResult, solved_with: int, budget: int) -> bool:
+    """Whether a cached component result answers a query with ``budget``.
+
+    SAT and UNSAT are budget-independent facts and satisfy any later query;
+    a budget-starved UNKNOWN only answers queries with an equal or smaller
+    budget -- a larger-budget query must re-search instead of replaying the
+    starved verdict.  Shared by the solver's LRU and ``SolverContext``'s
+    per-path result memo so the rule cannot drift between them.
+    """
+    return result.status != UNKNOWN or budget <= solved_with
+
+
 class Solver:
     """Decide satisfiability of conjunctions of boolean constraints."""
 
-    def __init__(self, max_nodes: int = 20000, cache_size: int = 4096):
+    def __init__(self, max_nodes: int = 20000, cache_size: int = 4096,
+                 decompose: bool = True):
         self.max_nodes = max_nodes
         self.stats = SolverStats()
-        self._cache: Dict[tuple, SolverResult] = {}
+        #: bounded LRU of per-component results:
+        #: ``frozenset(atoms) -> (SolverResult, node budget it was solved with)``
+        self._cache: "OrderedDict[frozenset, Tuple[SolverResult, int]]" = OrderedDict()
         self._cache_size = cache_size
+        #: disable connected-component decomposition (used by the equivalence
+        #: property tests to compare decomposed against monolithic solving)
+        self.decompose = decompose
 
     # -- public API ----------------------------------------------------------
 
     def check(self, constraints: Iterable[E.BoolExpr],
-              max_nodes: Optional[int] = None) -> SolverResult:
-        """Check whether the conjunction of ``constraints`` is satisfiable."""
+              max_nodes: Optional[int] = None,
+              hint: Optional[Dict[str, int]] = None) -> SolverResult:
+        """Check whether the conjunction of ``constraints`` is satisfiable.
+
+        ``hint`` is an optional warm-start model (e.g. the parent path's
+        model): its values are tried first during the search and, when they
+        already satisfy a component outright, no search happens at all.
+
+        ``max_nodes`` bounds the search of each *component* (cache misses
+        only), not the query as a whole: with decomposition a query over N
+        independent components may spend up to ``N * max_nodes`` nodes in the
+        worst cold case.  Components are small by construction and almost
+        always cache hits along a path, so the per-component bound is what
+        keeps an individual search from blowing up -- but callers tuning
+        ``branch_check_nodes``-style budgets should know the contract.
+        """
         self.stats.queries += 1
         simplified = self._preprocess(constraints)
         if simplified is None:  # a constraint folded to False
@@ -109,25 +246,26 @@ class Solver:
             self.stats.sat += 1
             return SolverResult(SAT, model={})
 
-        key = tuple(simplified)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached
+        budget = max_nodes or self.max_nodes
+        if self.decompose:
+            components = _partition(simplified)
+        else:
+            components = [simplified]
+        self.stats.components += len(components)
 
-        result = self._solve(simplified, max_nodes or self.max_nodes)
-        if result.status == SAT:
+        # The generator keeps the fold lazy: an UNSAT component stops the
+        # remaining components from being solved at all.
+        combined = _combine_component_results(
+            self._check_component(tuple(atoms), budget, hint)
+            for atoms in components
+        )
+        if combined.is_sat:
             self.stats.sat += 1
-        elif result.status == UNSAT:
+        elif combined.is_unsat:
             self.stats.unsat += 1
         else:
             self.stats.unknown += 1
-        self.stats.nodes += result.nodes
-
-        if len(self._cache) >= self._cache_size:
-            self._cache.clear()
-        self._cache[key] = result
-        return result
+        return combined
 
     def is_feasible(self, constraints: Iterable[E.BoolExpr]) -> bool:
         """Convenience wrapper: treat UNKNOWN as feasible (over-approximation).
@@ -141,6 +279,45 @@ class Solver:
         """Return a satisfying assignment, or ``None`` if UNSAT/UNKNOWN."""
         result = self.check(constraints)
         return result.model if result.is_sat else None
+
+    def context(self, max_nodes: Optional[int] = None) -> "SolverContext":
+        """A fresh incremental per-path solving context (see SolverContext)."""
+        return SolverContext(self, max_nodes=max_nodes)
+
+    # -- per-component solving and caching ------------------------------------
+
+    def _check_component(self, atoms: Tuple[E.BoolExpr, ...], budget: int,
+                         hint: Optional[Dict[str, int]] = None) -> SolverResult:
+        """Solve one connected component, through the bounded LRU cache.
+
+        Cache entries remember the node budget they were solved with: SAT and
+        UNSAT are budget-independent facts and satisfy any later query, but a
+        budget-limited UNKNOWN only answers queries with an equal or smaller
+        budget -- a later full-budget query must re-search instead of replaying
+        the starved verdict (that replay was an unsoundness of the previous
+        wholesale cache).
+        """
+        key = frozenset(atoms)
+        entry = self._cache.get(key)
+        if entry is not None:
+            result, solved_with = entry
+            if _replay_ok(result, solved_with, budget):
+                self._cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                return result
+        self.stats.cache_misses += 1
+        started = time.perf_counter()
+        result = self._solve(list(atoms), budget, hint)
+        self.stats.note_solve(time.perf_counter() - started, atoms)
+        self.stats.nodes += result.nodes
+        solved_with = budget
+        if result.is_unknown and result.effective_budget is not None:
+            solved_with = min(budget, result.effective_budget)
+        self._cache[key] = (result, solved_with)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return result
 
     # -- preprocessing ---------------------------------------------------------
 
@@ -170,8 +347,30 @@ class Solver:
 
     # -- search ----------------------------------------------------------------
 
-    def _solve(self, constraints: List[E.BoolExpr], max_nodes: int) -> SolverResult:
+    def _solve(self, constraints: List[E.BoolExpr], max_nodes: int,
+               hint: Optional[Dict[str, int]] = None) -> SolverResult:
         symbols = sorted(E.free_symbols_of(constraints), key=lambda s: s.name)
+
+        # Warm start: if the hint (typically the parent path's model) already
+        # satisfies every constraint, adopt it without searching.
+        residual_nodes = 0
+        if hint:
+            model = self._model_from_hint(constraints, symbols, hint)
+            if model is not None:
+                self.stats.model_reuse_hits += 1
+                return SolverResult(SAT, model=model)
+            # Second chance: keep the hint for the atoms it satisfies and
+            # search only the residual (typically the handful of atoms a newly
+            # appended segment added on top of an already-solved prefix).
+            result, residual_nodes = self._solve_residual(
+                constraints, symbols, hint, max_nodes)
+            if result is not None:
+                return result
+            # A failed residual attempt spent real search nodes: charge them
+            # against this query's budget so one check never costs 2x, and
+            # fold them into the node accounting below.
+            max_nodes = max(1, max_nodes - residual_nodes)
+
         env: Dict[str, Interval] = {s.name: Interval.full(s.width) for s in symbols}
 
         # Initial propagation: refine intervals until a fixed point (bounded).
@@ -187,6 +386,13 @@ class Solver:
             return SolverResult(SAT, model=model)
 
         candidates = self._candidate_values(constraints, symbols)
+        if hint:
+            for sym in symbols:
+                value = hint.get(sym.name)
+                if value is not None and 0 <= value <= E.mask_for(sym.width):
+                    values = candidates.get(sym.name)
+                    if values is not None and (not values or values[0] != value):
+                        values.insert(0, value)
         budget = _Budget(max_nodes)
         order = self._variable_order(constraints, symbols)
         satisfied = {
@@ -198,14 +404,86 @@ class Solver:
         ]
         model = self._search({}, order, constraints, constraint_vars, env,
                              candidates, budget, satisfied)
-        nodes = max_nodes - budget.remaining
+        nodes = max_nodes - budget.remaining + residual_nodes
         if model is not None:
             # Soundness check: the model must actually satisfy every constraint.
             assert all(E.evaluate(c, model) for c in constraints), "solver returned bad model"
             return SolverResult(SAT, model=model, nodes=nodes)
         if budget.remaining <= 0:
-            return SolverResult(UNKNOWN, nodes=nodes)
+            # max_nodes is the budget the main search really had (already
+            # reduced by any failed residual attempt above).
+            return SolverResult(UNKNOWN, nodes=nodes, effective_budget=max_nodes)
         return SolverResult(UNSAT, nodes=nodes)
+
+    def _model_from_hint(self, constraints: Sequence[E.BoolExpr],
+                         symbols: Sequence[E.BVSym],
+                         hint: Dict[str, int]) -> Optional[Dict[str, int]]:
+        """A complete component model built from ``hint``, or None if it fails.
+
+        Symbols the hint does not cover (typically the fresh symbols a newly
+        appended segment introduced) read as zero; the assembled model is only
+        adopted after re-evaluating every constraint under it, so a wrong
+        guess costs one evaluation pass and never unsoundness.
+        """
+        model: Dict[str, int] = {}
+        for sym in symbols:
+            model[sym.name] = hint.get(sym.name, 0) & E.mask_for(sym.width)
+        try:
+            if all(E.evaluate(c, model) for c in constraints):
+                return model
+        except KeyError:
+            pass
+        return None
+
+    def _solve_residual(self, constraints: List[E.BoolExpr],
+                        symbols: Sequence[E.BVSym], hint: Dict[str, int],
+                        max_nodes: int) -> Tuple[Optional[SolverResult], int]:
+        """Search only the atoms the hint fails to satisfy.
+
+        The residual's solution is grafted onto the hint and the combined
+        model re-checked against *every* atom, so a clash between the residual
+        assignment and a hint-satisfied atom simply falls back to the full
+        search.  An UNSAT residual is an UNSAT conjunction outright -- the
+        residual is a subset of the constraints.
+
+        Returns ``(result, nodes_spent)``; ``result`` is None when the caller
+        must fall back to the full search, and ``nodes_spent`` lets it charge
+        the failed attempt against its own budget.
+        """
+        residual: List[E.BoolExpr] = []
+        for constraint in constraints:
+            try:
+                if not E.evaluate(constraint, hint):
+                    residual.append(constraint)
+            except KeyError:
+                residual.append(constraint)
+        if not residual or len(residual) == len(constraints):
+            return None, 0  # nothing gained over the full search
+        # Only worthwhile when the residual is over symbols the hint does not
+        # assign (fresh symbols of a newly appended segment): then the graft
+        # cannot disturb any hint-satisfied atom and is guaranteed consistent.
+        # A residual sharing symbols with the hint means the new atoms
+        # genuinely conflict with the parent assignment -- attempting the
+        # residual there just runs two searches instead of one.
+        for constraint in residual:
+            for sym in E.free_symbols(constraint):
+                if sym.name in hint:
+                    return None, 0
+        sub = self._solve(residual, max_nodes)
+        if sub.is_unsat:
+            return SolverResult(UNSAT, nodes=sub.nodes), sub.nodes
+        if not sub.is_sat:
+            return None, sub.nodes
+        model = {s.name: hint.get(s.name, 0) & E.mask_for(s.width) for s in symbols}
+        model.update(sub.model)
+        try:
+            if all(E.evaluate(c, model) for c in constraints):
+                # Deliberately not counted as a model-reuse hit: a real
+                # (residual) search ran, and that counter means "no search".
+                return SolverResult(SAT, model=model, nodes=sub.nodes), sub.nodes
+        except KeyError:
+            pass
+        return None, sub.nodes
 
     def _status_all(self, constraints: Sequence[E.BoolExpr], context: IntervalContext):
         decided_true = True
@@ -363,44 +641,296 @@ class Solver:
                     return result
             return None
 
-        probes = self._bisection_probes(interval)
-        for value in probes:
+        for value in self._bisection_probes(interval, tried):
             if budget.remaining <= 0:
                 return None
-            if value in tried:
-                continue
             tried.add(value)
             result = descend(value)
             if result is not None:
                 return result
-        # Could not find a value with the probing strategy: report failure for
-        # this branch.  For very wide domains this is where incompleteness can
-        # creep in, so exhaust the budget to force an UNKNOWN answer instead of
-        # an unsound UNSAT.
-        budget.remaining = 0
+        # Could not find a value with the probing strategy.  For very wide
+        # domains this is where incompleteness can creep in: unless the tried
+        # values provably covered the whole interval (in which case this
+        # branch genuinely is exhausted), exhaust the budget to force an
+        # UNKNOWN answer instead of an unsound UNSAT.
+        if len(tried) < interval.size():
+            budget.remaining = 0
         return None
 
-    def _bisection_probes(self, interval: Interval, count: int = 33) -> List[int]:
-        """A spread of probe values across a wide interval (endpoints first)."""
-        probes = [interval.lo, interval.hi]
+    def _bisection_probes(self, interval: Interval, tried: Set[int],
+                          count: int = 33) -> List[int]:
+        """A spread of probe values across a wide interval (endpoints first).
+
+        Probes are clamped to the interval and deduplicated -- both against
+        each other and against the values the caller already tried -- in one
+        pass, so the search never re-descends on a value it has seen.
+        """
         lo, hi = interval.lo, interval.hi
         step = max(1, (hi - lo) // (count - 1))
-        probes.extend(range(lo, hi, step))
         seen: Set[int] = set()
         out: List[int] = []
-        for p in probes:
-            if p not in seen and interval.contains(p):
+        for p in itertools.chain((lo, hi), range(lo, hi, step)):
+            if lo <= p <= hi and p not in seen and p not in tried:
                 seen.add(p)
                 out.append(p)
         return out
 
 
-def _split_field_equality(constraint: E.BoolExpr) -> Optional[List[E.BoolExpr]]:
+# ---------------------------------------------------------------------------
+# connected-component decomposition
+# ---------------------------------------------------------------------------
+
+
+def _partition(atoms: Sequence[E.BoolExpr]) -> List[List[E.BoolExpr]]:
+    """Group ``atoms`` into connected components over shared symbols.
+
+    Two atoms belong to the same component iff they are linked by a chain of
+    shared symbols; symbol-free atoms (rare after simplification) become
+    singleton components.  Order within a component follows the input order,
+    so the component's cache key and search behave deterministically.
+    """
+    parent: Dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:  # path compression
+            parent[name], name = root, parent[name]
+        return root
+
+    atom_symbols: List[List[str]] = []
+    for atom in atoms:
+        names = [s.name for s in E.free_symbols(atom)]
+        atom_symbols.append(names)
+        first = None
+        for name in names:
+            if name not in parent:
+                parent[name] = name
+            if first is None:
+                first = name
+            else:
+                root_a, root_b = find(first), find(name)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+
+    groups: "OrderedDict[str, List[E.BoolExpr]]" = OrderedDict()
+    singletons: List[List[E.BoolExpr]] = []
+    for atom, names in zip(atoms, atom_symbols):
+        if not names:
+            singletons.append([atom])
+        else:
+            groups.setdefault(find(names[0]), []).append(atom)
+    return list(groups.values()) + singletons
+
+
+# ---------------------------------------------------------------------------
+# incremental per-path solving
+# ---------------------------------------------------------------------------
+
+
+class _DefaultingModel(dict):
+    """A model that reads absent symbols as zero (for extension probing)."""
+
+    def __missing__(self, key):
+        return 0
+
+
+class SolverContext:
+    """Incremental solving state carried along one execution path.
+
+    The context maintains the connected-component partition of the path's
+    constraint prefix together with each component's last solver result.
+    Checking a branch condition then costs one component solve -- the merged
+    component the condition touches -- instead of a full re-solve of the whole
+    prefix; all other components' verdicts are reused as-is.  This is the
+    paper's decomposition insight applied *inside* the solver: pipeline
+    decomposition keeps whole-pipeline paths out of the solver, component
+    decomposition keeps whole-path constraint sets out of the search.
+    """
+
+    __slots__ = ("solver", "max_nodes", "_components", "_results", "_sym2cid",
+                 "_next_cid", "_infeasible", "_model_cache")
+
+    def __init__(self, solver: Solver, max_nodes: Optional[int] = None):
+        self.solver = solver
+        self.max_nodes = max_nodes or solver.max_nodes
+        #: component id -> tuple of atoms
+        self._components: Dict[int, Tuple[E.BoolExpr, ...]] = {}
+        #: component id -> (last SolverResult, node budget it was solved with);
+        #: None = not yet solved
+        self._results: Dict[int, Optional[Tuple[SolverResult, int]]] = {}
+        #: symbol name -> component id
+        self._sym2cid: Dict[str, int] = {}
+        self._next_cid = 0
+        #: a prefix atom folded to False (the path constraint is unsatisfiable)
+        self._infeasible = False
+        #: memoised merged model of the whole prefix (None = stale/unknown);
+        #: derived purely from ``_results``, so it is invalidated whenever a
+        #: component is added, merged, or re-solved
+        self._model_cache: Optional[Dict[str, int]] = None
+
+    # -- building the prefix ---------------------------------------------------
+
+    def assume(self, condition: E.BoolExpr) -> None:
+        """Add ``condition`` to the path prefix (no feasibility check)."""
+        atoms = self.solver._preprocess([condition])
+        if atoms is None:
+            self._infeasible = True
+            return
+        for atom in atoms:
+            self._assume_atom(atom)
+
+    def _assume_atom(self, atom: E.BoolExpr) -> None:
+        names = [s.name for s in E.free_symbols(atom)]
+        touched = sorted({self._sym2cid[n] for n in names if n in self._sym2cid})
+        cid = self._next_cid
+        self._next_cid += 1
+        merged: List[E.BoolExpr] = []
+        for old_cid in touched:
+            merged.extend(self._components.pop(old_cid))
+            self._results.pop(old_cid, None)
+        if atom not in merged:
+            merged.append(atom)
+        atoms = tuple(merged)
+        self._components[cid] = atoms
+        self._results[cid] = None
+        self._model_cache = None
+        for existing in atoms:
+            for sym in E.free_symbols(existing):
+                self._sym2cid[sym.name] = cid
+
+    # -- queries ---------------------------------------------------------------
+
+    def _component_result(self, cid: int, max_nodes: int,
+                          hint: Optional[Dict[str, int]]) -> SolverResult:
+        entry = self._results.get(cid)
+        if entry is not None:
+            result, solved_with = entry
+            if _replay_ok(result, solved_with, max_nodes):
+                return result
+        result = self.solver._check_component(self._components[cid],
+                                              max_nodes, hint)
+        solved_with = max_nodes
+        if result.is_unknown and result.effective_budget is not None:
+            solved_with = min(max_nodes, result.effective_budget)
+        self._results[cid] = (result, solved_with)
+        self._model_cache = None
+        return result
+
+    def current_model(self, max_nodes: Optional[int] = None,
+                      hint: Optional[Dict[str, int]] = None) -> Optional[Dict[str, int]]:
+        """A model of the whole prefix, or None when not all-SAT.
+
+        Memoised between queries: branch checks probe this twice per branch,
+        and the model only changes when a component is added or re-solved.
+        """
+        if self._infeasible:
+            return None
+        if self._model_cache is not None:
+            return self._model_cache
+        budget = max_nodes or self.max_nodes
+        model: Dict[str, int] = {}
+        for cid in list(self._components):
+            result = self._component_result(cid, budget, hint)
+            if not result.is_sat or result.model is None:
+                return None
+            model.update(result.model)
+        self._model_cache = model
+        return model
+
+    def check_extension(self, condition: E.BoolExpr,
+                        max_nodes: Optional[int] = None,
+                        hint: Optional[Dict[str, int]] = None) -> SolverResult:
+        """Decide satisfiability of ``prefix AND condition``.
+
+        Only the components sharing symbols with ``condition`` are (re)solved,
+        merged with the condition's atoms; every other component's memoised
+        verdict is combined in unchanged.  Equivalent to
+        ``solver.check(prefix_atoms + [condition])`` but with the prefix work
+        amortised across the whole path (and across sibling paths, through the
+        solver's component cache).
+        """
+        self.solver.stats.queries += 1
+        if self._infeasible:
+            self.solver.stats.unsat += 1
+            return SolverResult(UNSAT)
+        budget = max_nodes or self.max_nodes
+        extension = self.solver._preprocess([condition])
+        if extension is None:
+            self.solver.stats.unsat += 1
+            return SolverResult(UNSAT)
+
+        touched: Set[int] = set()
+        for atom in extension:
+            for sym in E.free_symbols(atom):
+                cid = self._sym2cid.get(sym.name)
+                if cid is not None:
+                    touched.add(cid)
+
+        # Fast path: every component is SAT and the extension already holds
+        # under the combined model (with fresh symbols reading as zero).
+        prefix_model = self.current_model(budget, hint)
+        if prefix_model is not None and extension:
+            probe = _DefaultingModel(prefix_model)
+            try:
+                if all(E.evaluate(atom, probe) for atom in extension):
+                    self.solver.stats.model_reuse_hits += 1
+                    self.solver.stats.sat += 1
+                    model = dict(prefix_model)
+                    for atom in extension:
+                        for sym in E.free_symbols(atom):
+                            model.setdefault(sym.name, 0)
+                    return SolverResult(SAT, model=model)
+            except (KeyError, TypeError):
+                pass
+
+        merged: List[E.BoolExpr] = []
+        for cid in sorted(touched):
+            merged.extend(self._components[cid])
+        for atom in extension:
+            if atom not in merged:
+                merged.append(atom)
+        self.solver.stats.components += 1 + len(self._components) - len(touched)
+
+        def component_results():
+            # Merged component first: its UNSAT short-circuits the fold
+            # before any untouched component is (re)solved.
+            yield (self.solver._check_component(tuple(merged), budget, hint)
+                   if merged else SolverResult(SAT, model={}))
+            for cid in list(self._components):
+                if cid not in touched:
+                    yield self._component_result(cid, budget, hint)
+
+        combined = _combine_component_results(component_results())
+        if combined.is_sat:
+            self.solver.stats.sat += 1
+        elif combined.is_unsat:
+            self.solver.stats.unsat += 1
+        else:
+            self.solver.stats.unknown += 1
+        return combined
+
+
+def _split_field_equality(constraint: E.BoolExpr) -> Optional[Sequence[E.BoolExpr]]:
     """Split ``<byte-lane expression> == <constant>`` into per-byte equalities.
 
     Interval propagation then solves each byte immediately (the canonical case
     is an ethertype or address equality over a multi-byte header field).
+    Results are memoised on the interned node (``_split`` slot -- so the memo
+    dies with the node instead of pinning it): the same equality atoms are
+    re-preprocessed on every feasibility query along a path.
     """
+    try:
+        return constraint._split
+    except AttributeError:
+        result = _split_field_equality_uncached(constraint)
+        object.__setattr__(constraint, "_split", result)
+        return result
+
+
+def _split_field_equality_uncached(
+        constraint: E.BoolExpr) -> Optional[Tuple[E.BoolExpr, ...]]:
     if not isinstance(constraint, E.Cmp) or constraint.op != "eq":
         return None
     left, right = constraint.left, constraint.right
@@ -420,8 +950,8 @@ def _split_field_equality(constraint: E.BoolExpr) -> Optional[List[E.BoolExpr]]:
     # Bits of the constant outside any lane must be zero, otherwise the
     # equality cannot hold at all.
     if right.value & ~covered_mask & E.mask_for(left.width):
-        return [E.FALSE]
-    return atoms
+        return (E.FALSE,)
+    return tuple(atoms)
 
 
 # A module-level default solver instance, shared where per-call configuration

@@ -45,8 +45,13 @@ from repro.dataplane.element import Element
 from repro.fingerprint import digest, stable_token
 from repro.verifier.config import VerifierConfig
 
-#: Bump to invalidate every existing cache entry after a format change.
-FORMAT_VERSION = 1
+#: Bump to invalidate every existing cache entry after a format change *or*
+#: after a symbolic-execution/solver change that can alter what exploration
+#: produces (a summary is a statement by the engine that computed it).
+#: v2: PR4's component-decomposed solver decides more branch checks that the
+#: old solver answered UNKNOWN, which changes which alternate paths step 1
+#: schedules.
+FORMAT_VERSION = 2
 
 #: Default on-disk location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"

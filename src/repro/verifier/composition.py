@@ -127,9 +127,13 @@ class PathComposer:
         for name, value in base.state.items():
             mapping[name] = value if isinstance(value, E.BV) else E.as_bv(value, 64)
 
+        # One shared rewrite memo for every substitution under this mapping:
+        # the segment's atoms and output-state cells share large subtrees
+        # (symbolic-offset reads), which are then rewritten exactly once.
+        rewrite_cache: Dict[int, E.Expr] = {}
         constraints = list(base.constraints)
         for atom in segment.constraints:
-            rewritten = substitute(atom, mapping)
+            rewritten = substitute(atom, mapping, cache=rewrite_cache)
             if isinstance(rewritten, E.BoolConst) and rewritten.value:
                 continue
             constraints.append(rewritten)
@@ -141,7 +145,7 @@ class PathComposer:
             exit_port = emission.port
             for name, value in emission.state.items():
                 if isinstance(value, E.BV):
-                    state[name] = substitute(value, mapping)
+                    state[name] = substitute(value, mapping, cache=rewrite_cache)
                 else:
                     state[name] = value
 
@@ -153,10 +157,19 @@ class PathComposer:
             exit_port=exit_port,
         )
 
-    def check(self, path: ComposedPath) -> SolverResult:
-        """Decide feasibility of a composed path (counts toward the stats)."""
+    def check(self, path: ComposedPath,
+              hint: Optional[Dict[str, int]] = None) -> SolverResult:
+        """Decide feasibility of a composed path (counts toward the stats).
+
+        ``hint`` is a warm-start model, typically the model of the partial
+        path this one extends: sibling composed paths share their prefix
+        constraints, so the parent's model usually satisfies most components
+        outright and the solver only searches the atoms the new segment added.
+        """
         started = time.monotonic()
-        result = self.solver.check(path.constraints, max_nodes=self.config.solver_max_nodes)
+        result = self.solver.check(path.constraints,
+                                   max_nodes=self.config.solver_max_nodes,
+                                   hint=hint)
         self.stats.elapsed += time.monotonic() - started
         self.stats.paths_composed += 1
         if result.is_sat:
@@ -221,7 +234,9 @@ def search_paths_to_segment(
     """
     result = PathSearchResult(stats=composer.stats)
     entry = pipeline.entry()
-    stack: List[Tuple[Element, ComposedPath]] = [(entry, composer.initial_path())]
+    stack: List[Tuple[Element, ComposedPath, Optional[Dict[str, int]]]] = [
+        (entry, composer.initial_path(), None)
+    ]
 
     while stack:
         if composer.stats.paths_composed >= config.max_composed_paths:
@@ -230,10 +245,10 @@ def search_paths_to_segment(
         if deadline is not None and time.monotonic() > deadline:
             result.exhaustive = False
             break
-        element, base = stack.pop()
+        element, base, hint = stack.pop()
         if element.name == suspect_element:
             candidate = composer.extend(base, element.name, suspect_segment)
-            feasibility = composer.check(candidate)
+            feasibility = composer.check(candidate, hint=hint)
             if feasibility.is_sat:
                 result.feasible_paths.append((candidate, feasibility.model))
                 if stop_on_first_feasible:
@@ -252,14 +267,15 @@ def search_paths_to_segment(
                 continue  # the packet never leaves this element on such segments
             for emission_index in range(len(segment.emissions)):
                 extended = composer.extend(base, element.name, segment, emission_index)
-                feasibility = composer.check(extended)
+                feasibility = composer.check(extended, hint=hint)
                 if feasibility.is_unsat:
                     continue
                 if feasibility.is_unknown:
                     result.any_unknown = True
                 successor = pipeline.successor(element, extended.exit_port)
                 if successor is not None:
-                    stack.append((successor, extended))
+                    stack.append((successor, extended,
+                                  feasibility.model if feasibility.is_sat else hint))
     return result
 
 
@@ -288,14 +304,16 @@ def iterate_pipeline_paths(
     ``composer.stats`` and the ``exhausted`` flag they maintain).
     """
     start_element = entry or pipeline.entry()
-    stack: List[Tuple[Element, ComposedPath]] = [(start_element, composer.initial_path())]
+    stack: List[Tuple[Element, ComposedPath, Optional[Dict[str, int]]]] = [
+        (start_element, composer.initial_path(), None)
+    ]
 
     while stack:
         if composer.stats.paths_composed >= config.max_composed_paths:
             return
         if deadline is not None and time.monotonic() > deadline:
             return
-        element, base = stack.pop()
+        element, base, hint = stack.pop()
         summary = summaries.get(element.name)
         if summary is None:
             # Unsummarised element (step 1 timed out before reaching it).
@@ -305,7 +323,7 @@ def iterate_pipeline_paths(
                 extended = composer.extend(base, element.name, segment, emission_index)
                 feasibility: Optional[SolverResult] = None
                 if prune_infeasible:
-                    feasibility = composer.check(extended)
+                    feasibility = composer.check(extended, hint=hint)
                     if feasibility.is_unsat:
                         continue
                 if segment.crashed or segment.budget_exceeded or not segment.emissions:
@@ -316,4 +334,6 @@ def iterate_pipeline_paths(
                     # The packet leaves the pipeline here.
                     yield extended, feasibility
                 else:
-                    stack.append((successor, extended))
+                    stack.append((successor, extended,
+                                  feasibility.model if feasibility is not None
+                                  and feasibility.is_sat else hint))

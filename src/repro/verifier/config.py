@@ -47,10 +47,13 @@ class VerifierConfig:
     max_ops_per_segment: int = 6000
     #: maximum number of candidate pipeline paths composed in step 2
     max_composed_paths: int = 200000
-    #: solver search-node budget per satisfiability query
+    #: solver search-node budget per satisfiability query (per *constraint
+    #: component* since the solver decomposes queries -- a cold query over N
+    #: independent components may search up to N x this many nodes)
     solver_max_nodes: int = 20000
     #: solver budget for the quick feasibility checks done at branch points
-    #: (small on purpose: an undecided branch is simply explored both ways)
+    #: (small on purpose: an undecided branch is simply explored both ways;
+    #: per component, like ``solver_max_nodes``)
     branch_check_nodes: int = 500
     #: overall wall-clock budget in seconds (None = unlimited); exceeding it
     #: aborts the analysis with an INCONCLUSIVE verdict

@@ -91,14 +91,17 @@ def expand_loop_element(element: Element, config: VerifierConfig = DEFAULT_CONFI
     timed_out = setup_summary.timed_out or body_summary.timed_out
     started = time.monotonic()
 
-    # Every setup segment starts one chain of iterations.
-    frontier: List[ComposedPath] = []
+    # Every setup segment starts one chain of iterations.  Chains carry the
+    # model that witnessed their feasibility: extending a chain by one body
+    # segment usually leaves most constraint components satisfied by the same
+    # assignment, so the solver can warm-start from it instead of searching.
+    frontier: List[tuple] = []
     for setup_segment in setup_summary.segments:
         if setup_segment.crashed or setup_segment.analysis_error is not None:
             expanded.append(setup_segment)
             continue
         base = composer.extend(composer.initial_path(), element.name, setup_segment)
-        frontier.append(base)
+        frontier.append((base, None))
 
     while frontier:
         if deadline is not None and time.monotonic() > deadline:
@@ -108,7 +111,7 @@ def expand_loop_element(element: Element, config: VerifierConfig = DEFAULT_CONFI
         if compositions >= config.max_composed_paths:
             complete = False
             break
-        path = frontier.pop()
+        path, hint = frontier.pop()
         iterations = len(path.steps) - 1  # minus the setup step
         if iterations >= limit:
             # Cannot prove the chain terminates within the bound.
@@ -120,7 +123,7 @@ def expand_loop_element(element: Element, config: VerifierConfig = DEFAULT_CONFI
         for body_segment in body_summary.segments:
             compositions += 1
             extended = composer.extend(path, element.name, body_segment)
-            feasibility = composer.check(extended)
+            feasibility = composer.check(extended, hint=hint)
             if feasibility.is_unsat:
                 continue
             if body_segment.crashed or body_segment.budget_exceeded \
@@ -129,7 +132,10 @@ def expand_loop_element(element: Element, config: VerifierConfig = DEFAULT_CONFI
                 continue
             status = body_segment.loop_status
             if status == "continue":
-                frontier.append(extended)
+                frontier.append(
+                    (extended,
+                     feasibility.model if feasibility.is_sat else hint)
+                )
             elif status == "drop":
                 expanded.append(_terminal_segment(element, len(expanded), extended, emit=False))
             else:  # "done" (or an unexpected status, treated as completion)

@@ -106,9 +106,11 @@ class _BestFirstSearch:
         entry = self.pipeline.entry()
         found: List[Tuple[ComposedPath, Dict[str, int]]] = []
         # Max-heap keyed by an optimistic bound on the final instruction count.
-        heap: List[Tuple[int, int, Optional[ComposedPath], object]] = []
+        # Entries carry the parent path's model as a warm-start hint for the
+        # feasibility checks of their extensions.
+        heap: List[Tuple[int, int, Optional[ComposedPath], object, Optional[dict]]] = []
         bound = self._max_remaining(entry)
-        heapq.heappush(heap, (-bound, next(self._counter), None, entry))
+        heapq.heappush(heap, (-bound, next(self._counter), None, entry, None))
 
         while heap and len(found) < k:
             if self.deadline is not None and time.monotonic() > self.deadline:
@@ -117,7 +119,7 @@ class _BestFirstSearch:
             if self.composer.stats.paths_composed >= self.config.max_composed_paths:
                 self.exhaustive = False
                 break
-            neg_bound, _, base, element = heapq.heappop(heap)
+            neg_bound, _, base, element, hint = heapq.heappop(heap)
             if element is None:
                 # ``base`` is a complete candidate path, already checked feasible.
                 found.append(base)
@@ -136,9 +138,10 @@ class _BestFirstSearch:
                         base_path, element.name, segment, emission_index
                     )
                     self.combinations += 1
-                    feasibility = self.composer.check(candidate)
+                    feasibility = self.composer.check(candidate, hint=hint)
                     if feasibility.is_unsat:
                         continue
+                    child_hint = feasibility.model if feasibility.is_sat else hint
                     terminal = (
                         segment.crashed
                         or segment.budget_exceeded
@@ -150,13 +153,14 @@ class _BestFirstSearch:
                             heapq.heappush(
                                 heap,
                                 (-candidate.ops, next(self._counter),
-                                 (candidate, feasibility.model), None),
+                                 (candidate, feasibility.model), None, None),
                             )
                         continue
                     successor = self.pipeline.successor(element, candidate.exit_port)
                     bound = candidate.ops + self._max_remaining(successor)
                     heapq.heappush(
-                        heap, (-bound, next(self._counter), candidate, successor)
+                        heap, (-bound, next(self._counter), candidate, successor,
+                               child_hint)
                     )
         return found
 
@@ -173,6 +177,7 @@ class BoundedExecutionChecker:
               summary: Optional[PipelineSummary] = None) -> VerificationResult:
         imax = instruction_bound or self.config.instruction_bound
         started = time.monotonic()
+        solver_since = self.solver.stats.snapshot()
         deadline = None
         if self.config.time_budget is not None:
             deadline = started + self.config.time_budget
@@ -197,7 +202,7 @@ class BoundedExecutionChecker:
 
         if summary.analysis_errors:
             result.reason = "element code raised non-dataplane errors during analysis"
-            self._finish(result, started)
+            self._finish(result, started, solver_since)
             return result
 
         composer = PathComposer(solver=self.solver, config=self.config)
@@ -236,7 +241,6 @@ class BoundedExecutionChecker:
 
         stats.step2_elapsed = time.monotonic() - step2_started
         stats.paths_composed = composer.stats.paths_composed
-        stats.solver_queries = composer.stats.paths_composed
 
         if unbounded_reachable:
             result.verdict = Verdict.VIOLATED
@@ -244,7 +248,7 @@ class BoundedExecutionChecker:
                 "a packet can drive the pipeline past the execution budget "
                 "(possible infinite loop); counter-example attached"
             )
-            self._finish(result, started)
+            self._finish(result, started, solver_since)
             return result
 
         if longest:
@@ -265,7 +269,7 @@ class BoundedExecutionChecker:
                         model=model,
                     )
                 )
-                self._finish(result, started)
+                self._finish(result, started, solver_since)
                 return result
 
         if (summary.complete and not summary.timed_out and search.exhaustive
@@ -279,12 +283,13 @@ class BoundedExecutionChecker:
         else:
             result.verdict = Verdict.INCONCLUSIVE
             result.reason = "analysis budget exhausted before the longest path was established"
-        self._finish(result, started)
+        self._finish(result, started, solver_since)
         return result
 
-    @staticmethod
-    def _finish(result: VerificationResult, started: float) -> None:
+    def _finish(self, result: VerificationResult, started: float,
+                solver_since=None) -> None:
         result.stats.elapsed = time.monotonic() - started
+        result.stats.record_solver(self.solver, since=solver_since)
 
 
 def find_longest_paths(pipeline: Pipeline, k: int = 10,

@@ -42,6 +42,7 @@ class CrashFreedomChecker:
               summary: Optional[PipelineSummary] = None) -> VerificationResult:
         """Run both verification steps and return the verdict."""
         started = time.monotonic()
+        solver_since = self.solver.stats.snapshot()
         deadline = None
         if self.config.time_budget is not None:
             deadline = started + self.config.time_budget
@@ -70,7 +71,7 @@ class CrashFreedomChecker:
                 "element code raised non-dataplane errors during analysis: "
                 + ", ".join(f"{name} ({count})" for name, count in failures.items())
             )
-            self._finish(result, started)
+            self._finish(result, started, solver_since)
             return result
 
         suspects = list(summary.suspect_crash_segments())
@@ -82,7 +83,7 @@ class CrashFreedomChecker:
                 result.reason = "no element contains a crashing segment"
             else:
                 result.reason = "no suspects found, but step 1 was not exhaustive"
-            self._finish(result, started)
+            self._finish(result, started, solver_since)
             return result
 
         # Step 2: feasibility of each suspect in the context of the pipeline.
@@ -114,7 +115,6 @@ class CrashFreedomChecker:
                 )
         stats.step2_elapsed = time.monotonic() - step2_started
         stats.paths_composed = composer.stats.paths_composed
-        stats.solver_queries = composer.stats.paths_composed
 
         if result.counterexamples:
             result.verdict = Verdict.VIOLATED
@@ -129,9 +129,10 @@ class CrashFreedomChecker:
         else:
             result.verdict = Verdict.INCONCLUSIVE
             result.reason = "analysis budget exhausted before all suspects were discharged"
-        self._finish(result, started)
+        self._finish(result, started, solver_since)
         return result
 
-    @staticmethod
-    def _finish(result: VerificationResult, started: float) -> None:
+    def _finish(self, result: VerificationResult, started: float,
+                solver_since=None) -> None:
         result.stats.elapsed = time.monotonic() - started
+        result.stats.record_solver(self.solver, since=solver_since)

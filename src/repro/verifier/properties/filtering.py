@@ -130,6 +130,7 @@ class FilteringChecker:
     def check(self, pipeline: Pipeline, prop: FilteringProperty,
               summary: Optional[PipelineSummary] = None) -> VerificationResult:
         started = time.monotonic()
+        solver_since = self.solver.stats.snapshot()
         deadline = None
         if self.config.time_budget is not None:
             deadline = started + self.config.time_budget
@@ -152,7 +153,7 @@ class FilteringChecker:
         )
         if summary.analysis_errors:
             result.reason = "element code raised non-dataplane errors during analysis"
-            self._finish(result, started)
+            self._finish(result, started, solver_since)
             return result
 
         premise = prop.premise_constraints(self.config.ip_offset)
@@ -197,7 +198,6 @@ class FilteringChecker:
             exhaustive = False
         stats.step2_elapsed = time.monotonic() - step2_started
         stats.paths_composed = composer.stats.paths_composed
-        stats.solver_queries = composer.stats.paths_composed
 
         if result.counterexamples:
             result.verdict = Verdict.VIOLATED
@@ -208,9 +208,10 @@ class FilteringChecker:
         else:
             result.verdict = Verdict.INCONCLUSIVE
             result.reason = "analysis budget exhausted before all paths were examined"
-        self._finish(result, started)
+        self._finish(result, started, solver_since)
         return result
 
-    @staticmethod
-    def _finish(result: VerificationResult, started: float) -> None:
+    def _finish(self, result: VerificationResult, started: float,
+                solver_since=None) -> None:
         result.stats.elapsed = time.monotonic() - started
+        result.stats.record_solver(self.solver, since=solver_since)

@@ -67,6 +67,20 @@ class EffortStats:
     paths_composed: int = 0
     #: number of solver queries issued
     solver_queries: int = 0
+    #: search nodes the solver explored across those queries
+    solver_nodes: int = 0
+    #: constraint components served from the solver's per-component LRU cache
+    solver_cache_hits: int = 0
+    #: constraint components that had to be searched
+    solver_cache_misses: int = 0
+    #: connected components examined across all solver queries
+    solver_components: int = 0
+    #: queries answered by re-evaluating a warm-start model (no search)
+    solver_model_reuse: int = 0
+    #: live entries in the expression intern table when the run finished
+    intern_table_size: int = 0
+    #: the slowest component solves: ``(seconds, #atoms, description)``
+    slowest_queries: List[tuple] = field(default_factory=list)
     #: element summaries served from the persistent summary cache in step 1
     cache_hits: int = 0
     #: element summaries that had to be explored in step 1
@@ -74,6 +88,30 @@ class EffortStats:
     #: wall-clock seconds step 1 spent per element *in this run* (cache hits
     #: cost only the lookup)
     element_elapsed: Dict[str, float] = field(default_factory=dict)
+
+    def record_solver(self, solver, since: Optional[Dict[str, int]] = None) -> None:
+        """Copy the solver-internal counters onto this stats record.
+
+        ``solver`` is a :class:`repro.symex.solver.Solver`; the import is done
+        lazily to keep this module dependency-free.  ``since`` is an earlier
+        ``solver.stats.snapshot()``: when given, the *delta* is recorded, so
+        a solver shared across several verifications yields per-run numbers
+        instead of inflating each run with its predecessors' work.  (The
+        slowest-queries list is a solver-lifetime top-N either way.)
+        """
+        from repro.symex.exprs import intern_table_size
+
+        stats = solver.stats
+        base = since or {}
+        self.solver_queries = stats.queries - base.get("queries", 0)
+        self.solver_nodes = stats.nodes - base.get("nodes", 0)
+        self.solver_cache_hits = stats.cache_hits - base.get("cache_hits", 0)
+        self.solver_cache_misses = stats.cache_misses - base.get("cache_misses", 0)
+        self.solver_components = stats.components - base.get("components", 0)
+        self.solver_model_reuse = (stats.model_reuse_hits
+                                   - base.get("model_reuse_hits", 0))
+        self.intern_table_size = intern_table_size()
+        self.slowest_queries = stats.slowest_queries()
 
 
 @dataclass

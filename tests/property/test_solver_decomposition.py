@@ -1,0 +1,152 @@
+"""Property tests: component-decomposed solving is equivalent to monolithic.
+
+The solver partitions every query into connected components over shared
+symbols and solves them independently (with per-component caching and
+warm-start hints).  These tests pin the soundness contract of that machinery:
+
+* decomposed and monolithic solving never contradict each other on status
+  (SAT vs UNSAT), and agree outright whenever neither answers UNKNOWN;
+* every SAT model -- decomposed, monolithic, or warm-started -- actually
+  satisfies all constraints under ``E.evaluate``;
+* a budget-starved UNKNOWN is never replayed from the cache for a query with
+  a larger budget (the cache-unsoundness fix).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symex import exprs as E
+from repro.symex.solver import SAT, UNKNOWN, UNSAT, Solver, SolverContext
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+SYMBOLS = ("a", "b", "c", "d", "e")
+
+values_st = st.integers(min_value=0, max_value=MASK)
+cmp_ops = st.sampled_from(["eq", "ne", "ult", "ule", "ugt", "uge"])
+bin_ops = st.sampled_from(["add", "sub", "and", "or", "xor"])
+
+
+def build_operand(spec):
+    """An operand: a symbol, a constant, or a binary combination of two."""
+    kind = spec[0]
+    if kind == "sym":
+        return E.bv_sym(spec[1], WIDTH)
+    if kind == "const":
+        return E.bv_const(spec[1], WIDTH)
+    _, op, left, right = spec
+    return E.bv_binop(op, build_operand(left), build_operand(right))
+
+
+operand_st = st.recursive(
+    st.one_of(
+        st.tuples(st.just("sym"), st.sampled_from(SYMBOLS)),
+        st.tuples(st.just("const"), values_st),
+    ),
+    lambda children: st.tuples(st.just("bin"), bin_ops, children, children),
+    max_leaves=4,
+)
+
+#: one constraint atom: a comparison between two operands
+atom_st = st.tuples(cmp_ops, operand_st, operand_st)
+#: a conjunction of up to 8 atoms
+constraints_st = st.lists(atom_st, min_size=1, max_size=8)
+
+
+def build_constraints(specs):
+    atoms = []
+    for op, left, right in specs:
+        atoms.append(E.cmp(op, build_operand(left), build_operand(right)))
+    return atoms
+
+
+@settings(max_examples=60, deadline=None)
+@given(constraints_st)
+def test_decomposed_equals_monolithic(specs):
+    constraints = build_constraints(specs)
+    decomposed = Solver(max_nodes=5000, decompose=True).check(constraints)
+    monolithic = Solver(max_nodes=5000, decompose=False).check(constraints)
+
+    # Never a SAT/UNSAT contradiction.
+    assert not (decomposed.status == SAT and monolithic.status == UNSAT)
+    assert not (decomposed.status == UNSAT and monolithic.status == SAT)
+    # With both decisive the verdicts agree exactly.
+    if UNKNOWN not in (decomposed.status, monolithic.status):
+        assert decomposed.status == monolithic.status
+
+    # Model soundness, both ways.
+    for result in (decomposed, monolithic):
+        if result.is_sat:
+            model = dict(result.model)
+            for constraint in constraints:
+                for sym in E.free_symbols(constraint):
+                    model.setdefault(sym.name, 0)
+            assert all(E.evaluate(c, model) for c in constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(constraints_st, st.dictionaries(st.sampled_from(SYMBOLS), values_st))
+def test_warm_start_hint_is_sound(specs, hint):
+    constraints = build_constraints(specs)
+    plain = Solver(max_nodes=5000).check(constraints)
+    hinted = Solver(max_nodes=5000).check(constraints, hint=hint)
+
+    assert not (plain.status == SAT and hinted.status == UNSAT)
+    assert not (plain.status == UNSAT and hinted.status == SAT)
+    if hinted.is_sat:
+        model = dict(hinted.model)
+        for constraint in constraints:
+            for sym in E.free_symbols(constraint):
+                model.setdefault(sym.name, 0)
+        assert all(E.evaluate(c, model) for c in constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(constraints_st)
+def test_incremental_context_matches_batch_solving(specs):
+    constraints = build_constraints(specs)
+    solver = Solver(max_nodes=5000)
+    context = SolverContext(solver)
+    for atom in constraints[:-1]:
+        context.assume(atom)
+    incremental = context.check_extension(constraints[-1])
+    batch = Solver(max_nodes=5000).check(constraints)
+
+    assert not (incremental.status == SAT and batch.status == UNSAT)
+    assert not (incremental.status == UNSAT and batch.status == SAT)
+    if UNKNOWN not in (incremental.status, batch.status):
+        assert incremental.status == batch.status
+    if incremental.is_sat:
+        model = dict(incremental.model)
+        for constraint in constraints:
+            for sym in E.free_symbols(constraint):
+                model.setdefault(sym.name, 0)
+        assert all(E.evaluate(c, model) for c in constraints)
+
+
+def test_budget_starved_unknown_is_not_replayed_for_full_budget():
+    # With a one-node budget the search cannot even finish its first descend,
+    # so the answer is UNKNOWN and gets cached with budget 1 ...
+    x, y = E.bv_sym("starve-x", 8), E.bv_sym("starve-y", 8)
+    constraints = [E.cmp_ult(x, y)]
+    solver = Solver()
+    starved = solver.check(constraints, max_nodes=1)
+    assert starved.is_unknown
+    # ... and a later full-budget query must re-search instead of replaying
+    # the starved verdict (this was the pre-PR4 cache unsoundness).
+    full = solver.check(constraints)
+    assert full.is_sat
+    assert full.model["starve-x"] < full.model["starve-y"]
+
+
+def test_decided_results_are_replayed_across_budgets():
+    # SAT/UNSAT are budget-independent facts: a result computed under a small
+    # budget answers a later large-budget query from the cache.
+    x = E.bv_sym("replay-x", 8)
+    constraints = [E.cmp_eq(x, E.bv_const(7, 8))]
+    solver = Solver()
+    assert solver.check(constraints, max_nodes=50).is_sat
+    before = solver.stats.cache_hits
+    assert solver.check(constraints).is_sat
+    assert solver.stats.cache_hits == before + 1

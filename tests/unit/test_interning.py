@@ -1,0 +1,112 @@
+"""Unit tests for expression hash-consing (interning).
+
+The solver's component decomposition and per-component caching key on
+expression identity, so two invariants matter:
+
+* structurally equal expressions are the *same object* (``a == b`` implies
+  ``a is b``), however they were constructed;
+* expressions loaded from the persistent summary cache are re-interned, so
+  identity keying keeps working across save/load.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.dataplane.elements import CheckIPHeader
+from repro.symex import exprs as E
+from repro.symex.simplify import simplify
+from repro.verifier.cache import SummaryCache
+from repro.verifier.config import VerifierConfig
+from repro.verifier.summaries import summarize_element
+
+
+class TestInterningIdentity:
+    def test_leaves_are_interned(self):
+        assert E.bv_sym("x", 8) is E.bv_sym("x", 8)
+        assert E.bv_const(42, 8) is E.bv_const(42, 8)
+        assert E.BoolConst(True) is E.TRUE
+        assert E.BoolConst(False) is E.FALSE
+
+    def test_composite_nodes_are_interned(self):
+        a = E.bv_add(E.bv_sym("x", 8), 1)
+        b = E.bv_add(E.bv_sym("x", 8), 1)
+        assert a == b
+        assert a is b
+
+    def test_direct_construction_matches_smart_constructor(self):
+        x = E.bv_sym("x", 8)
+        direct = E.BVBinOp("add", x, E.bv_const(1, 8))
+        smart = E.bv_add(x, 1)
+        assert direct is smart
+
+    def test_comparisons_and_connectives_intern(self):
+        def build():
+            x, y = E.bv_sym("x", 8), E.bv_sym("y", 8)
+            return E.bool_and(E.cmp_ult(x, y), E.cmp_ne(x, E.bv_const(0, 8)))
+
+        assert build() is build()
+
+    def test_distinct_widths_stay_distinct(self):
+        assert E.bv_sym("x", 8) is not E.bv_sym("x", 16)
+
+    def test_interned_hash_is_cached_and_consistent(self):
+        a = E.cmp_eq(E.bv_sym("p", 8), E.bv_const(3, 8))
+        b = E.cmp_eq(E.bv_sym("p", 8), E.bv_const(3, 8))
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_intern_table_size_is_exposed(self):
+        keep = E.bv_sym("intern-table-probe", 8)
+        assert E.intern_table_size() >= 1
+        assert keep is E.bv_sym("intern-table-probe", 8)
+
+
+class TestDerivedSlotHygiene:
+    def test_simplify_memo_lives_on_the_node(self):
+        expr = E.BVBinOp("add", E.bv_sym("x", 8), E.bv_const(0, 8))
+        first = simplify(expr)
+        assert first is simplify(expr)  # memoised
+        assert first is E.bv_sym("x", 8)  # and actually simplified
+
+    def test_free_symbols_memo_is_shared_by_identity(self):
+        expr = E.bv_add(E.bv_sym("x", 8), E.bv_sym("y", 8))
+        syms = E.free_symbols(expr)
+        assert E.free_symbols(expr) is syms
+        assert {s.name for s in syms} == {"x", "y"}
+
+    def test_pickled_state_excludes_derived_slots(self):
+        expr = E.bv_add(E.bv_sym("x", 8), E.bv_sym("y", 8))
+        hash(expr)
+        simplify(expr)
+        E.free_symbols(expr)
+        state = expr.__getstate__()
+        for slot in ("_hash", "_simplified", "_symbols", "_lanes", "__weakref__"):
+            assert slot not in state
+
+
+class TestPickleReinterning:
+    def test_round_trip_returns_the_canonical_node(self):
+        expr = E.bool_and(
+            E.cmp_eq(E.bv_sym("pkt[12]", 8), E.bv_const(8, 8)),
+            E.cmp_ult(E.bv_sym("pkt[13]", 8), E.bv_const(5, 8)),
+        )
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone is expr
+
+    def test_summary_cache_round_trip_reinterns_constraints(self, tmp_path):
+        element = CheckIPHeader(name="checkip")
+        config = VerifierConfig()
+        summary = summarize_element(element, config)
+        cache = SummaryCache(str(tmp_path))
+        key = cache.element_key(element, config)
+        assert cache.put(key, summary)
+        # Drop the memory layer so the round-trip really deserialises bytes.
+        restored = SummaryCache(str(tmp_path)).get(key)
+        assert restored is not None
+        for original, loaded in zip(summary.segments, restored.segments):
+            for atom_a, atom_b in zip(original.constraints, loaded.constraints):
+                # Same process, same intern table: the loaded constraint IS
+                # the original node, so identity-keyed solver caches keep
+                # working across cache save/load.
+                assert atom_a is atom_b

@@ -32,12 +32,18 @@ def test_expression_pickle_drops_cached_hash():
     expr = E.bv_add(E.bv_sym("pkt[0]", 8), 1)
     hash(expr)  # populate the _hash slot
     assert hasattr(expr, "_hash")
+    # The derived slots must not travel in the serialised state: ``_hash``
+    # comes from ``hash(str)``, which is salted per interpreter process, and
+    # the other caches reference nodes of this process's intern table.
+    state = expr.__getstate__()
+    assert "_hash" not in state
+    assert "_simplified" not in state and "_symbols" not in state
     clone = pickle.loads(pickle.dumps(expr))
-    # The cached slot must not survive the round-trip: hash(str) is salted
-    # per process, so a deserialised _hash would be stale in another process.
-    assert not hasattr(clone, "_hash")
     assert clone == expr
-    assert hash(clone) == hash(expr)  # recomputed lazily in this process
+    # Unpickling re-interns: in the originating process the canonical node
+    # already exists, so the round-trip returns the very same object.
+    assert clone is expr
+    assert hash(clone) == hash(expr)
 
 
 def test_element_summary_round_trip():
