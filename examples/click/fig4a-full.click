@@ -1,0 +1,36 @@
+// fig4a-full.click -- edge-router
+//
+// The COMPLETE Fig. 4(a) edge IP router (every x-axis stage, three IP
+// options): the programmatic twin is
+// repro.dataplane.pipelines.build_ip_router('edge').  NOTE: a cold,
+// unbudgeted verification of this pipeline does not finish in sensible
+// wall time on one core (the benchmarks run its tail stages under
+// per-stage time budgets); pass --time-budget, or start from
+// fig4a.click.
+//
+// Regenerate byte-for-byte with repro.click.emit_click (the
+// round-trip tests compare this file against the emitted text).
+
+classifier :: Classifier(12/0800, 12/0806);
+decap :: EtherDecap;
+checkip :: CheckIPHeader;
+decttl :: DecIPTTL;
+dropbcast :: DropBroadcasts;
+ipoptions :: IPOptions(MAX_OPTIONS 3);
+iplookup :: IPLookup(
+    10.0.0.0/8 0,
+    10.1.0.0/16 1,
+    10.2.0.0/16 2,
+    192.168.0.0/16 1,
+    192.168.10.0/24 2,
+    172.16.0.0/12 3,
+    8.8.8.0/24 0,
+    1.0.0.0/8 1,
+    2.0.0.0/8 2,
+    0.0.0.0/0 0);
+encap :: EtherEncap;
+
+classifier -> decap -> checkip -> decttl -> dropbcast -> ipoptions -> iplookup -> encap;
+iplookup[1] -> encap;
+iplookup[2] -> encap;
+iplookup[3] -> encap;

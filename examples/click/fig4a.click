@@ -1,0 +1,35 @@
+// fig4a.click -- fig4a-router
+//
+// Fig. 4(a) edge IP router at the scenario cut (through the first
+// IP-option stage plus the lookup) -- the same cut the perf harness's
+// 'fig4a-ip-router' scenario and the Section 5.3 longest-path study use:
+// large enough that the solver dominates, small enough that a cold
+// verification completes in seconds.  The programmatic twin is
+// repro.dataplane.pipelines.build_fig4a_router().
+//
+// Regenerate byte-for-byte with repro.click.emit_click (the
+// round-trip tests compare this file against the emitted text).
+
+classifier :: Classifier(12/0800, 12/0806);
+decap :: EtherDecap;
+checkip :: CheckIPHeader;
+decttl :: DecIPTTL;
+dropbcast :: DropBroadcasts;
+ipoptions :: IPOptions(MAX_OPTIONS 1);
+iplookup :: IPLookup(
+    10.0.0.0/8 0,
+    10.1.0.0/16 1,
+    10.2.0.0/16 2,
+    192.168.0.0/16 1,
+    192.168.10.0/24 2,
+    172.16.0.0/12 3,
+    8.8.8.0/24 0,
+    1.0.0.0/8 1,
+    2.0.0.0/8 2,
+    0.0.0.0/0 0);
+encap :: EtherEncap;
+
+classifier -> decap -> checkip -> decttl -> dropbcast -> ipoptions -> iplookup -> encap;
+iplookup[1] -> encap;
+iplookup[2] -> encap;
+iplookup[3] -> encap;

@@ -1,0 +1,15 @@
+// fig4b.click -- network-gateway
+//
+// Fig. 4(b) network gateway (per-flow statistics + NAT): the
+// programmatic twin is repro.dataplane.pipelines.build_network_gateway().
+//
+// Regenerate byte-for-byte with repro.click.emit_click (the
+// round-trip tests compare this file against the emitted text).
+
+classifier :: Classifier(12/0800, 12/0806);
+decap :: EtherDecap;
+checkip :: CheckIPHeader;
+monitor :: TrafficMonitor;
+nat :: VerifiedNat;
+
+classifier -> decap -> checkip -> monitor -> nat;

@@ -1,0 +1,9 @@
+// fig4c.click -- filter-chain
+//
+// Fig. 4(c) filter chain micro-benchmark: the programmatic twin is
+// repro.dataplane.pipelines.build_filter_chain().
+//
+// Regenerate byte-for-byte with repro.click.emit_click (the
+// round-trip tests compare this file against the emitted text).
+
+filter-ip_dst :: HeaderFilter(ip_dst, 10.9.9.9);

@@ -1,0 +1,9 @@
+// fig4d.click -- loop-microbenchmark-1
+//
+// Fig. 4(d) loop micro-benchmark: the programmatic twin is
+// repro.dataplane.pipelines.build_loop_microbenchmark().
+//
+// Regenerate byte-for-byte with repro.click.emit_click (the
+// round-trip tests compare this file against the emitted text).
+
+loop :: SimplifiedOptionsLoop(1);

@@ -1,0 +1,16 @@
+// lsrr-firewall.click -- lsrr-firewall
+//
+// Section 5.3 'unintended behaviour' pipeline (vulnerable LSRR before a
+// source-blacklist firewall): the programmatic twin is
+// repro.dataplane.pipelines.build_lsrr_firewall().  Try:
+//   python -m repro verify examples/click/lsrr-firewall.click \
+//       --property filtering --src-prefix 10.66.0.0/16 --expect dropped
+//
+// Regenerate byte-for-byte with repro.click.emit_click (the
+// round-trip tests compare this file against the emitted text).
+
+checkip :: CheckIPHeader;
+ipoptions :: IPOptions(MAX_OPTIONS 2);
+firewall :: IPFilter(deny src 10.66.0.0/16);
+
+checkip -> ipoptions -> firewall;

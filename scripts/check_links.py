@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links point at files that exist.
+
+Usage::
+
+    python scripts/check_links.py README.md docs examples
+
+Directories are scanned recursively for ``*.md``.  Inline links and images
+(``[text](target)``, ``![alt](target)``) are resolved relative to the file
+containing them; targets with a URL scheme (``https:``, ``mailto:``, ...)
+and pure in-page anchors (``#section``) are skipped.  Exit status is the
+number of broken links (0 = all good), so CI can gate on it directly.
+
+Deliberately stdlib-only: the docs lane must not need any installation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: inline markdown link/image: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: targets that are not filesystem paths
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def markdown_files(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix.lower() == ".md":
+            files.append(path)
+        else:
+            print(f"check_links: skipping non-markdown argument {argument}",
+                  file=sys.stderr)
+    return files
+
+
+def _strip_code(text: str) -> str:
+    """Blank out fenced and inline code spans (links there are illustrative),
+    preserving line numbering."""
+
+    def blank(match: "re.Match[str]") -> str:
+        return "\n" * match.group(0).count("\n")
+
+    text = re.sub(r"```.*?```", blank, text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def broken_links(path: Path) -> List[Tuple[int, str]]:
+    source = path.read_text(encoding="utf-8")
+    bad: List[Tuple[int, str]] = []
+    for line_number, line in enumerate(_strip_code(source).splitlines(), 1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if _SCHEME.match(target) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                bad.append((line_number, target))
+    return bad
+
+
+def main(argv: List[str]) -> int:
+    arguments = argv or ["README.md", "docs", "examples"]
+    files = markdown_files(arguments)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for line_number, target in broken_links(path):
+            print(f"{path}:{line_number}: broken link -> {target}")
+            failures += 1
+    checked = len(files)
+    status = "ok" if not failures else f"{failures} broken link(s)"
+    print(f"check_links: {checked} file(s) checked, {status}",
+          file=sys.stderr)
+    return min(failures, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

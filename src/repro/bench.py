@@ -12,6 +12,7 @@ a plain comparison away::
     python -m repro bench                    # full suite -> BENCH_pr4.json
     python -m repro bench --quick            # CI-sized subset
     python -m repro bench --check BENCH_pr4.json   # fail on >2x regression
+    python -m repro bench --click my.click   # + a scenario from a config file
 
 The scenarios deliberately disable the persistent summary cache: they measure
 cold verification, which is what the solver/explorer optimisations target.
@@ -27,6 +28,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dataplane.pipelines import (
+    FIG4A_SCENARIO_STAGES,
     build_filter_chain,
     build_ip_router,
     build_loop_microbenchmark,
@@ -48,9 +50,6 @@ DEFAULT_OUTPUT = "BENCH_pr4.json"
 #: perf-smoke lane fails when a scenario gets more than 2x slower than the
 #: committed ``current`` numbers)
 REGRESSION_FACTOR = 2.0
-
-#: the stages used by the Section 5.3 longest-path study
-_LONGEST_PATH_STAGES = ("preproc", "+DecTTL", "+DropBcast", "+IPoption1", "+IPlookup")
 
 _FILTER_CRITERIA = (
     ("ip_dst",),
@@ -187,10 +186,34 @@ def _scenario_loop(budget: Optional[float]) -> Dict[str, object]:
                     "paths_composed": paths}, solver, wall, states + paths)
 
 
+def _scenario_click(path: str, pipeline, budget: Optional[float]) -> Dict[str, object]:
+    """A user-supplied ``.click`` configuration as a cold perf scenario.
+
+    ``python -m repro bench --click my.click`` elaborates the file through
+    the frontend and measures a full cold verification (step 1 plus crash
+    freedom plus bounded execution), reported as scenario ``click:<name>``.
+    Absent from the committed trajectory, such scenarios are informational:
+    ``--check`` skips them.
+    """
+    config, solver = _fresh(budget)
+    started = time.monotonic()
+    summary = summarize_once(pipeline, config=config, solver=solver)
+    crash = verify_crash_freedom(pipeline, config=config, summary=summary,
+                                 solver=solver)
+    bound = verify_bounded_execution(pipeline, config=config, summary=summary,
+                                     solver=solver)
+    wall = time.monotonic() - started
+    paths = crash.stats.paths_composed + bound.stats.paths_composed
+    return _finish({"verdicts": [str(crash.verdict), str(bound.verdict)],
+                    "states": summary.total_states, "paths_composed": paths,
+                    "config": path},
+                   solver, wall, summary.total_states + paths)
+
+
 def _scenario_longest_paths(budget: Optional[float]) -> Dict[str, object]:
     """Section 5.3: the ten longest paths of the IP router."""
     config, solver = _fresh(budget)
-    pipeline = build_ip_router("edge", stages=_LONGEST_PATH_STAGES)
+    pipeline = build_ip_router("edge", stages=FIG4A_SCENARIO_STAGES)
     started = time.monotonic()
     report = find_longest_paths(pipeline, k=10, config=config, solver=solver)
     wall = time.monotonic() - started
@@ -212,7 +235,7 @@ SCENARIOS: Dict[str, Tuple[float, bool, Callable[[Optional[float]], Dict[str, ob
     # large enough that the solver dominates, small enough that a cold run
     # *completes* -- a budget-truncated scenario measures only its budget.
     "fig4a-ip-router": (600.0, False,
-                        lambda budget: _scenario_router(_LONGEST_PATH_STAGES,
+                        lambda budget: _scenario_router(FIG4A_SCENARIO_STAGES,
                                                         budget)),
     "longest-paths": (300.0, True, _scenario_longest_paths),
 }
@@ -323,9 +346,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--check", default=None, metavar="BENCH_JSON",
                         help="compare against a committed BENCH_*.json and "
                              "exit 1 on a >2x wall-time regression")
+    parser.add_argument("--click", action="append", default=[],
+                        metavar="CONFIG",
+                        help="also run this .click configuration as a "
+                             "scenario (repeatable; scenario name "
+                             "'click:<stem>')")
     args = parser.parse_args(argv)
 
+    # Elaborate every --click config up front: a typo must fail with the
+    # frontend's file:line:col diagnostic *before* minutes of scenario work.
+    click_runs: List[Tuple[str, str, object]] = []
+    taken = set()
+    for config_path in args.click:
+        from repro.click import ClickError, load_pipeline
+
+        try:
+            pipeline = load_pipeline(config_path)
+        except OSError as exc:
+            print(f"[bench] cannot read {config_path}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        except ClickError as exc:
+            print(f"[bench] {exc}", file=sys.stderr)
+            return 2
+        name = f"click:{pipeline.name}"
+        while name in taken:  # two configs may share a filename stem
+            name += "'"
+        taken.add(name)
+        click_runs.append((name, config_path, pipeline))
+
     fresh = run_suite(quick=args.quick, label=args.label)
+    for name, config_path, pipeline in click_runs:
+        print(f"[bench] running {name}...", file=sys.stderr, flush=True)
+        metrics = _scenario_click(config_path, pipeline, budget=120.0)
+        fresh["scenarios"][name] = metrics
+        print(f"[bench]   {name}: {metrics['wall_s']}s wall, "
+              f"{metrics['solver_queries']} solver queries",
+              file=sys.stderr, flush=True)
 
     if args.check:
         document = load(args.check)

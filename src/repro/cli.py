@@ -1,32 +1,59 @@
 """Command-line interface: ``python -m repro``.
 
 Drives the verifier's public API (:mod:`repro.verifier.api`) over the
-evaluation pipelines of :mod:`repro.dataplane.pipelines` without writing any
+evaluation pipelines of :mod:`repro.dataplane.pipelines` -- or over any
+Click-style configuration file (:mod:`repro.click`) -- without writing any
 Python::
 
     python -m repro pipelines                       # list available pipelines
+    python -m repro elements                        # list the element registry
+    python -m repro elements --name IPOptions       # one element in detail
+    python -m repro elements --markdown             # emit docs/ELEMENTS.md
+    python -m repro verify examples/click/fig4a.click
     python -m repro verify --pipeline edge-router --property crash-freedom
     python -m repro verify --pipeline lsrr-firewall --property filtering \\
         --src-prefix 10.66.0.0/16 --expect dropped
     python -m repro verify --pipeline edge-router --property crash-freedom --stats
     python -m repro summarize --pipeline network-gateway --workers 4
     python -m repro bench --quick                   # perf trajectory harness
+    python -m repro bench --click my.click          # bench a config file
     python -m repro cache stats
     python -m repro cache clear
 
+``verify`` and ``summarize`` take their pipeline either as a positional
+target -- a built-in pipeline name or a path to a ``.click`` file -- or via
+the ``--pipeline`` flag; ``--property`` defaults to ``crash-freedom``.
+``--stats`` (PR 4) additionally prints the solver internals of the run:
+query/search-node counts, the component cache hit rate, warm-start model
+reuse, the intern-table size and the top-5 slowest component solves.
+
+``bench`` (PR 4) runs the Fig. 4 pipelines as cold perf scenarios and
+maintains the ``BENCH_pr4.json`` trajectory; ``--quick`` runs the CI-sized
+subset, ``--check BENCH_pr4.json`` exits 1 on a >2x wall-time regression
+corroborated by solver-node growth, and ``--click config.click`` adds a
+scenario for your own configuration.  See ``python -m repro bench --help``.
+
+``cache`` (PR 1) inspects (``stats``) or empties (``clear``) the persistent
+step-1 summary store under ``.repro_cache/``.
+
 Caching is **on by default** here (unlike the library, where it is opt-in):
-repeating a ``verify`` against an unchanged pipeline reports its step-1 cache
-hits on stderr and skips element re-exploration entirely.  ``--no-cache``
-disables it; ``--cache-dir`` relocates the store.
+repeating a ``verify`` against an unchanged pipeline or ``.click`` file
+reports its step-1 cache hits on stderr and skips element re-exploration
+entirely (unchanged configurations hit a whole-pipeline entry keyed on the
+config fingerprint).  ``--no-cache`` disables it; ``--cache-dir`` relocates
+the store.
 
 Exit status: ``0`` when the property is proved, ``1`` when it is violated,
-``2`` when the analysis was inconclusive, ``3`` on usage errors.
+``2`` when the analysis was inconclusive, ``3`` on usage errors (including
+configuration-file diagnostics, which are printed as ``file:line:col:
+message``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, Optional
 
@@ -55,6 +82,7 @@ def _build_preproc_router() -> Pipeline:
 #: name -> zero-argument pipeline builder
 PIPELINES: Dict[str, Callable[[], Pipeline]] = {
     "preproc-router": _build_preproc_router,
+    "fig4a-router": pipeline_builders.build_fig4a_router,
     "edge-router": lambda: pipeline_builders.build_ip_router("edge"),
     "core-router": lambda: pipeline_builders.build_ip_router("core"),
     "network-gateway": pipeline_builders.build_network_gateway,
@@ -63,6 +91,16 @@ PIPELINES: Dict[str, Callable[[], Pipeline]] = {
     "filter-chain": pipeline_builders.build_filter_chain,
     "loop-microbenchmark": pipeline_builders.build_loop_microbenchmark,
     "lsrr-firewall": pipeline_builders.build_lsrr_firewall,
+}
+
+#: pipeline name -> its committed Click-configuration twin (when one exists)
+CLICK_TWINS: Dict[str, str] = {
+    "fig4a-router": "examples/click/fig4a.click",
+    "edge-router": "examples/click/fig4a-full.click",
+    "network-gateway": "examples/click/fig4b.click",
+    "filter-chain": "examples/click/fig4c.click",
+    "loop-microbenchmark": "examples/click/fig4d.click",
+    "lsrr-firewall": "examples/click/lsrr-firewall.click",
 }
 
 PROPERTIES = ("crash-freedom", "bounded-execution", "filtering")
@@ -77,6 +115,43 @@ def _build_pipeline(name: str) -> Pipeline:
         known = ", ".join(sorted(PIPELINES))
         raise SystemExit(f"unknown pipeline {name!r}; available: {known}")
     return builder()
+
+
+def _load_click(path: str) -> Pipeline:
+    from repro.click import ClickError, load_pipeline
+
+    try:
+        pipeline = load_pipeline(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc.strerror or exc}")
+    except ClickError as exc:
+        raise SystemExit(str(exc))
+    print(f"[click] {path}: {len(pipeline.elements)} element(s), "
+          f"config digest {pipeline.click_source.digest[:12]}",
+          file=sys.stderr)
+    return pipeline
+
+
+def _resolve_pipeline(args: argparse.Namespace) -> Pipeline:
+    """The pipeline a subcommand should run on.
+
+    Accepts either the positional ``target`` (a built-in pipeline name or a
+    path to a ``.click`` configuration) or the ``--pipeline`` flag, but not
+    both.
+    """
+    target = getattr(args, "target", None)
+    named = getattr(args, "pipeline", None)
+    if target and named:
+        raise SystemExit("give either a positional target or --pipeline, "
+                         "not both")
+    if not target and not named:
+        raise SystemExit("no pipeline given: pass a pipeline name or a "
+                         ".click file (see `python -m repro pipelines`)")
+    if target:
+        if target.endswith(".click") or os.sep in target or os.path.isfile(target):
+            return _load_click(target)
+        return _build_pipeline(target)
+    return _build_pipeline(named)
 
 
 def _build_config(args: argparse.Namespace) -> VerifierConfig:
@@ -175,11 +250,34 @@ def _cmd_pipelines(_args: argparse.Namespace) -> int:
         pipeline = _build_pipeline(name)
         elements = " -> ".join(element.name for element in pipeline.elements)
         print(f"{name:24s} {elements}")
+        twin = CLICK_TWINS.get(name)
+        if twin and os.path.isfile(twin):
+            print(f"{'':24s} click twin: {twin}")
+    return 0
+
+
+def _cmd_elements(args: argparse.Namespace) -> int:
+    from repro.click import docgen
+    from repro.dataplane.registry import element_names, lookup
+
+    if args.markdown:
+        print(docgen.catalog_markdown(), end="")
+        return 0
+    if args.name:
+        info = lookup(args.name)
+        if info is None:
+            known = ", ".join(element_names())
+            raise SystemExit(f"unknown element {args.name!r}; "
+                             f"registered: {known}")
+        print("\n".join(docgen.detail_lines(info)))
+        return 0
+    for line in docgen.listing_lines():
+        print(line.rstrip())
     return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    pipeline = _build_pipeline(args.pipeline)
+    pipeline = _resolve_pipeline(args)
     config = _build_config(args)
     if args.property == "crash-freedom":
         result = verify_crash_freedom(pipeline, config=config)
@@ -203,7 +301,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    pipeline = _build_pipeline(args.pipeline)
+    pipeline = _resolve_pipeline(args)
     config = _build_config(args)
     summary = summarize_once(pipeline, config=config)
     print(f"pipeline {pipeline.name}: step 1 in {summary.elapsed:.2f}s "
@@ -244,8 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--pipeline", required=True,
-                         help="pipeline name (see `python -m repro pipelines`)")
+        sub.add_argument("target", nargs="?", default=None,
+                         help="pipeline name or path to a .click "
+                              "configuration file")
+        sub.add_argument("--pipeline", default=None,
+                         help="pipeline name (see `python -m repro pipelines`);"
+                              " alternative to the positional target")
         sub.add_argument("--workers", type=int, default=1,
                          help="step-1 worker processes (<=0 = one per core; default 1)")
         sub.add_argument("--no-cache", action="store_true",
@@ -255,9 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--time-budget", type=float, default=None,
                          help="wall-clock budget in seconds (default: unlimited)")
 
-    verify = subparsers.add_parser("verify", help="prove or disprove a property")
+    verify = subparsers.add_parser(
+        "verify", help="prove or disprove a property of a pipeline or "
+                       ".click configuration")
     add_common(verify)
-    verify.add_argument("--property", required=True, choices=PROPERTIES)
+    verify.add_argument("--property", default="crash-freedom",
+                        choices=PROPERTIES,
+                        help="property to check (default: crash-freedom)")
     verify.add_argument("--bound", type=int, default=None,
                         help="instruction bound for bounded-execution")
     verify.add_argument("--expect", choices=("dropped", "delivered"),
@@ -276,8 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
     # repro.bench owns its options); registered here only so it shows up in
     # the subcommand listing and --help.
     subparsers.add_parser(
-        "bench", help="run the Fig. 4 perf scenarios and track BENCH_*.json "
-                      "(see `python -m repro bench --help` for options)",
+        "bench", help="run the Fig. 4 perf scenarios (plus --click configs) "
+                      "and track BENCH_*.json; --quick for the CI subset, "
+                      "--check for the regression gate "
+                      "(see `python -m repro bench --help`)",
         add_help=False,
     )
 
@@ -287,13 +395,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(summarize)
     summarize.set_defaults(func=_cmd_summarize)
 
-    cache = subparsers.add_parser("cache", help="inspect or clear the summary cache")
-    cache.add_argument("cache_command", choices=("stats", "clear"))
-    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    cache = subparsers.add_parser(
+        "cache", help="inspect (stats) or empty (clear) the persistent "
+                      "step-1 summary store")
+    cache.add_argument("cache_command", choices=("stats", "clear"),
+                       help="stats: entry count, bytes and lifetime "
+                            "hit/miss totals; clear: delete every entry")
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"summary cache directory (default {DEFAULT_CACHE_DIR})")
     cache.set_defaults(func=_cmd_cache)
 
-    pipelines = subparsers.add_parser("pipelines", help="list available pipelines")
+    pipelines = subparsers.add_parser(
+        "pipelines", help="list available pipelines (and their .click twins)")
     pipelines.set_defaults(func=_cmd_pipelines)
+
+    elements = subparsers.add_parser(
+        "elements", help="list the element registry (the catalog behind "
+                         "docs/ELEMENTS.md)")
+    elements.add_argument("--markdown", action="store_true",
+                          help="emit the full markdown catalog "
+                               "(regenerates docs/ELEMENTS.md)")
+    elements.add_argument("--name", default=None,
+                          help="show one element in detail")
+    elements.set_defaults(func=_cmd_elements)
 
     return parser
 

@@ -1,0 +1,46 @@
+"""The Click-configuration frontend.
+
+This package parses the subset of the Click configuration language the
+reproduction needs -- element declarations with positional/keyword
+configuration, ``->`` connection chains, ``src[n] -> [m]dst`` port syntax,
+``//`` and ``/* */`` comments -- and elaborates it against the element
+registry (:mod:`repro.dataplane.registry`) into a verifiable
+:class:`~repro.dataplane.pipeline.Pipeline`::
+
+    from repro.click import load_pipeline
+
+    pipeline = load_pipeline("examples/click/fig4a.click")
+
+Every error is source-located (``file:line:col: message``): unknown element
+classes, undefined element references, bad configuration keys or values,
+port-arity mismatches, dangling or duplicate connections, and pipeline
+shapes the verifier cannot handle (cycles, multiple entry points).
+
+The inverse direction also exists: :func:`emit_click` renders any registry-
+built pipeline back into canonical ``.click`` text, which is how the
+``examples/click/`` twins of the Fig. 4 pipelines are generated and how the
+round-trip tests pin ``parse(emit(p))`` to ``p``'s fingerprint.
+"""
+
+from repro.click.errors import (
+    ClickError,
+    ClickShapeError,
+    ClickSyntaxError,
+    SourceLocation,
+)
+from repro.click.parser import parse_file, parse_string
+from repro.click.builder import build_pipeline, load_pipeline, pipeline_from_string
+from repro.click.emit import emit_click
+
+__all__ = [
+    "ClickError",
+    "ClickShapeError",
+    "ClickSyntaxError",
+    "SourceLocation",
+    "parse_file",
+    "parse_string",
+    "build_pipeline",
+    "load_pipeline",
+    "pipeline_from_string",
+    "emit_click",
+]

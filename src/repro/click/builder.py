@@ -1,0 +1,497 @@
+"""Elaborate a parsed Click configuration into a verifiable Pipeline.
+
+Elaboration happens in three stages, each with source-located diagnostics:
+
+1. **Declarations** are resolved against the element registry
+   (:mod:`repro.dataplane.registry`): the class name must be registered, and
+   every configuration argument is checked against the class's schema
+   (positional order, keyword names, value kinds) before the element is
+   instantiated.
+2. **Chains** connect elements.  References must name a declared element or
+   a registered class (the latter creates an anonymous instance, Click's
+   ``Class@N``); output and input ports are validated against the
+   instantiated element's actual port counts.
+3. **Shape checks** reject connection graphs the verifier cannot handle:
+   cycles, more than one entry element, and declared-but-unconnected
+   elements.  What remains is exactly the single-entry DAG that
+   :class:`~repro.dataplane.pipeline.Pipeline` models.
+
+The resulting pipeline carries a :class:`ClickSource` record (path plus a
+content digest of the configuration text) so the CLI and the summary cache
+can fingerprint the run back to the file that produced it.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+# Importing the element library populates the registry as a side effect.
+import repro.dataplane.elements  # noqa: F401  (registration side effect)
+from repro.click.errors import (
+    ClickElaborationError,
+    ClickShapeError,
+    SourceLocation,
+)
+from repro.click.parser import Argument, ConfigFile, Endpoint, Word, parse_file, parse_string
+from repro.dataplane.element import Element
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.registry import ConfigKey, ElementInfo, element_names, lookup
+from repro.fingerprint import content_digest
+
+
+@dataclass(frozen=True)
+class ClickSource:
+    """Provenance of a pipeline built from a configuration file."""
+
+    path: str
+    digest: str
+
+
+# ---------------------------------------------------------------------------
+# configuration-value parsing, by schema kind
+# ---------------------------------------------------------------------------
+
+def _single_word(key: ConfigKey, argument: Argument) -> Word:
+    if len(argument.words) != 1:
+        raise ClickElaborationError(
+            f"{key.keyword} takes a single value, got "
+            f"{len(argument.words)} words", argument.location)
+    return argument.words[0]
+
+
+def _parse_int(key: ConfigKey, word: Word) -> int:
+    try:
+        return int(word.text, 0)
+    except ValueError:
+        raise ClickElaborationError(
+            f"expected an integer for {key.keyword}, got {word.text!r}",
+            word.location) from None
+
+
+_BOOL_WORDS = {"true": True, "yes": True, "1": True,
+               "false": False, "no": False, "0": False}
+
+
+def _parse_bool(key: ConfigKey, word: Word) -> bool:
+    value = _BOOL_WORDS.get(word.text.lower())
+    if value is None:
+        raise ClickElaborationError(
+            f"expected true or false for {key.keyword}, got {word.text!r}",
+            word.location)
+    return value
+
+
+def _parse_value(word: Word):
+    """An integer when the word parses as one, else the word itself."""
+    if word.quoted:
+        return word.text
+    try:
+        return int(word.text, 0)
+    except ValueError:
+        return word.text
+
+
+def _parse_pattern(argument: Argument) -> List[Tuple[int, int, int]]:
+    """One classifier pattern: ``offset/hex[%mask]`` clauses."""
+    clauses: List[Tuple[int, int, int]] = []
+    for word in argument.words:
+        text = word.text
+        offset_text, slash, rest = text.partition("/")
+        value_text, _, mask_text = rest.partition("%")
+        try:
+            if not slash:
+                raise ValueError
+            offset = int(offset_text)
+            value = int(value_text, 16)
+            width = max(1, (len(value_text) + 1) // 2)
+            mask = int(mask_text, 16) if mask_text else (1 << (8 * width)) - 1
+        except ValueError:
+            raise ClickElaborationError(
+                f"bad classifier clause {text!r} (expected offset/hex or "
+                "offset/hex%mask)", word.location) from None
+        clauses.append((offset, mask, value))
+    return clauses
+
+
+def _parse_route(key: ConfigKey, argument: Argument) -> Tuple[str, int]:
+    if len(argument.words) != 2:
+        raise ClickElaborationError(
+            f"a route takes two words ('prefix port'), got "
+            f"{' '.join(argument.texts)!r}", argument.location)
+    prefix, port = argument.words
+    return prefix.text, _parse_int(key, port)
+
+
+def _parse_rule(argument: Argument):
+    """One filter rule: ``allow|deny [all] [src P] [dst P] [proto N] [dport LO-HI]``."""
+    from repro.dataplane.elements.ipfilter import ALLOW, DENY, FilterRule
+
+    words = argument.words
+    action = words[0].text.lower()
+    if action not in (ALLOW, DENY):
+        raise ClickElaborationError(
+            f"a filter rule starts with 'allow' or 'deny', got "
+            f"{words[0].text!r}", words[0].location)
+    fields: Dict[str, object] = {}
+    index = 1
+    while index < len(words):
+        selector = words[index].text.lower()
+        if selector == "all" and index == 1 and len(words) == 2:
+            break
+        if index + 1 >= len(words):
+            raise ClickElaborationError(
+                f"filter-rule selector {selector!r} is missing its value",
+                words[index].location)
+        value = words[index + 1]
+        if selector == "src":
+            fields["src_prefix"] = value.text
+        elif selector == "dst":
+            fields["dst_prefix"] = value.text
+        elif selector == "proto":
+            try:
+                fields["protocol"] = int(value.text, 0)
+            except ValueError:
+                raise ClickElaborationError(
+                    f"expected an integer protocol, got {value.text!r}",
+                    value.location) from None
+        elif selector == "dport":
+            low, dash, high = value.text.partition("-")
+            try:
+                fields["dst_port_range"] = (int(low), int(high) if dash else int(low))
+            except ValueError:
+                raise ClickElaborationError(
+                    f"expected a port or LO-HI range, got {value.text!r}",
+                    value.location) from None
+        else:
+            raise ClickElaborationError(
+                f"unknown filter-rule selector {selector!r} (expected src, "
+                "dst, proto or dport)", words[index].location)
+        index += 2
+    return FilterRule(action=action, **fields)
+
+
+def _parse_argument(key: ConfigKey, argument: Argument):
+    """Parse one configuration argument according to its key's kind."""
+    kind = key.kind
+    if kind == "int":
+        return _parse_int(key, _single_word(key, argument))
+    if kind == "bool":
+        return _parse_bool(key, _single_word(key, argument))
+    if kind in ("word", "ip", "ether"):
+        return _single_word(key, argument).text
+    if kind == "value":
+        return _parse_value(_single_word(key, argument))
+    if kind == "ips":
+        return [word.text for word in argument.words]
+    if kind == "pattern":
+        return _parse_pattern(argument)
+    if kind == "route":
+        return _parse_route(key, argument)
+    if kind == "rule":
+        return _parse_rule(argument)
+    raise ClickElaborationError(f"unsupported config kind {kind!r}",
+                                argument.location)
+
+
+# ---------------------------------------------------------------------------
+# element instantiation
+# ---------------------------------------------------------------------------
+
+def _suggest(name: str, candidates) -> str:
+    close = difflib.get_close_matches(name, list(candidates), n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def _resolve_class(class_name: str, location: SourceLocation) -> ElementInfo:
+    info = lookup(class_name)
+    if info is None:
+        raise ClickElaborationError(
+            f"unknown element class {class_name!r}"
+            f"{_suggest(class_name, element_names())}", location)
+    return info
+
+
+def _build_config(info: ElementInfo, arguments: Tuple[Argument, ...],
+                  location: SourceLocation) -> Dict[str, object]:
+    """Turn parsed arguments into constructor keyword arguments."""
+    kwargs: Dict[str, object] = {}
+    positional: List[Argument] = []
+    for argument in arguments:
+        first = argument.words[0]
+        key = info.key(first.text) if not first.quoted else None
+        if key is not None and not key.repeated and len(argument.words) > 1:
+            # keyword argument: `MTU 576`
+            if key.name in kwargs:
+                raise ClickElaborationError(
+                    f"configuration key {key.keyword} given twice",
+                    first.location)
+            kwargs[key.name] = _parse_argument(
+                key, Argument(argument.words[1:], argument.words[1].location))
+        else:
+            positional.append(argument)
+
+    slots = list(info.positional)
+    consumed = 0
+    for key in slots:
+        if key.repeated:
+            values = [_parse_argument(key, argument)
+                      for argument in positional[consumed:]]
+            consumed = len(positional)
+            if values or key.required:
+                kwargs[key.name] = values
+            break
+        if consumed < len(positional):
+            kwargs[key.name] = _parse_argument(key, positional[consumed])
+            consumed += 1
+    if consumed < len(positional):
+        extra = positional[consumed]
+        limit = len(slots)
+        raise ClickElaborationError(
+            f"{info.name!r} takes at most {limit} positional "
+            f"argument(s)" if limit else
+            f"{info.name!r} takes no positional configuration arguments",
+            extra.location)
+
+    for key in info.config:
+        missing = key.name not in kwargs or (key.repeated
+                                             and not kwargs[key.name])
+        if key.required and missing:
+            raise ClickElaborationError(
+                f"{info.name!r} is missing its required {key.keyword} "
+                "configuration", location)
+    return kwargs
+
+
+def _instantiate(info: ElementInfo, name: str,
+                 arguments: Tuple[Argument, ...],
+                 location: SourceLocation) -> Element:
+    kwargs = _build_config(info, arguments, location)
+    try:
+        return info.cls(name=name, **kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ClickElaborationError(
+            f"cannot configure {info.name!r}: {exc}", location) from None
+
+
+def _unknown_keyword_check(info: ElementInfo, arguments: Tuple[Argument, ...]) -> None:
+    """Reject obviously misspelled keywords before positional fallback.
+
+    A multi-word argument whose first word is ALL-CAPS is Click keyword
+    style; if it matches no schema key it is a bad config key, not a
+    positional value.
+    """
+    for argument in arguments:
+        first = argument.words[0]
+        if (not first.quoted and len(argument.words) > 1
+                and first.text.isupper() and first.text[0].isalpha()
+                and info.key(first.text) is None):
+            known = ", ".join(sorted(key.keyword for key in info.config))
+            detail = f" (known keys: {known})" if known else \
+                " (the element takes no configuration)"
+            raise ClickElaborationError(
+                f"{info.name!r} has no configuration key "
+                f"{first.text!r}{detail}", first.location)
+
+
+# ---------------------------------------------------------------------------
+# graph construction and shape checks
+# ---------------------------------------------------------------------------
+
+class _Elaborator:
+    def __init__(self, config: ConfigFile):
+        self.config = config
+        self.elements: Dict[str, Element] = {}
+        self.locations: Dict[str, SourceLocation] = {}
+        self.order: List[str] = []  # first-mention order
+        self.edges: Dict[Tuple[str, int], str] = {}
+        self.edge_locations: Dict[Tuple[str, int], SourceLocation] = {}
+        self.anonymous = 0
+
+    def _add(self, name: str, element: Element, location: SourceLocation) -> None:
+        self.elements[name] = element
+        self.locations[name] = location
+        self.order.append(name)
+
+    def declarations(self) -> None:
+        for declaration in self.config.declarations:
+            if declaration.name in self.elements:
+                raise ClickElaborationError(
+                    f"element {declaration.name!r} is declared twice "
+                    f"(first at {self.locations[declaration.name]})",
+                    declaration.location)
+            info = _resolve_class(declaration.class_name,
+                                  declaration.class_location)
+            _unknown_keyword_check(info, declaration.arguments)
+            element = _instantiate(info, declaration.name,
+                                   declaration.arguments, declaration.location)
+            self._add(declaration.name, element, declaration.location)
+
+    def _resolve_endpoint(self, endpoint: Endpoint) -> Element:
+        if endpoint.class_name is not None:
+            # Inline declaration: `... -> d :: EtherDecap(...) -> ...`.
+            if endpoint.name in self.elements:
+                raise ClickElaborationError(
+                    f"element {endpoint.name!r} is declared twice "
+                    f"(first at {self.locations[endpoint.name]})",
+                    endpoint.location)
+            info = _resolve_class(endpoint.class_name, endpoint.class_location)
+            _unknown_keyword_check(info, endpoint.arguments or ())
+            element = _instantiate(info, endpoint.name,
+                                   endpoint.arguments or (), endpoint.location)
+            self._add(endpoint.name, element, endpoint.location)
+            return element
+        if endpoint.name in self.elements:
+            if endpoint.arguments is not None:
+                raise ClickElaborationError(
+                    f"{endpoint.name!r} is a declared element; configuration "
+                    "belongs on its '::' declaration", endpoint.location)
+            return self.elements[endpoint.name]
+        info = lookup(endpoint.name)
+        if info is None:
+            candidates = list(self.elements) + element_names()
+            close = difflib.get_close_matches(endpoint.name, candidates, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            raise ClickElaborationError(
+                f"undefined element {endpoint.name!r} (not declared and not "
+                f"a registered element class{hint})", endpoint.location)
+        # Anonymous inline element, Click-style `Class@N`.
+        self.anonymous += 1
+        name = f"{endpoint.name}@{self.anonymous}"
+        while name in self.elements:
+            self.anonymous += 1
+            name = f"{endpoint.name}@{self.anonymous}"
+        _unknown_keyword_check(info, endpoint.arguments or ())
+        element = _instantiate(info, name, endpoint.arguments or (),
+                               endpoint.location)
+        self._add(name, element, endpoint.location)
+        return element
+
+    def _check_ports(self, element: Element, endpoint: Endpoint,
+                     as_source: bool, as_target: bool) -> None:
+        cls = type(element).__name__
+        if as_source:
+            port = endpoint.output_port or 0
+            if port >= element.nports_out:
+                raise ClickShapeError(
+                    f"output port {port} of {element.name!r} is out of "
+                    f"range: {cls} has {element.nports_out} output port(s)",
+                    endpoint.output_port_location or endpoint.location)
+        if as_target:
+            port = endpoint.input_port or 0
+            if port >= element.nports_in:
+                raise ClickShapeError(
+                    f"input port {port} of {element.name!r} is out of "
+                    f"range: {cls} has {element.nports_in} input port(s)",
+                    endpoint.input_port_location or endpoint.location)
+
+    def chains(self) -> None:
+        for chain in self.config.chains:
+            resolved = [(endpoint, self._resolve_endpoint(endpoint))
+                        for endpoint in chain.endpoints]
+            for index, (endpoint, element) in enumerate(resolved):
+                self._check_ports(element, endpoint,
+                                  as_source=index < len(resolved) - 1,
+                                  as_target=index > 0)
+            for (src_ep, src), (dst_ep, dst) in zip(resolved, resolved[1:]):
+                port = src_ep.output_port or 0
+                key = (src.name, port)
+                location = (src_ep.output_port_location or src_ep.location)
+                if key in self.edges:
+                    raise ClickShapeError(
+                        f"output port {port} of {src.name!r} is already "
+                        f"connected to {self.edges[key]!r} "
+                        f"(at {self.edge_locations[key]})", location)
+                self.edges[key] = dst.name
+                self.edge_locations[key] = location
+
+    def shape(self) -> List[str]:
+        """Validate the graph shape; return element names in pipeline order."""
+        indegree = {name: 0 for name in self.order}
+        for (_, _), dst in self.edges.items():
+            indegree[dst] += 1
+        roots = [name for name in self.order if indegree[name] == 0]
+
+        if len(self.order) > 1:
+            isolated = [name for name in roots
+                        if not any(src == name for src, _ in self.edges)]
+            if isolated:
+                name = isolated[0]
+                raise ClickShapeError(
+                    f"{name!r} is declared but never connected to the "
+                    "pipeline", self.locations[name])
+        if not roots:
+            name = self.order[0]
+            raise ClickShapeError(
+                "the connection graph has no entry element (every element "
+                "has an incoming connection -- a cycle)", self.locations[name])
+        if len(roots) > 1:
+            listed = ", ".join(repr(name) for name in roots)
+            raise ClickShapeError(
+                f"the configuration has {len(roots)} entry elements "
+                f"({listed}); the verifier needs exactly one",
+                self.locations[roots[1]])
+
+        # Kahn's algorithm, seeded in first-mention order, detects cycles and
+        # yields the element order the pipeline is built in (entry first).
+        ready = list(roots)
+        ordered: List[str] = []
+        remaining = dict(indegree)
+        successors: Dict[str, List[str]] = {name: [] for name in self.order}
+        for (src, port) in sorted(self.edges, key=lambda k: (self.order.index(k[0]), k[1])):
+            successors[src].append(self.edges[(src, port)])
+        while ready:
+            name = ready.pop(0)
+            ordered.append(name)
+            for succ in successors[name]:
+                remaining[succ] -= 1
+                if remaining[succ] == 0:
+                    ready.append(succ)
+        if len(ordered) != len(self.order):
+            stuck = next(name for name in self.order if name not in ordered)
+            raise ClickShapeError(
+                f"the connection graph contains a cycle through {stuck!r}",
+                self.locations[stuck])
+        return ordered
+
+    def build(self, name: Optional[str] = None) -> Pipeline:
+        self.declarations()
+        self.chains()
+        if not self.elements:
+            raise ClickShapeError("the configuration declares no elements",
+                                  SourceLocation(self.config.path, 1, 1))
+        ordered = self.shape()
+        pipeline = Pipeline(name=name or _default_name(self.config.path))
+        for element_name in ordered:
+            pipeline.add(self.elements[element_name])
+        for (src, port), dst in self.edges.items():
+            pipeline.connect(self.elements[src], port, self.elements[dst])
+        pipeline.click_source = ClickSource(
+            path=self.config.path,
+            digest=content_digest(self.config.source),
+        )
+        return pipeline
+
+
+def _default_name(path: str) -> str:
+    if path and not path.startswith("<"):
+        stem = path.replace("\\", "/").rsplit("/", 1)[-1]
+        return stem[:-6] if stem.endswith(".click") else stem
+    return "click-pipeline"
+
+
+def build_pipeline(config: ConfigFile, name: Optional[str] = None) -> Pipeline:
+    """Elaborate a parsed configuration into a Pipeline."""
+    return _Elaborator(config).build(name)
+
+
+def load_pipeline(path, name: Optional[str] = None) -> Pipeline:
+    """Parse and elaborate the ``.click`` file at ``path``."""
+    return build_pipeline(parse_file(path), name)
+
+
+def pipeline_from_string(text: str, filename: str = "<config>",
+                         name: Optional[str] = None) -> Pipeline:
+    """Parse and elaborate configuration text (tests and tutorials)."""
+    return build_pipeline(parse_string(text, filename), name)

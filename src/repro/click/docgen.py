@@ -1,0 +1,125 @@
+"""Generate the element catalog from the registry.
+
+``python -m repro elements --markdown`` emits the full catalog; the
+committed copy lives at ``docs/ELEMENTS.md`` and CI fails when the two
+drift (the docs lane regenerates and diffs).  The plain-text listing
+(``python -m repro elements``) and single-element detail view share the
+same registry records, so every surface stays consistent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import repro.dataplane.elements  # noqa: F401  (registration side effect)
+from repro.dataplane.registry import ConfigKey, ElementInfo, all_elements
+
+#: Reminder stamped into the generated catalog.
+_CATALOG_HEADER = """\
+# Element catalog
+
+<!-- GENERATED FILE, DO NOT EDIT.
+     Regenerate with:  PYTHONPATH=src python -m repro elements --markdown > docs/ELEMENTS.md
+     CI's docs lane fails when this file drifts from the registry. -->
+
+Every element available to Click configurations (`python -m repro verify
+config.click`), generated from the self-documenting element registry
+(`repro.dataplane.registry`).  The **config** tables use the same keys the
+frontend accepts: repeated/required keys are given positionally, optional
+keys as uppercase keywords (`IPOptions(MAX_OPTIONS 3)`).  See
+`docs/TUTORIAL.md` for the configuration language itself.
+"""
+
+
+def _default_text(key: ConfigKey) -> str:
+    if key.required:
+        return "*required*"
+    if key.default is None:
+        return "unset"
+    if key.kind == "bool":
+        return "true" if key.default else "false"
+    if isinstance(key.default, (tuple, list)):
+        return " ".join(str(item) for item in key.default)
+    if key.kind == "int" and isinstance(key.default, int) and key.default > 0xFFFF:
+        return hex(key.default)
+    return str(key.default)
+
+
+def _config_table(info: ElementInfo) -> List[str]:
+    if not info.config:
+        return ["*(no configuration)*"]
+    lines = ["| key | kind | default | description |",
+             "| --- | --- | --- | --- |"]
+    for key in info.config:
+        keyword = key.keyword + (" (repeated)" if key.repeated else "")
+        lines.append(f"| `{keyword}` | {key.kind} | {_default_text(key)} "
+                     f"| {key.doc or ''} |")
+    return lines
+
+
+def element_markdown(info: ElementInfo) -> str:
+    """The catalog section for one element."""
+    cls = info.cls
+    lines = [
+        f"## {info.name}",
+        "",
+        f"{info.summary}",
+        "",
+        f"* **class**: `{cls.__module__}.{cls.__qualname__}`",
+        f"* **ports**: {info.ports}",
+        f"* **state**: {info.state}",
+        f"* **properties**: {', '.join(info.properties)}",
+    ]
+    if info.paper:
+        lines.append(f"* **paper**: {info.paper}")
+    lines.append("")
+    lines.extend(_config_table(info))
+    return "\n".join(lines)
+
+
+def catalog_markdown() -> str:
+    """The whole ``docs/ELEMENTS.md`` document."""
+    infos = all_elements()
+    toc = [f"* [{info.name}](#{info.name.lower()}) — {info.summary}"
+           for info in infos]
+    sections = [element_markdown(info) for info in infos]
+    return "\n".join(
+        [_CATALOG_HEADER, f"{len(infos)} elements registered.", ""]
+        + toc + [""] + ["\n\n".join(sections)]
+    ) + "\n"
+
+
+def listing_lines() -> List[str]:
+    """The plain-text ``python -m repro elements`` listing."""
+    infos = all_elements()
+    width = max(len(info.name) for info in infos)
+    return [f"{info.name:{width}s}  {info.ports:55s}  {info.summary}"
+            for info in infos]
+
+
+def detail_lines(info: ElementInfo) -> List[str]:
+    """The plain-text single-element view (``--name``)."""
+    lines = [
+        f"{info.name}: {info.summary}",
+        f"  class:      {info.cls.__module__}.{info.cls.__qualname__}",
+        f"  ports:      {info.ports}",
+        f"  state:      {info.state}",
+        f"  properties: {', '.join(info.properties)}",
+    ]
+    if info.paper:
+        lines.append(f"  paper:      {info.paper}")
+    if info.config:
+        lines.append("  config:")
+        for key in info.config:
+            flags = []
+            if key.required:
+                flags.append("required")
+            if key.repeated:
+                flags.append("repeated")
+            suffix = f" [{', '.join(flags)}]" if flags else \
+                f" (default {_default_text(key)})"
+            lines.append(f"    {key.keyword:22s} {key.kind:8s}"
+                         f" {key.doc}{suffix}")
+    else:
+        lines.append("  config:     (none)")
+    return lines

@@ -1,0 +1,241 @@
+"""Render a registry-built pipeline back into canonical ``.click`` text.
+
+This is the inverse of :mod:`repro.click.builder`, and the two are pinned
+together by the round-trip property tests: for every pipeline assembled from
+registered elements, ``build_pipeline(parse_string(emit_click(p)))`` has the
+same :meth:`~repro.dataplane.pipeline.Pipeline.fingerprint` as ``p`` -- the
+verifier cannot tell them apart, and a warm summary cache serves both.
+
+Canonical form, so that emission is deterministic and the committed
+``examples/click/`` twins can be compared byte-for-byte:
+
+* one declaration per element, in pipeline insertion order;
+* configuration keys in schema order -- repeated/required keys positionally,
+  optional keys as uppercase keywords, *omitted* when equal to the schema
+  default;
+* declarations whose rendered line would overflow 79 columns break into one
+  argument per line;
+* the port-0 spine of the graph as one chain statement, remaining edges as
+  one ``src[n] -> dst`` statement each, in (element, port) order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import repro.dataplane.elements  # noqa: F401  (registration side effect)
+from repro.dataplane.element import Element
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.registry import ConfigKey, ElementInfo, lookup_class
+from repro.net.addresses import EtherAddress, IPAddress
+from repro.net.addresses import int_to_ip
+
+
+class ClickEmitError(ValueError):
+    """The pipeline contains something the canonical form cannot express."""
+
+
+# ---------------------------------------------------------------------------
+# per-key value extraction (instance -> python value)
+# ---------------------------------------------------------------------------
+
+#: constructor arguments that live inside a state store rather than as a
+#: same-named instance attribute: element -> key -> attribute path
+_INDIRECT_KEYS = {
+    "IPLookup": {"nports": ("nports_out",),
+                 "first_level_bits": ("table", "first_level_bits")},
+    "TrafficMonitor": {"buckets": ("flows", "buckets"),
+                       "depth": ("flows", "depth")},
+    "CounterOverflowExample": {"buckets": ("counters", "buckets"),
+                               "depth": ("counters", "depth")},
+    "VerifiedNat": {"buckets": ("flow_map", "buckets"),
+                    "depth": ("flow_map", "depth")},
+    "ClickNat": {"buckets": ("flow_map", "buckets"),
+                 "depth": ("flow_map", "depth")},
+}
+
+
+def _extract(element: Element, info: ElementInfo, key: ConfigKey):
+    """Read the value of ``key`` back off the element instance."""
+    if info.name == "IPLookup" and key.name == "routes":
+        return [(f"{int_to_ip(route.prefix)}/{route.plen}", route.value)
+                for route in element.table.routes]
+    if info.name == "HeaderFilter" and key.name == "value":
+        # IP-field values read back as dotted quads (the builder converts
+        # either spelling to the same stored integer).
+        if element.field in ("ip_dst", "ip_src"):
+            return str(IPAddress(element.value))
+        return element.value
+    path = _INDIRECT_KEYS.get(info.name, {}).get(key.name) or (key.name,)
+    value = element
+    for attribute in path:
+        try:
+            value = getattr(value, attribute)
+        except AttributeError:
+            raise ClickEmitError(
+                f"cannot emit {info.name!r}: config key {key.name!r} is not "
+                f"readable as attribute {attribute!r}; if the constructor "
+                "stores it elsewhere, add an extraction path to "
+                "_INDIRECT_KEYS in repro/click/emit.py") from None
+    return value
+
+
+# ---------------------------------------------------------------------------
+# canonical words per value kind
+# ---------------------------------------------------------------------------
+
+def _int_word(value) -> str:
+    return str(int(value))
+
+
+def _clause_word(clause: Tuple[int, int, int]) -> str:
+    offset, mask, value = clause
+    width = max(1, (mask.bit_length() + 7) // 8)
+    full = (1 << (8 * width)) - 1
+    text = f"{offset}/{value & mask:0{2 * width}x}"
+    if mask != full:
+        text += f"%{mask:0{2 * width}x}"
+    return text
+
+
+def _rule_words(rule) -> str:
+    words = [rule.action]
+    if rule.src_prefix is not None:
+        words += ["src", rule.src_prefix]
+    if rule.dst_prefix is not None:
+        words += ["dst", rule.dst_prefix]
+    if rule.protocol is not None:
+        words += ["proto", str(rule.protocol)]
+    if rule.dst_port_range is not None:
+        low, high = rule.dst_port_range
+        words += ["dport", f"{low}-{high}" if low != high else str(low)]
+    if len(words) == 1:
+        words.append("all")
+    return " ".join(words)
+
+
+def _value_arguments(key: ConfigKey, value) -> Optional[List[str]]:
+    """Canonical argument strings for ``value``, or ``None`` when unset."""
+    if value is None:
+        return None
+    kind = key.kind
+    if kind == "int":
+        return [_int_word(value)]
+    if kind == "bool":
+        return ["true" if value else "false"]
+    if kind in ("word", "value"):
+        return [str(value)]
+    if kind == "ip":
+        return [str(IPAddress(value))]
+    if kind == "ether":
+        return [str(EtherAddress(value))]
+    if kind == "ips":
+        return [" ".join(str(IPAddress(item)) for item in value)]
+    if kind == "pattern":
+        return [" ".join(_clause_word(clause) for clause in pattern)
+                for pattern in value]
+    if kind == "route":
+        return [f"{prefix} {_int_word(port)}" for prefix, port in value]
+    if kind == "rule":
+        return [_rule_words(rule) for rule in value]
+    raise ClickEmitError(f"cannot emit config kind {key.kind!r}")
+
+
+def _config_arguments(element: Element, info: ElementInfo) -> List[str]:
+    arguments: List[str] = []
+    for key in info.config:
+        rendered = _value_arguments(key, _extract(element, info, key))
+        if key.repeated or key.required:
+            arguments.extend(rendered or [])
+            continue
+        if rendered is None:
+            continue
+        if rendered == _value_arguments(key, key.default):
+            continue  # canonical form omits schema defaults
+        arguments.append(f"{key.keyword} {' '.join(rendered)}")
+    return arguments
+
+
+def _declaration(element: Element, info: ElementInfo) -> str:
+    arguments = _config_arguments(element, info)
+    if not arguments:
+        return f"{element.name} :: {info.name};"
+    one_line = f"{element.name} :: {info.name}({', '.join(arguments)});"
+    if len(one_line) <= 79:
+        return one_line
+    body = ",\n    ".join(arguments)
+    return f"{element.name} :: {info.name}(\n    {body});"
+
+
+# ---------------------------------------------------------------------------
+# chain reconstruction
+# ---------------------------------------------------------------------------
+
+def _edge_list(pipeline: Pipeline) -> List[Tuple[str, int, str]]:
+    """Every connection as ``(src, port, dst)`` in deterministic order."""
+    edges = []
+    for element in pipeline.elements:
+        for port in pipeline.connected_ports(element):
+            edges.append((element.name, port,
+                          pipeline.successor(element, port).name))
+    return edges
+
+
+def _chain_statements(pipeline: Pipeline) -> List[str]:
+    edges = _edge_list(pipeline)
+    used = set()
+    by_source: Dict[Tuple[str, int], str] = {
+        (src, port): dst for src, port, dst in edges
+    }
+
+    def extend(start: str, first: Tuple[str, int, str]) -> str:
+        src, port, dst = first
+        used.add((src, port))
+        text = start + (f"[{port}] -> " if port else " -> ") + dst
+        while (dst, 0) in by_source and (dst, 0) not in used:
+            used.add((dst, 0))
+            dst = by_source[(dst, 0)]
+            text += f" -> {dst}"
+        return text + ";"
+
+    statements: List[str] = []
+    entry = pipeline.entry().name
+    if (entry, 0) in by_source:
+        statements.append(extend(entry, (entry, 0, by_source[(entry, 0)])))
+    for src, port, dst in edges:
+        if (src, port) not in used:
+            statements.append(extend(src, (src, port, dst)))
+    return statements
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def emit_click(pipeline: Pipeline, header: Optional[str] = None) -> str:
+    """Render ``pipeline`` as canonical Click-configuration text.
+
+    Raises :class:`ClickEmitError` when an element's class is not in the
+    registry (the canonical form can only express registered elements).
+    """
+    lines: List[str] = []
+    if header is None:
+        header = (f"// Pipeline '{pipeline.name}', emitted by "
+                  "repro.click.emit_click.\n"
+                  "// Verify with: python -m repro verify <this-file>.click\n")
+    if header:
+        lines.append(header.rstrip("\n"))
+        lines.append("")
+    for element in pipeline.elements:
+        info = lookup_class(type(element))
+        if info is None:
+            raise ClickEmitError(
+                f"element {element.name!r} ({type(element).__qualname__}) is "
+                "not in the element registry; emit_click can only express "
+                "registered elements")
+        lines.append(_declaration(element, info))
+    statements = _chain_statements(pipeline)
+    if statements:
+        lines.append("")
+        lines.extend(statements)
+    return "\n".join(lines) + "\n"

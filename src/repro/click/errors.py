@@ -1,0 +1,50 @@
+"""Source-located errors for the Click-configuration frontend.
+
+Every diagnostic the frontend raises carries a :class:`SourceLocation`, and
+``str(error)`` renders the conventional compiler shape
+``file:line:col: message`` -- the golden diagnostic tests pin these strings,
+so changing a message is an API change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a configuration source (1-based line and column)."""
+
+    file: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}:{self.column}"
+
+
+class ClickError(Exception):
+    """Base class of every frontend diagnostic."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.message = message
+        self.location = location
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        if self.location is not None:
+            return f"{self.location}: {self.message}"
+        return self.message
+
+
+class ClickSyntaxError(ClickError):
+    """The source text does not lex/parse as the supported Click subset."""
+
+
+class ClickElaborationError(ClickError):
+    """The parse tree names unknown elements or carries bad configuration."""
+
+
+class ClickShapeError(ClickError):
+    """The connection graph is a shape the verifier cannot handle."""

@@ -1,0 +1,134 @@
+"""Lexer for the supported Click-configuration subset.
+
+Token kinds:
+
+* ``WORD`` -- identifiers, class names and configuration words.  A word may
+  contain letters, digits and ``_ . @ / % -`` plus ``:`` -- with two
+  context rules that keep the language unambiguous: ``-`` ends the word when
+  followed by ``>`` (so ``a->b`` lexes as ``a``, ``->``, ``b`` while
+  ``filter-ip_dst`` stays one word), and ``:`` ends the word when followed
+  by another ``:`` (so ``name::Class`` splits around ``::`` while Ethernet
+  addresses like ``00:00:00:00:00:01`` stay whole).
+* ``STRING`` -- a double-quoted word (no escapes; quoting only protects
+  spaces and punctuation).
+* ``ARROW`` (``->``), ``DECL`` (``::``), ``LPAREN``/``RPAREN``,
+  ``LBRACK``/``RBRACK``, ``COMMA``, ``SEMI`` and the synthetic ``EOF``.
+
+Comments (``// ...`` to end of line and ``/* ... */``) and whitespace are
+skipped.  Every token remembers where it started, so the parser and
+elaborator can attach precise locations to their diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.click.errors import ClickSyntaxError, SourceLocation
+
+#: characters that may appear inside a WORD (subject to the two context
+#: rules documented above)
+_WORD_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.@/%-:"
+)
+
+_PUNCTUATION = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACK",
+    "]": "RBRACK",
+    ",": "COMMA",
+    ";": "SEMI",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.location})"
+
+
+def tokenize(text: str, filename: str = "<config>") -> List[Token]:
+    """Lex ``text`` into tokens (always ending with an ``EOF`` token)."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    def here() -> SourceLocation:
+        return SourceLocation(filename, line, column)
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance()
+            continue
+        if char == "/" and text[index:index + 2] == "//":
+            while index < length and text[index] != "\n":
+                advance()
+            continue
+        if char == "/" and text[index:index + 2] == "/*":
+            start = here()
+            advance(2)
+            while index < length and text[index:index + 2] != "*/":
+                advance()
+            if index >= length:
+                raise ClickSyntaxError("unterminated /* comment", start)
+            advance(2)
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[char], char, here()))
+            advance()
+            continue
+        if char == "-" and text[index:index + 2] == "->":
+            tokens.append(Token("ARROW", "->", here()))
+            advance(2)
+            continue
+        if char == ":" and text[index:index + 2] == "::":
+            tokens.append(Token("DECL", "::", here()))
+            advance(2)
+            continue
+        if char == '"':
+            start = here()
+            advance()
+            begun = index
+            while index < length and text[index] not in '"\n':
+                advance()
+            if index >= length or text[index] != '"':
+                raise ClickSyntaxError("unterminated string literal", start)
+            tokens.append(Token("STRING", text[begun:index], start))
+            advance()
+            continue
+        if char in _WORD_CHARS and char not in ":-":
+            start = here()
+            begun = index
+            while index < length and text[index] in _WORD_CHARS:
+                nxt = text[index + 1:index + 2]
+                if text[index] == "-" and nxt == ">":
+                    break  # the '-' belongs to an arrow
+                if text[index] == ":" and nxt == ":":
+                    break  # the ':' belongs to a '::'
+                if text[index] == "/" and nxt in ("/", "*"):
+                    break  # the '/' starts a comment
+                advance()
+            tokens.append(Token("WORD", text[begun:index], start))
+            continue
+        raise ClickSyntaxError(f"unexpected character {char!r}", here())
+
+    tokens.append(Token("EOF", "", here()))
+    return tokens

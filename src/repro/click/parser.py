@@ -1,0 +1,263 @@
+"""Parser for the supported Click-configuration subset.
+
+Grammar (every statement ends with ``;``)::
+
+    file        := statement*
+    statement   := declaration ';' | chain ';'
+    declaration := NAME '::' CLASS config?
+    config      := '(' [ argument (',' argument)* ] ')'
+    argument    := word+                      -- words and quoted strings
+    chain       := endpoint ('->' endpoint)+
+    endpoint    := port? reference port?      -- '[n]' input / output port
+    reference   := NAME                       -- a declared element
+                 | CLASS config?              -- an anonymous inline element
+                 | NAME '::' CLASS config?    -- an inline declaration
+
+Port brackets follow Click: a bracket *before* an element is the input port
+of the connection arriving at it, a bracket *after* an element is the output
+port of the connection leaving it (``src[2] -> [0]dst``).  The parser is
+purely syntactic -- it does not know which names are declared elements and
+which are element classes; that resolution happens in
+:mod:`repro.click.builder` against the element registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.click.errors import ClickSyntaxError, SourceLocation
+from repro.click.lexer import Token, tokenize
+
+
+@dataclass(frozen=True)
+class Word:
+    """One configuration word (possibly quoted) with its location."""
+
+    text: str
+    location: SourceLocation
+    quoted: bool = False
+
+
+@dataclass(frozen=True)
+class Argument:
+    """One comma-separated configuration argument: a group of words."""
+
+    words: Tuple[Word, ...]
+    location: SourceLocation
+
+    @property
+    def texts(self) -> List[str]:
+        return [word.text for word in self.words]
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """``name :: Class(config)``"""
+
+    name: str
+    location: SourceLocation
+    class_name: str
+    class_location: SourceLocation
+    arguments: Tuple[Argument, ...]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One element reference inside a chain, with optional port brackets."""
+
+    name: str
+    location: SourceLocation
+    #: configuration present only on anonymous/inline-declared references
+    arguments: Optional[Tuple[Argument, ...]]
+    input_port: Optional[int] = None
+    input_port_location: Optional[SourceLocation] = None
+    output_port: Optional[int] = None
+    output_port_location: Optional[SourceLocation] = None
+    #: set on inline declarations (``... -> d :: EtherDecap -> ...``)
+    class_name: Optional[str] = None
+    class_location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Chain:
+    """``a -> b[1] -> [0]c``"""
+
+    endpoints: Tuple[Endpoint, ...]
+
+
+@dataclass
+class ConfigFile:
+    """The parse result: declarations and chains in source order."""
+
+    path: str
+    source: str
+    declarations: List[Declaration] = field(default_factory=list)
+    chains: List[Chain] = field(default_factory=list)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], path: str, source: str):
+        self.tokens = tokens
+        self.index = 0
+        self.result = ConfigFile(path=path, source=source)
+
+    # -- token plumbing --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> Token:
+        probe = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[probe]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, what: str) -> Token:
+        token = self.current
+        if token.kind != kind:
+            shown = token.text or "end of file"
+            raise ClickSyntaxError(f"expected {what}, got {shown!r}",
+                                   token.location)
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> ConfigFile:
+        while self.current.kind != "EOF":
+            self.statement()
+        return self.result
+
+    def statement(self) -> None:
+        if self.current.kind == "SEMI":  # stray empty statement
+            self.advance()
+            return
+        if self.current.kind == "WORD" and self.peek().kind == "DECL":
+            self.result.declarations.append(self.declaration())
+        else:
+            self.result.chains.append(self.chain())
+        self.expect("SEMI", "';' to end the statement")
+
+    def declaration(self) -> Declaration:
+        name = self.expect("WORD", "an element name")
+        self.expect("DECL", "'::'")
+        class_token = self.expect("WORD", "an element class name")
+        arguments = self.config_arguments()
+        return Declaration(
+            name=name.text, location=name.location,
+            class_name=class_token.text, class_location=class_token.location,
+            arguments=arguments,
+        )
+
+    def config_arguments(self) -> Tuple[Argument, ...]:
+        """Parse ``( arg, arg, ... )``; returns ``()`` when no parens follow."""
+        if self.current.kind != "LPAREN":
+            return ()
+        self.advance()
+        arguments: List[Argument] = []
+        if self.current.kind == "RPAREN":
+            self.advance()
+            return ()
+        while True:
+            arguments.append(self.argument())
+            if self.current.kind == "COMMA":
+                self.advance()
+                continue
+            self.expect("RPAREN", "')' or ',' in the configuration")
+            break
+        return tuple(arguments)
+
+    def argument(self) -> Argument:
+        words: List[Word] = []
+        while self.current.kind in ("WORD", "STRING"):
+            token = self.advance()
+            words.append(Word(token.text, token.location,
+                              quoted=token.kind == "STRING"))
+        if not words:
+            shown = self.current.text or "end of file"
+            raise ClickSyntaxError(
+                f"expected a configuration value, got {shown!r}",
+                self.current.location,
+            )
+        return Argument(tuple(words), words[0].location)
+
+    def port(self) -> Tuple[int, SourceLocation]:
+        bracket = self.expect("LBRACK", "'['")
+        number = self.expect("WORD", "a port number")
+        if not number.text.isdigit():
+            raise ClickSyntaxError(
+                f"port numbers must be unsigned integers, got {number.text!r}",
+                number.location,
+            )
+        self.expect("RBRACK", "']' after the port number")
+        return int(number.text), bracket.location
+
+    def endpoint(self) -> Endpoint:
+        input_port = input_location = None
+        if self.current.kind == "LBRACK":
+            input_port, input_location = self.port()
+        name = self.expect("WORD", "an element reference")
+        class_name = class_location = None
+        arguments: Optional[Tuple[Argument, ...]] = None
+        if self.current.kind == "DECL":
+            # Inline declaration inside a chain: `... -> d :: EtherDecap`.
+            self.advance()
+            class_token = self.expect("WORD", "an element class name")
+            class_name, class_location = class_token.text, class_token.location
+            arguments = self.config_arguments()
+        elif self.current.kind == "LPAREN":
+            arguments = self.config_arguments()
+        output_port = output_location = None
+        if self.current.kind == "LBRACK":
+            output_port, output_location = self.port()
+        return Endpoint(
+            name=name.text, location=name.location, arguments=arguments,
+            input_port=input_port, input_port_location=input_location,
+            output_port=output_port, output_port_location=output_location,
+            class_name=class_name, class_location=class_location,
+        )
+
+    def chain(self) -> Chain:
+        endpoints = [self.endpoint()]
+        while self.current.kind == "ARROW":
+            self.advance()
+            endpoints.append(self.endpoint())
+        if len(endpoints) < 2:
+            last = endpoints[-1]
+            if last.output_port is not None:
+                raise ClickSyntaxError(
+                    f"dangling connection: output port {last.output_port} of "
+                    f"'{last.name}' is not connected to anything "
+                    "(expected '->' after the port)",
+                    last.output_port_location,
+                )
+            raise ClickSyntaxError(
+                f"expected '->' or '::' after '{last.name}'", self.current.location
+            )
+        final = endpoints[-1]
+        if final.output_port is not None:
+            raise ClickSyntaxError(
+                f"dangling connection: output port {final.output_port} of "
+                f"'{final.name}' is not connected to anything "
+                "(expected '->' after the port)",
+                final.output_port_location,
+            )
+        return Chain(tuple(endpoints))
+
+
+def parse_string(text: str, filename: str = "<config>") -> ConfigFile:
+    """Parse Click-configuration text into a :class:`ConfigFile`."""
+    tokens = tokenize(text, filename)
+    return _Parser(tokens, filename, text).parse()
+
+
+def parse_file(path) -> ConfigFile:
+    """Parse the configuration file at ``path``."""
+    path = str(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_string(handle.read(), path)

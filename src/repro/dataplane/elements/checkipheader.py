@@ -18,12 +18,27 @@ from typing import Iterable, Optional
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net import checksum as cksum
 from repro.net.addresses import ip_to_int
 from repro.net.headers import IPV4_MIN_HEADER_LEN
 from repro.net.packet import Packet
 
 
+@register_element(
+    "CheckIPHeader",
+    summary="Drop packets whose IPv4 header is malformed.",
+    ports="1 in / 1 out",
+    config=(
+        ConfigKey("verify_checksum", "bool", default=False,
+                  doc="also validate the IP header checksum"),
+        ConfigKey("bad_sources", "ips",
+                  default=("0.0.0.0", "255.255.255.255"),
+                  doc="source addresses dropped outright"),
+    ),
+    properties=("crash-freedom", "bounded-execution", "filtering"),
+    paper="Table 2 'CheckIPhdr'; Fig. 4(a) 'preproc' group",
+)
 class CheckIPHeader(Element):
     """Drop packets whose IPv4 header is malformed."""
 

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net.headers import ETHERTYPE_ARP, ETHERTYPE_IP
 from repro.net.packet import Packet
 
@@ -25,13 +26,35 @@ Clause = Tuple[int, int, int]
 Pattern = Sequence[Clause]
 
 
+@register_element(
+    "Classifier",
+    summary="Dispatch packets to output ports by byte patterns.",
+    ports="1 in / one out per pattern (+1 when a default port is set); "
+          "non-matching packets are dropped",
+    config=(
+        ConfigKey("patterns", "pattern", required=True, repeated=True,
+                  doc="one pattern per output port; each pattern is a "
+                      "conjunction of offset/hex[%mask] clauses"),
+        ConfigKey("default_port", "int", default=None,
+                  doc="emit non-matching packets here instead of dropping"),
+    ),
+    properties=("crash-freedom", "bounded-execution", "filtering"),
+    paper="Table 2 'Classifier'; ethertype dispatch of Fig. 4(a)/(b)",
+)
 class Classifier(Element):
     """Pattern-based packet classifier."""
 
     def __init__(self, patterns: Sequence[Pattern], default_port: Optional[int] = None,
                  name: Optional[str] = None):
         super().__init__(name)
-        self.patterns: List[Pattern] = [list(p) for p in patterns]
+        # Clauses are normalised to (offset, mask, value & mask): matching
+        # only ever sees masked values, so this changes no behaviour but
+        # makes semantically equal classifiers fingerprint-equal (one cache
+        # entry, and a clean round trip through the .click emitter).
+        self.patterns: List[Pattern] = [
+            [(offset, mask, value & mask) for offset, mask, value in p]
+            for p in patterns
+        ]
         self.default_port = default_port
         self.nports_out = len(self.patterns) + (1 if default_port is not None else 0)
 

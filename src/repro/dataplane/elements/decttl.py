@@ -12,9 +12,16 @@ from __future__ import annotations
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import register_element
 from repro.net.packet import Packet
 
 
+@register_element(
+    "DecIPTTL",
+    summary="Decrement the IP TTL; expired packets go to the error port.",
+    ports="1 in / 2 out (0: forwarded, 1: TTL expired)",
+    paper="Table 2 'DecTTL'; Fig. 4(a) '+DecTTL' stage",
+)
 class DecIPTTL(Element):
     """Decrement TTL; expired packets go to the error port."""
 

@@ -11,10 +11,17 @@ from __future__ import annotations
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import register_element
 from repro.net.addresses import EtherAddress
 from repro.net.packet import Packet
 
 
+@register_element(
+    "DropBroadcasts",
+    summary="Drop link-level broadcast and multicast packets.",
+    ports="1 in / 1 out",
+    paper="Table 2 'DropBcast'; Fig. 4(a) '+DropBcast' stage",
+)
 class DropBroadcasts(Element):
     """Drop link-level broadcast/multicast packets."""
 

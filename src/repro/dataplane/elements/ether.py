@@ -18,11 +18,18 @@ from typing import Optional
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net.addresses import EtherAddress
 from repro.net.headers import ETHERTYPE_IP
 from repro.net.packet import Packet
 
 
+@register_element(
+    "EtherDecap",
+    summary="Mark the Ethernet header as stripped (Click's Strip(14)).",
+    ports="1 in / 1 out",
+    paper="Table 2 'EthDecap'; Fig. 4(a)/(b) 'preproc' group",
+)
 class EtherDecap(Element):
     """Mark the Ethernet header as stripped (Click's ``Strip(14)``)."""
 
@@ -32,6 +39,20 @@ class EtherDecap(Element):
         return packet
 
 
+@register_element(
+    "EtherEncap",
+    summary="Write a fresh Ethernet header before transmission.",
+    ports="1 in / 1 out",
+    config=(
+        ConfigKey("src", "ether", default="00:00:00:00:00:01",
+                  doc="source address written into the header"),
+        ConfigKey("dst", "ether", default="00:00:00:00:00:02",
+                  doc="destination address written into the header"),
+        ConfigKey("ethertype", "int", default=ETHERTYPE_IP,
+                  doc="ethertype written into the header"),
+    ),
+    paper="Table 2 'EthEncap'; final stage of Fig. 4(a)",
+)
 class EtherEncap(Element):
     """Write a fresh Ethernet header around the packet before transmission."""
 

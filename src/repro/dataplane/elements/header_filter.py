@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net.addresses import IPAddress
 from repro.net.packet import Packet
 
@@ -21,6 +22,19 @@ from repro.net.packet import Packet
 FIELDS = ("ip_dst", "ip_src", "port_dst", "port_src")
 
 
+@register_element(
+    "HeaderFilter",
+    summary="Drop packets whose selected header field equals a value.",
+    ports="1 in / 1 out",
+    config=(
+        ConfigKey("field", "word", required=True,
+                  doc="one of ip_dst, ip_src, port_dst, port_src"),
+        ConfigKey("value", "value", required=True,
+                  doc="the value to drop (IP address or integer)"),
+    ),
+    properties=("crash-freedom", "bounded-execution", "filtering"),
+    paper="Fig. 4(c) compositionality micro-benchmark",
+)
 class HeaderFilter(Element):
     """Drop packets whose selected header field equals ``value``."""
 

@@ -10,9 +10,18 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.dataplane.element import Element
+from repro.dataplane.registry import register_element
 from repro.net.packet import Packet
 
 
+@register_element(
+    "Sink",
+    summary="Terminate the pipeline and remember the packets it swallowed.",
+    ports="1 in / 0 out",
+    state="records received packets in ordinary Python state; concrete runs "
+          "only, invisible to the verifier",
+    paper="bracket element of the paper's test pipelines",
+)
 class Sink(Element):
     """Terminates the pipeline and remembers the packets it swallowed."""
 
@@ -27,6 +36,12 @@ class Sink(Element):
         return None
 
 
+@register_element(
+    "Discard",
+    summary="Drop every packet (Click's Discard).",
+    ports="1 in / 0 out",
+    paper="standard Click terminator",
+)
 class Discard(Element):
     """Drops every packet without recording it (Click's ``Discard``)."""
 
@@ -36,6 +51,12 @@ class Discard(Element):
         return None
 
 
+@register_element(
+    "PassThrough",
+    summary="Forward every packet unchanged.",
+    ports="1 in / 1 out",
+    paper="padding element used by tests and tutorials",
+)
 class PassThrough(Element):
     """Forwards every packet unchanged (useful to pad pipelines in tests)."""
 
@@ -43,6 +64,14 @@ class PassThrough(Element):
         return packet
 
 
+@register_element(
+    "PacketCounter",
+    summary="Count packets passing through (diagnostic only).",
+    ports="1 in / 1 out",
+    state="ordinary Python counter, not behind the key/value-store "
+          "interface; not verifiable for mutable-state properties",
+    paper="diagnostic helper, not in the paper",
+)
 class PacketCounter(Element):
     """Counts packets passing through (a trivially stateful diagnostic element).
 

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net.headers import IP_PROTO_TCP, IP_PROTO_UDP
 from repro.net.packet import Packet
 from repro.structures.lpm import parse_prefix
@@ -57,6 +58,22 @@ def _prefix_matches(prefix: Optional[str], address) -> bool:
     return (address >> shift) == (value >> shift)
 
 
+@register_element(
+    "IPFilter",
+    summary="Ordered allow/deny firewall rules over IP and transport headers.",
+    ports="1 in / 1 out",
+    config=(
+        ConfigKey("rules", "rule", required=True, repeated=True,
+                  doc="ordered rules: allow|deny [all] [src PREFIX] "
+                      "[dst PREFIX] [proto N] [dport LO-HI]"),
+        ConfigKey("default", "word", default="allow",
+                  doc="verdict when no rule matches (allow or deny)"),
+    ),
+    state="rules are static state but deliberately NOT abstracted: filtering "
+          "proofs hold against the specific installed rule set",
+    properties=("crash-freedom", "bounded-execution", "filtering"),
+    paper="Section 5.3 firewall of the LSRR 'unintended behaviour' study",
+)
 class IPFilter(Element):
     """Ordered allow/deny rules over IP and transport headers."""
 

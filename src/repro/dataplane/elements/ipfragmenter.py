@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net import checksum as cksum
 from repro.net.headers import IPV4_MIN_HEADER_LEN
 from repro.net.options import IPOPT_EOL, IPOPT_NOP
@@ -109,6 +110,22 @@ class _FragmenterBase(Element):
         return fragments
 
 
+@register_element(
+    "ClickIPFragmenter",
+    summary="Click 2.0.1 fragmenter with bugs #1/#2 left in place.",
+    ports="1 in / 2 out (0: fragments and small packets, 1: DF violations)",
+    config=(
+        ConfigKey("mtu", "int", default=1500,
+                  doc="maximum fragment size (>= 68)"),
+        ConfigKey("honor_df", "bool", default=True,
+                  doc="emit DF-flagged oversize packets on port 1 instead "
+                      "of fragmenting"),
+    ),
+    state="stateless, but its option walk violates bounded execution "
+          "(bugs #1/#2: a copied or zero-length option wedges the loop)",
+    properties=("crash-freedom", "bounded-execution"),
+    paper="Table 3 bugs #1 and #2 (ipfragmenter.cc lines 64/69)",
+)
 class ClickIPFragmenter(_FragmenterBase):
     """The Click 2.0.1 fragmenter with its two option-walk bugs left in place."""
 
@@ -142,6 +159,19 @@ class ClickIPFragmenter(_FragmenterBase):
         return copied
 
 
+@register_element(
+    "IPFragmenter",
+    summary="Fixed fragmenter: the option walk validates and always advances.",
+    ports="1 in / 2 out (0: fragments and small packets, 1: DF violations)",
+    config=(
+        ConfigKey("mtu", "int", default=1500,
+                  doc="maximum fragment size (>= 68)"),
+        ConfigKey("honor_df", "bool", default=True,
+                  doc="emit DF-flagged oversize packets on port 1 instead "
+                      "of fragmenting"),
+    ),
+    paper="the corrected rewrite of the Table 3 fragmenter",
+)
 class IPFragmenter(_FragmenterBase):
     """A fixed fragmenter: option walk validates lengths and always advances."""
 

@@ -18,10 +18,31 @@ from typing import Iterable, Optional, Tuple
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net.packet import Packet
 from repro.structures.lpm import FlatLpmTable
 
 
+@register_element(
+    "IPLookup",
+    summary="Forward packets by longest-prefix match on the destination.",
+    ports="1 in / NPORTS out (one per next hop); unroutable packets are "
+          "dropped",
+    config=(
+        ConfigKey("routes", "route", repeated=True,
+                  doc="forwarding entries, each 'prefix port'"),
+        ConfigKey("nports", "int", default=4,
+                  doc="number of output ports"),
+        ConfigKey("first_level_bits", "int", default=16,
+                  doc="flattening granularity of the LPM table"),
+    ),
+    state="forwarding table registered as static state; abstracted away "
+          "under arbitrary-configuration verification (a lookup returns an "
+          "unconstrained port)",
+    properties=("crash-freedom", "bounded-execution", "filtering"),
+    paper="Table 2 'IPlookup' (the ~300-line Click rewrite); Fig. 4(a) "
+          "'+IPlookup' stage",
+)
 class IPLookup(Element):
     """Forward packets according to a longest-prefix-match table."""
 

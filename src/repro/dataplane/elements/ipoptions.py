@@ -27,12 +27,34 @@ from typing import Optional
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net.addresses import IPAddress
 from repro.net.headers import IPV4_MIN_HEADER_LEN
 from repro.net.options import IPOPT_EOL, IPOPT_LSRR, IPOPT_NOP, IPOPT_RR, IPOPT_SSRR, IPOPT_TS
 from repro.net.packet import Packet
 
 
+@register_element(
+    "IPOptions",
+    summary="Process IPv4 options; drop packets with malformed options.",
+    ports="1 in / 1 out",
+    config=(
+        ConfigKey("router_address", "ip", default="192.168.0.1",
+                  doc="address recorded into RR/LSRR/SSRR options"),
+        ConfigKey("lsrr_rewrites_source", "bool", default=True,
+                  doc="emulate the vulnerable LSRR implementation that "
+                      "rewrites the packet source address"),
+        ConfigKey("max_options", "int", default=None,
+                  doc="cap on processed options (the Fig. 4(a) "
+                      "'+IPoption1..3' stages)"),
+    ),
+    state="loop element (Condition 1): the walk offset lives in packet "
+          "metadata ('opt_next'), so the verifier summarises one iteration "
+          "and composes",
+    properties=("crash-freedom", "bounded-execution", "filtering"),
+    paper="Table 2 'IPoptions (Click+)'; Section 3.2 loop decomposition; "
+          "Section 5.3 LSRR study",
+)
 class IPOptions(Element):
     """Process IPv4 options; drop packets with malformed options."""
 

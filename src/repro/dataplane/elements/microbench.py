@@ -15,10 +15,23 @@ from typing import Optional
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net.headers import IPV4_MIN_HEADER_LEN
 from repro.net.packet import Packet
 
 
+@register_element(
+    "SimplifiedOptionsLoop",
+    summary="Configurable-depth loop over the IP header (Fig. 4(d)).",
+    ports="1 in / 1 out",
+    config=(
+        ConfigKey("iterations", "int", default=1, required=True,
+                  doc="loop depth: one data-dependent branch per iteration"),
+    ),
+    state="loop element (Condition 1): the cursor lives in packet metadata "
+          "('sloop_next'), so one summarised iteration composes t times",
+    paper="Fig. 4(d) loop micro-benchmark",
+)
 class SimplifiedOptionsLoop(Element):
     """A configurable-depth loop over the IP header (Fig. 4(d) micro-benchmark)."""
 

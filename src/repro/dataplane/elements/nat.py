@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.dataplane.element import Element
 from repro.dataplane.helpers import cost, dp_assert
+from repro.dataplane.registry import ConfigKey, register_element
 from repro.net.addresses import IPAddress
 from repro.net.headers import IP_PROTO_TCP, IP_PROTO_UDP
 from repro.net.packet import Packet
@@ -168,10 +169,55 @@ class _NatBase(Element):
         return (0, packet)
 
 
+@register_element(
+    "VerifiedNat",
+    summary="The paper's verifiable NAT rewriter (bounded port allocator).",
+    ports="1 in / 2 out (0: outbound to Internet, 1: inbound to LAN)",
+    config=(
+        ConfigKey("public_ip", "ip", default="1.2.3.4",
+                  doc="the NAT's public address"),
+        ConfigKey("port_base", "int", default=10000,
+                  doc="first external port handed out"),
+        ConfigKey("port_pool", "int", default=4096,
+                  doc="size of the external port pool (bounds the allocator)"),
+        ConfigKey("buckets", "int", default=1024,
+                  doc="hash-table buckets of the flow maps"),
+        ConfigKey("depth", "int", default=3,
+                  doc="chained-array depth of the flow maps"),
+    ),
+    state="flow maps and allocator are private state behind the "
+          "key/value-store interface (Condition 2), backed by chained-array "
+          "hash tables (Condition 3); abstracted during summarisation",
+    paper="Table 2 NAT 'ours' (~870 new LoC in the original)",
+)
 class VerifiedNat(_NatBase):
     """The paper's verifiable NAT (Table 2, "ours")."""
 
 
+@register_element(
+    "ClickNat",
+    summary="Click's IPRewriter with the heap assertion of bug #3.",
+    ports="1 in / 2 out (0: outbound to Internet, 1: inbound to LAN)",
+    config=(
+        ConfigKey("public_port", "int", default=10000,
+                  doc="the public port the rewriter itself listens on "
+                      "(the hairpin tuple of bug #3)"),
+        ConfigKey("public_ip", "ip", default="1.2.3.4",
+                  doc="the NAT's public address"),
+        ConfigKey("port_base", "int", default=10000,
+                  doc="first external port handed out"),
+        ConfigKey("port_pool", "int", default=4096,
+                  doc="size of the external port pool"),
+        ConfigKey("buckets", "int", default=1024,
+                  doc="hash-table buckets of the flow maps"),
+        ConfigKey("depth", "int", default=3,
+                  doc="chained-array depth of the flow maps"),
+    ),
+    state="same private state as VerifiedNat, plus the crashing hairpin "
+          "path: a packet matching the public tuple in both directions "
+          "trips assert(i > 0) at heap.hh:149",
+    paper="Table 3 bug #3 (heap.hh line 149 in Click 2.0.1)",
+)
 class ClickNat(_NatBase):
     """Click's ``IPRewriter`` with the heap assertion of bug #3.
 

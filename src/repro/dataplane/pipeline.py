@@ -122,6 +122,45 @@ class Pipeline:
         """Output ports of ``element`` that have a downstream element."""
         return sorted(port for (name, port) in self._edges if name == element.name)
 
+    def fingerprint(self) -> Optional[str]:
+        """A deterministic token for the whole pipeline, or ``None``.
+
+        Covers every element (class, name, configuration fingerprint, and
+        the contents of registered state stores) plus the connection graph;
+        element insertion order is deliberately *not* covered, because the
+        verifier walks the graph from the entry element and never consults
+        it.  Two pipelines with equal fingerprints are indistinguishable to
+        the verifier -- this is what pins a ``.click``-built pipeline to its
+        programmatic twin and what keys whole-pipeline step-1 summaries in
+        the summary cache.  State contents are always included (even when
+        the active configuration would abstract them away): that can only
+        cause extra cache misses, never a wrong hit.  ``None`` marks the
+        pipeline unfingerprintable, exactly like
+        :meth:`Element.config_fingerprint`.
+        """
+        from repro.fingerprint import digest, stable_token
+
+        if not self._elements:
+            return None
+        parts = [f"entry:{self.entry().name}"]
+        for element in sorted(self._elements, key=lambda e: e.name):
+            config_token = element.config_fingerprint()
+            if config_token is None:
+                return None
+            cls = type(element)
+            parts.append(f"element:{cls.__module__}.{cls.__qualname__}"
+                         f":{element.name}:{config_token}")
+            for binding in sorted(element.state_bindings,
+                                  key=lambda b: b.attribute):
+                store_token = stable_token(getattr(element, binding.attribute))
+                if store_token is None:
+                    return None
+                parts.append(f"state:{element.name}.{binding.attribute}"
+                             f"={binding.kind}:{store_token}")
+        for (source, port), destination in sorted(self._edges.items()):
+            parts.append(f"edge:{source}[{port}]->{destination.name}")
+        return digest(parts)
+
     # -- concrete execution ------------------------------------------------------------
 
     def run(self, packet: Packet, entry: Optional[Element] = None,

@@ -1,0 +1,167 @@
+"""The self-documenting element registry.
+
+Every packet-processing element that can appear in a Click-style
+configuration registers itself here with :func:`register_element`, carrying
+machine-readable metadata: the configuration schema (keys, value kinds,
+defaults), a port description, the state-abstraction story, the properties
+the verifier can check against it, and the paper reference.  Two consumers
+read the registry:
+
+* the Click-configuration frontend (:mod:`repro.click`) resolves element
+  class names from ``.click`` files and type-checks their configuration
+  arguments against the schema before instantiating anything;
+* the documentation generator (``python -m repro elements [--markdown]``)
+  emits the element catalog (``docs/ELEMENTS.md``) from the same metadata,
+  so the docs cannot drift from what the frontend actually accepts.
+
+The registry is deliberately *declarative*: it stores no parsing or
+formatting callables, only data.  How a configuration value of a given
+``kind`` is lexed from a config file (and emitted back) is the frontend's
+business (:mod:`repro.click.builder`, :mod:`repro.click.emit`); how it is
+rendered for humans is the doc generator's (:mod:`repro.click.docgen`).
+This keeps the dataplane layer free of any dependency on the layers above
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Configuration value kinds understood by the frontend.  ``kind`` drives
+#: both parsing (``.click`` text -> constructor argument) and emission
+#: (element instance -> canonical ``.click`` text):
+#:
+#: ``int``      one integer word (decimal or ``0x..`` hex)
+#: ``bool``     ``true``/``false`` (also ``1``/``0``, ``yes``/``no``)
+#: ``word``     one bare word passed through as a string
+#: ``value``    one word; an integer when it parses as one, else a string
+#:              (e.g. an IP address literal)
+#: ``ip``       one IPv4 address word (``a.b.c.d``)
+#: ``ether``    one Ethernet address word (``aa:bb:cc:dd:ee:ff``)
+#: ``ips``      one argument of space-separated IPv4 address words
+#: ``route``    repeated arguments of ``prefix port`` pairs
+#: ``pattern``  repeated arguments of ``offset/hex[%mask]`` clauses
+#: ``rule``     repeated arguments in the filter-rule mini-language
+#:              (``allow|deny [all] [src P] [dst P] [proto N] [dport LO-HI]``)
+VALUE_KINDS = (
+    "int", "bool", "word", "value", "ip", "ether", "ips",
+    "route", "pattern", "rule",
+)
+
+
+@dataclass(frozen=True)
+class ConfigKey:
+    """One configuration key of an element's schema."""
+
+    #: the Python constructor parameter this key maps to
+    name: str
+    #: value kind (see :data:`VALUE_KINDS`)
+    kind: str
+    #: the constructor default, for documentation and canonical emission
+    #: (``None`` with ``required=False`` means "omitted unless set")
+    default: object = None
+    #: required keys must be given (positionally or by keyword)
+    required: bool = False
+    #: repeated keys absorb every positional argument (routes, rules, ...)
+    repeated: bool = False
+    #: one-line description for the catalog
+    doc: str = ""
+
+    def __post_init__(self):
+        if self.kind not in VALUE_KINDS:
+            raise ValueError(f"unknown config value kind {self.kind!r}")
+
+    @property
+    def keyword(self) -> str:
+        """The Click-style (uppercase) keyword for this key."""
+        return self.name.upper()
+
+
+@dataclass(frozen=True)
+class ElementInfo:
+    """Registry record for one element class."""
+
+    #: the class name used in ``.click`` configurations
+    name: str
+    #: the element class itself
+    cls: type
+    #: one-line summary for listings
+    summary: str
+    #: human-readable port description, e.g. ``"1 in / 2 out (1: expired)"``
+    ports: str
+    #: the configuration schema, in positional order
+    config: Tuple[ConfigKey, ...] = ()
+    #: how the verifier treats this element's state (abstraction notes)
+    state: str = "stateless; reads and writes only the packet"
+    #: properties the verifier meaningfully checks against this element
+    properties: Tuple[str, ...] = ("crash-freedom", "bounded-execution")
+    #: where the element appears in the paper
+    paper: str = ""
+
+    def key(self, name: str) -> Optional[ConfigKey]:
+        """Look a config key up by (case-insensitive) name."""
+        wanted = name.lower()
+        for candidate in self.config:
+            if candidate.name.lower() == wanted:
+                return candidate
+        return None
+
+    @property
+    def positional(self) -> Tuple[ConfigKey, ...]:
+        """Keys that accept positional arguments, in schema order."""
+        return tuple(k for k in self.config if k.required or k.repeated)
+
+
+#: click-config class name -> registry record
+_REGISTRY: Dict[str, ElementInfo] = {}
+
+
+def register_element(name: str, *, summary: str, ports: str,
+                     config: Tuple[ConfigKey, ...] = (),
+                     state: str = "stateless; reads and writes only the packet",
+                     properties: Tuple[str, ...] = ("crash-freedom",
+                                                    "bounded-execution"),
+                     paper: str = ""):
+    """Class decorator: record an element class in the registry.
+
+    ``name`` is the class name used in ``.click`` configurations (normally
+    the Python class name).  Registering the same name twice is an error --
+    the registry is the single namespace the frontend resolves against.
+    """
+
+    def wrap(cls: type) -> type:
+        if name in _REGISTRY and _REGISTRY[name].cls is not cls:
+            raise ValueError(f"element name {name!r} is already registered "
+                             f"to {_REGISTRY[name].cls.__qualname__}")
+        _REGISTRY[name] = ElementInfo(
+            name=name, cls=cls, summary=summary, ports=ports,
+            config=tuple(config), state=state, properties=tuple(properties),
+            paper=paper,
+        )
+        return cls
+
+    return wrap
+
+
+def lookup(name: str) -> Optional[ElementInfo]:
+    """The registry record for ``name``, or ``None``."""
+    return _REGISTRY.get(name)
+
+
+def lookup_class(cls: type) -> Optional[ElementInfo]:
+    """The registry record whose class is exactly ``cls``, or ``None``."""
+    for info in _REGISTRY.values():
+        if info.cls is cls:
+            return info
+    return None
+
+
+def all_elements() -> List[ElementInfo]:
+    """Every registered element, sorted by configuration name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def element_names() -> List[str]:
+    """The registered configuration names, sorted."""
+    return sorted(_REGISTRY)

@@ -103,3 +103,15 @@ def digest(parts: Iterable[str]) -> str:
         hasher.update(part.encode("utf-8", "surrogatepass"))
         hasher.update(b"\x00")
     return hasher.hexdigest()
+
+
+def content_digest(data: "str | bytes") -> str:
+    """A hex content hash of raw text or bytes.
+
+    Used to fingerprint configuration *sources* (e.g. a ``.click`` file) so
+    that provenance records and cache diagnostics can name the exact input
+    that produced a pipeline.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8", "surrogatepass")
+    return hashlib.sha256(data).hexdigest()

@@ -253,6 +253,37 @@ class SummaryCache:
             parts.append(f"cfg:{field_name}={getattr(config, field_name)!r}")
         return digest(parts)
 
+    def pipeline_key(self, pipeline, config: VerifierConfig) -> Optional[str]:
+        """Content-hash key for a whole pipeline's step-1 result, or ``None``.
+
+        Keyed on :meth:`Pipeline.fingerprint` -- element classes, names,
+        configurations, state contents and the connection graph -- plus the
+        same engine/config tokens as :meth:`element_key`.  This is the
+        config-file fast path: a pipeline elaborated from an unchanged
+        ``.click`` file (or rebuilt by an unchanged programmatic builder)
+        re-keys to the same entry, and a warm ``verify`` loads one pickled
+        summary map instead of probing per element.  State contents are
+        always part of the pipeline fingerprint, even when the active
+        abstraction flags ignore them: a changed store can only cost a miss
+        (the per-element probes still hit), never serve a wrong summary.
+        """
+        from repro import __version__
+
+        fingerprint = pipeline.fingerprint()
+        if fingerprint is None:
+            self.stats.uncacheable += 1
+            return None
+        parts = [
+            f"format={FORMAT_VERSION}",
+            f"repro={__version__}",
+            f"engine={_engine_source_token()}",
+            "kind=pipeline-step1",
+            f"pipeline={fingerprint}",
+        ]
+        for field_name in _KEYED_CONFIG_FIELDS:
+            parts.append(f"cfg:{field_name}={getattr(config, field_name)!r}")
+        return digest(parts)
+
     # -- store / load ---------------------------------------------------------
 
     def _path(self, key: str) -> Path:

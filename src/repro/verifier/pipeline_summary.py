@@ -18,7 +18,10 @@ soundness-preserving:
 * **Memoisation** -- when a :class:`repro.verifier.cache.SummaryCache` is
   active, each element's summary is looked up by content hash before any
   exploration happens and persisted afterwards, so re-verifying an unchanged
-  pipeline skips step 1 entirely.
+  pipeline skips step 1 entirely.  On top of the per-element entries sits a
+  whole-pipeline entry keyed on :meth:`Pipeline.fingerprint` (the config-file
+  fast path): an unchanged pipeline -- e.g. one elaborated from the same
+  ``.click`` file -- answers step 1 with a single cache load.
 """
 
 from __future__ import annotations
@@ -190,6 +193,23 @@ def summarize_pipeline(pipeline: Pipeline, config: VerifierConfig = DEFAULT_CONF
     if deadline is None and config.time_budget is not None:
         deadline = started + config.time_budget
 
+    # Whole-pipeline fast path: a pipeline whose fingerprint (elements,
+    # configuration, state, wiring -- e.g. an unchanged .click file) was
+    # summarised before loads one pickled summary map and skips the
+    # per-element probes entirely.
+    pipeline_key = None
+    if cache is not None:
+        pipeline_key = cache.pipeline_key(pipeline, config)
+        cached = cache.get(pipeline_key) if pipeline_key is not None else None
+        if cached is not None:
+            summaries, loop_analyses = cached
+            result.summaries = dict(summaries)
+            result.loop_analyses = dict(loop_analyses)
+            result.cache_hits = len(result.summaries)
+            result.elapsed = time.monotonic() - started
+            cache.flush_stats()
+            return result
+
     # Probe the cache for every element up front (cheap), keeping only the
     # misses for actual exploration.
     pending: List[Tuple[Element, Optional[str]]] = []
@@ -228,8 +248,22 @@ def summarize_pipeline(pipeline: Pipeline, config: VerifierConfig = DEFAULT_CONF
         )
     result.elapsed = time.monotonic() - started
     if cache is not None:
+        _store_pipeline(cache, pipeline_key, pipeline, result)
         cache.flush_stats()
     return result
+
+
+def _store_pipeline(cache, pipeline_key: Optional[str], pipeline: Pipeline,
+                    result: PipelineSummary) -> None:
+    """Persist the whole step-1 result when every part of it is clean."""
+    if pipeline_key is None or result.timed_out or not result.complete:
+        return
+    for element in pipeline.elements:
+        name = element.name
+        part = result.loop_analyses.get(name, result.summaries.get(name))
+        if part is None or not _cacheable(part):
+            return
+    cache.put(pipeline_key, (result.summaries, result.loop_analyses))
 
 
 def _store(cache, key: Optional[str], computed: _ElementResult) -> None:

@@ -1,0 +1,169 @@
+"""Integration tests: the committed .click examples and the CLI frontend.
+
+The ``examples/click/`` files are byte-for-byte twins of the programmatic
+evaluation pipelines: stripping the leading comment header leaves exactly
+the text ``repro.click.emit_click`` produces, and elaborating them yields
+fingerprint-identical pipelines -- so verdicts and summary-cache entries
+are shared between the two worlds.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.click import emit_click, load_pipeline
+from repro.dataplane import pipelines as builders
+from repro.verifier.api import VerifierConfig, summarize_once, verify_crash_freedom
+from repro.verifier.cache import SummaryCache
+
+REPO = Path(__file__).resolve().parents[2]
+CLICK_DIR = REPO / "examples" / "click"
+
+#: committed config -> its programmatic twin
+TWINS = {
+    "fig4a.click": builders.build_fig4a_router,
+    "fig4a-full.click": lambda: builders.build_ip_router("edge"),
+    "fig4b.click": builders.build_network_gateway,
+    "fig4c.click": builders.build_filter_chain,
+    "fig4d.click": builders.build_loop_microbenchmark,
+    "lsrr-firewall.click": builders.build_lsrr_firewall,
+}
+
+
+def _body(text: str) -> str:
+    """Drop the leading comment header (up to the first blank line)."""
+    head, _, rest = text.partition("\n\n")
+    assert all(line.startswith("//") for line in head.splitlines())
+    return rest
+
+
+@pytest.mark.parametrize("filename", sorted(TWINS))
+def test_twin_is_byte_for_byte(filename):
+    """The committed file body is exactly the canonical emission."""
+    committed = (CLICK_DIR / filename).read_text()
+    programmatic = TWINS[filename]()
+    assert _body(committed) == emit_click(programmatic, header="")
+
+
+@pytest.mark.parametrize("filename", sorted(TWINS))
+def test_twin_fingerprints_match(filename):
+    parsed = load_pipeline(CLICK_DIR / filename)
+    programmatic = TWINS[filename]()
+    fingerprint = programmatic.fingerprint()
+    assert fingerprint is not None
+    assert parsed.fingerprint() == fingerprint
+    # Same element names in both worlds (the cache keys on them).
+    assert [e.name for e in parsed.elements] == \
+        [e.name for e in programmatic.elements]
+
+
+def _verify_both(filename, builder, config):
+    parsed = verify_crash_freedom(load_pipeline(CLICK_DIR / filename),
+                                  config=config)
+    programmatic = verify_crash_freedom(builder(), config=config)
+    assert str(parsed.verdict) == str(programmatic.verdict)
+    return parsed, programmatic
+
+
+def test_fig4c_verdicts_match_and_cache_is_shared(tmp_path):
+    """Config-file and programmatic twins: same verdicts, shared cache."""
+    cache_dir = str(tmp_path / "cache")
+    config = VerifierConfig(cache_enabled=True, cache_dir=cache_dir)
+    parsed, _ = _verify_both("fig4c.click", builders.build_filter_chain, config)
+    assert str(parsed.verdict) == "proved"
+    # The programmatic run came second: step 1 must have been a cache hit.
+    rerun = verify_crash_freedom(builders.build_filter_chain(), config=config)
+    assert rerun.stats.cache_hits == 1 and rerun.stats.cache_misses == 0
+
+
+def test_fig4d_verdicts_match(tmp_path):
+    config = VerifierConfig(cache_enabled=True,
+                            cache_dir=str(tmp_path / "cache"))
+    _verify_both("fig4d.click", builders.build_loop_microbenchmark, config)
+
+
+def test_fig4a_verdicts_match_with_warm_cache(tmp_path):
+    """The acceptance scenario: fig4a.click == programmatic fig4a, twice.
+
+    (fig4a.click is the Fig. 4(a) router at the scenario cut -- the same
+    pipeline the perf harness's fig4a scenario verifies -- so a cold run
+    completes in seconds; ``fig4a-full.click`` is the full-stage twin,
+    byte-for-byte- and fingerprint-tested above but far too expensive to
+    cold-verify in the suite.)
+    """
+    cache_dir = str(tmp_path / "cache")
+    config = VerifierConfig(cache_enabled=True, cache_dir=cache_dir)
+    parsed, programmatic = _verify_both(
+        "fig4a.click", builders.build_fig4a_router, config)
+    assert str(parsed.verdict) == str(programmatic.verdict) == "proved"
+    # Warm rerun of the .click file: every element served from the cache.
+    warm = summarize_once(load_pipeline(CLICK_DIR / "fig4a.click"),
+                          config=config)
+    assert warm.cache_hits == len(warm.pipeline.elements)
+    assert warm.cache_misses == 0
+
+
+def test_pipeline_level_cache_entry(tmp_path):
+    """An unchanged pipeline answers step 1 from one whole-pipeline entry."""
+    cache = SummaryCache(str(tmp_path / "cache"))
+    config = VerifierConfig(cache_enabled=True)
+    pipeline = builders.build_filter_chain()
+    key = cache.pipeline_key(pipeline, config)
+    assert key is not None
+    cold = summarize_once(pipeline, config=config.copy(cache_dir=str(tmp_path / "cache")))
+    assert cold.cache_misses == 1
+    assert cache.get(key) is not None, "clean step-1 results are stored whole"
+    warm = summarize_once(builders.build_filter_chain(),
+                          config=config.copy(cache_dir=str(tmp_path / "cache")))
+    assert warm.cache_hits == 1 and warm.cache_misses == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+def test_cli_verify_click_file(tmp_path, capsys):
+    status = cli.main(["verify", str(CLICK_DIR / "fig4c.click"),
+                       "--cache-dir", str(tmp_path / "cache"), "--json"])
+    captured = capsys.readouterr()
+    assert status == 0
+    payload = json.loads(captured.out)
+    assert payload["verdict"] == "proved"
+    assert payload["pipeline"] == "fig4c"
+    assert "[click]" in captured.err
+
+
+def test_cli_verify_click_diagnostic_exit_code(tmp_path, capsys):
+    bad = tmp_path / "bad.click"
+    bad.write_text("f :: IPFliter(allow all);\n")
+    status = cli.main(["verify", str(bad)])
+    captured = capsys.readouterr()
+    assert status == 3
+    assert "unknown element class 'IPFliter'" in captured.err
+    assert "bad.click:1:6" in captured.err
+
+
+def test_cli_elements_listing(capsys):
+    assert cli.main(["elements"]) == 0
+    out = capsys.readouterr().out
+    assert "IPOptions" in out and "VerifiedNat" in out
+
+
+def test_cli_elements_markdown_matches_committed_catalog(capsys):
+    """Local freshness gate for docs/ELEMENTS.md (CI diffs the same way)."""
+    assert cli.main(["elements", "--markdown"]) == 0
+    generated = capsys.readouterr().out
+    committed = (REPO / "docs" / "ELEMENTS.md").read_text()
+    assert generated == committed, (
+        "docs/ELEMENTS.md is stale; regenerate with "
+        "`PYTHONPATH=src python -m repro elements --markdown > docs/ELEMENTS.md`")
+
+
+def test_cli_pipelines_lists_click_twins(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    assert cli.main(["pipelines"]) == 0
+    out = capsys.readouterr().out
+    assert "click twin: examples/click/fig4a.click" in out
+    assert "click twin: examples/click/lsrr-firewall.click" in out

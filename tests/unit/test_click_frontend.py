@@ -1,0 +1,319 @@
+"""Unit tests for the Click-configuration frontend.
+
+Covers the lexer and parser, registry-driven elaboration of every config
+value kind, the *golden diagnostics* (exact source-located error strings --
+these are API), and the canonical emitter.
+"""
+
+import pytest
+
+from repro.click import (
+    ClickError,
+    ClickShapeError,
+    ClickSyntaxError,
+    emit_click,
+    parse_string,
+    pipeline_from_string,
+)
+from repro.click.lexer import tokenize
+from repro.dataplane.elements import (
+    Classifier,
+    DecIPTTL,
+    HeaderFilter,
+    IPLookup,
+    IPOptions,
+)
+from repro.dataplane.pipeline import Pipeline
+
+
+def build(text, name="test"):
+    return pipeline_from_string(text, filename="test.click", name=name)
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+
+class TestLexer:
+    def test_arrow_splits_but_hyphenated_names_do_not(self):
+        kinds = [(t.kind, t.text) for t in tokenize("filter-ip_dst->b")]
+        assert kinds == [("WORD", "filter-ip_dst"), ("ARROW", "->"),
+                         ("WORD", "b"), ("EOF", "")]
+
+    def test_double_colon_splits_but_ether_addresses_do_not(self):
+        kinds = [(t.kind, t.text) for t in tokenize("e::EtherEncap(SRC 00:00:00:00:00:09)")]
+        assert ("DECL", "::") in kinds
+        assert ("WORD", "00:00:00:00:00:09") in kinds
+
+    def test_comments_and_locations(self):
+        tokens = tokenize("// line one\n/* block\ncomment */ name", "f.click")
+        assert [t.kind for t in tokens] == ["WORD", "EOF"]
+        assert (tokens[0].location.line, tokens[0].location.column) == (3, 12)
+
+    def test_unterminated_comment_is_located(self):
+        with pytest.raises(ClickSyntaxError) as info:
+            tokenize("a /* oops", "f.click")
+        assert str(info.value) == "f.click:1:3: unterminated /* comment"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ClickSyntaxError) as info:
+            tokenize("a = b", "f.click")
+        assert str(info.value) == "f.click:1:3: unexpected character '='"
+
+    def test_trailing_slash_terminates(self):
+        # Regression: `nxt in "/*"` was True for the empty string at end of
+        # input, looping forever on any text whose last character is '/'.
+        tokens = tokenize("a/")
+        assert [(t.kind, t.text) for t in tokens] == [("WORD", "a/"),
+                                                      ("EOF", "")]
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+class TestParser:
+    def test_declaration_and_chain(self):
+        config = parse_string(
+            "a :: PassThrough;\nb :: Discard;\na -> b;\n", "f.click")
+        assert [d.name for d in config.declarations] == ["a", "b"]
+        (chain,) = config.chains
+        assert [e.name for e in chain.endpoints] == ["a", "b"]
+
+    def test_port_brackets_both_sides(self):
+        config = parse_string("a[2] -> [0]b;", "f.click")
+        (chain,) = config.chains
+        first, second = chain.endpoints
+        assert first.output_port == 2
+        assert second.input_port == 0
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ClickSyntaxError) as info:
+            parse_string("a :: PassThrough\nb :: Discard;", "f.click")
+        assert str(info.value) == \
+            "f.click:2:1: expected ';' to end the statement, got 'b'"
+
+    def test_dangling_output_port_is_a_syntax_error(self):
+        with pytest.raises(ClickSyntaxError) as info:
+            parse_string("a -> b[1];", "f.click")
+        assert str(info.value) == (
+            "f.click:1:7: dangling connection: output port 1 of 'b' is not "
+            "connected to anything (expected '->' after the port)")
+
+    def test_lone_reference_is_an_error(self):
+        with pytest.raises(ClickSyntaxError) as info:
+            parse_string("justaname;", "f.click")
+        assert "expected '->' or '::' after 'justaname'" in str(info.value)
+
+
+# ---------------------------------------------------------------------------
+# elaboration: happy paths for every config value kind
+# ---------------------------------------------------------------------------
+
+class TestElaboration:
+    def test_fig4a_shape(self):
+        pipeline = build("""
+            c :: Classifier(12/0800, 12/0806);
+            d :: EtherDecap;
+            l :: IPLookup(10.0.0.0/8 0, 0.0.0.0/0 1, NPORTS 2);
+            c -> d -> l;
+            l[1] -> d2 :: EtherDecap;
+        """)
+        assert isinstance(pipeline, Pipeline)
+        assert pipeline.entry().name == "c"
+        lookup = pipeline.element("l")
+        assert isinstance(lookup, IPLookup)
+        assert lookup.nports_out == 2
+        assert len(lookup.table.routes) == 2
+        assert pipeline.successor(lookup, 1).name == "d2"
+
+    def test_keyword_arguments_are_case_insensitive(self):
+        pipeline = build("o :: IPOptions(max_options 2, "
+                         "LSRR_REWRITES_SOURCE false);")
+        element = pipeline.element("o")
+        assert isinstance(element, IPOptions)
+        assert element.max_options == 2
+        assert element.lsrr_rewrites_source is False
+
+    def test_value_kind_accepts_ip_or_int(self):
+        by_ip = build("f :: HeaderFilter(ip_dst, 10.9.9.9);").element("f")
+        by_int = build("f :: HeaderFilter(ip_dst, 168364297);").element("f")
+        assert isinstance(by_ip, HeaderFilter)
+        assert by_ip.value == by_int.value == 168364297
+
+    def test_classifier_mask_clause(self):
+        element = build("c :: Classifier(12/0800%0fff);").element("c")
+        assert isinstance(element, Classifier)
+        assert element.patterns == [[(12, 0x0FFF, 0x0800)]]
+
+    def test_filter_rules(self):
+        pipeline = build(
+            "f :: IPFilter(deny src 10.66.0.0/16, "
+            "allow dst 10.0.0.0/8 proto 6 dport 80-443, allow all, "
+            "DEFAULT deny);")
+        element = pipeline.element("f")
+        deny, allow, allow_all = element.rules
+        assert (deny.action, deny.src_prefix) == ("deny", "10.66.0.0/16")
+        assert allow.dst_port_range == (80, 443)
+        assert allow.protocol == 6
+        assert allow_all.src_prefix is None
+        assert element.default == "deny"
+
+    def test_anonymous_elements_get_click_names(self):
+        pipeline = build("PassThrough -> Discard;")
+        assert [e.name for e in pipeline.elements] == \
+            ["PassThrough@1", "Discard@2"]
+
+    def test_single_element_configuration(self):
+        pipeline = build("loop :: SimplifiedOptionsLoop(2);")
+        assert pipeline.element("loop").iterations == 2
+
+    def test_matches_programmatic_twin_fingerprint(self):
+        from repro.dataplane.pipelines import build_lsrr_firewall
+
+        text = """
+            checkip :: CheckIPHeader;
+            ipoptions :: IPOptions(MAX_OPTIONS 2);
+            firewall :: IPFilter(deny src 10.66.0.0/16);
+            checkip -> ipoptions -> firewall;
+        """
+        assert build(text).fingerprint() == build_lsrr_firewall().fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# golden diagnostics (exact strings: these are API)
+# ---------------------------------------------------------------------------
+
+def diagnostic(text):
+    with pytest.raises(ClickError) as info:
+        build(text)
+    return str(info.value)
+
+
+class TestDiagnostics:
+    def test_unknown_element_class(self):
+        assert diagnostic("f :: IPFliter(allow all);") == (
+            "test.click:1:6: unknown element class 'IPFliter' "
+            "(did you mean 'IPFilter'?)")
+
+    def test_undefined_element_reference(self):
+        message = diagnostic(
+            "decttl :: DecIPTTL;\ndecttl -> decttll;")
+        assert message == (
+            "test.click:2:11: undefined element 'decttll' (not declared and "
+            "not a registered element class; did you mean 'decttl'?)")
+
+    def test_output_port_arity_mismatch(self):
+        message = diagnostic(
+            "decttl :: DecIPTTL;\nsink :: Discard;\ndecttl[5] -> sink;")
+        assert message == (
+            "test.click:3:7: output port 5 of 'decttl' is out of range: "
+            "DecIPTTL has 2 output port(s)")
+
+    def test_input_port_arity_mismatch(self):
+        message = diagnostic(
+            "a :: PassThrough;\nb :: Discard;\na -> [1]b;")
+        assert message == (
+            "test.click:3:6: input port 1 of 'b' is out of range: "
+            "Discard has 1 input port(s)")
+
+    def test_bad_config_key(self):
+        assert diagnostic("o :: IPOptions(MAX_OPTS 3);") == (
+            "test.click:1:16: 'IPOptions' has no configuration key "
+            "'MAX_OPTS' (known keys: LSRR_REWRITES_SOURCE, MAX_OPTIONS, "
+            "ROUTER_ADDRESS)")
+
+    def test_bad_config_value(self):
+        assert diagnostic("f :: ClickIPFragmenter(MTU abc);") == (
+            "test.click:1:28: expected an integer for MTU, got 'abc'")
+
+    def test_constructor_rejection_is_located(self):
+        assert diagnostic("f :: ClickIPFragmenter(MTU 10);") == (
+            "test.click:1:1: cannot configure 'ClickIPFragmenter': "
+            "IPv4 requires an MTU of at least 68 bytes")
+
+    def test_missing_required_configuration(self):
+        assert diagnostic("f :: HeaderFilter;") == (
+            "test.click:1:1: 'HeaderFilter' is missing its required FIELD "
+            "configuration")
+
+    def test_extra_positional_arguments(self):
+        assert diagnostic("d :: DecIPTTL(4);") == (
+            "test.click:1:15: 'DecIPTTL' takes no positional configuration "
+            "arguments")
+
+    def test_duplicate_declaration(self):
+        message = diagnostic("a :: PassThrough;\na :: Discard;")
+        assert message == ("test.click:2:1: element 'a' is declared twice "
+                           "(first at test.click:1:1)")
+
+    def test_duplicate_connection(self):
+        message = diagnostic(
+            "a :: PassThrough;\nb :: Discard;\nc :: Discard;\n"
+            "a -> b;\na -> c;")
+        assert message == (
+            "test.click:5:1: output port 0 of 'a' is already connected to "
+            "'b' (at test.click:4:1)")
+
+    def test_unconnected_element(self):
+        message = diagnostic(
+            "a :: PassThrough;\nb :: Discard;\nlonely :: DecIPTTL;\na -> b;")
+        assert message == ("test.click:3:1: 'lonely' is declared but never "
+                           "connected to the pipeline")
+
+    def test_multiple_entry_elements(self):
+        message = diagnostic(
+            "a :: PassThrough;\nb :: PassThrough;\ns :: Discard;\n"
+            "a -> s;\nb -> s;")
+        assert message == (
+            "test.click:2:1: the configuration has 2 entry elements "
+            "('a', 'b'); the verifier needs exactly one")
+
+    def test_cycle(self):
+        with pytest.raises(ClickShapeError) as info:
+            build("a :: PassThrough;\nb :: PassThrough;\nc :: PassThrough;\n"
+                  "a -> b;\nb -> c;\nc -> b;")
+        assert str(info.value) == ("test.click:2:1: the connection graph "
+                                   "contains a cycle through 'b'")
+
+    def test_empty_configuration(self):
+        assert diagnostic("// nothing here\n") == \
+            "test.click:1:1: the configuration declares no elements"
+
+    def test_config_on_declared_reference(self):
+        message = diagnostic(
+            "a :: PassThrough;\nb :: Discard;\na(1) -> b;")
+        assert message == (
+            "test.click:3:1: 'a' is a declared element; configuration "
+            "belongs on its '::' declaration")
+
+
+# ---------------------------------------------------------------------------
+# emitter
+# ---------------------------------------------------------------------------
+
+class TestEmit:
+    def test_defaults_are_omitted(self):
+        pipeline = Pipeline.linear([DecIPTTL(name="d")], name="p")
+        text = emit_click(pipeline, header="")
+        assert text == "d :: DecIPTTL;\n"
+
+    def test_emit_is_idempotent(self):
+        text = ("a :: IPOptions(MAX_OPTIONS 1);\n"
+                "b :: IPFilter(deny src 10.66.0.0/16);\n"
+                "\n"
+                "a -> b;\n")
+        emitted = emit_click(build(text), header="")
+        assert emitted == text
+        assert emit_click(build(emitted), header="") == emitted
+
+    def test_unregistered_element_is_rejected(self):
+        from repro.click.emit import ClickEmitError
+        from repro.dataplane.element import Element
+
+        class Mystery(Element):
+            def process(self, packet):
+                return packet
+
+        with pytest.raises(ClickEmitError):
+            emit_click(Pipeline.linear([Mystery(name="m")]))
