@@ -21,12 +21,27 @@ import os
 import pytest
 
 from repro.verifier import cache as summary_cache
+from repro.verifier.calibration import calibrated_budget
 
 #: Wall-clock budget (seconds) given to one dataplane-specific verification.
-SPECIFIC_BUDGET = float(os.environ.get("REPRO_BENCH_SPECIFIC_BUDGET", 150))
+#: The default is a *reference-machine* budget, scaled to the machine actually
+#: running the suite (see :mod:`repro.verifier.calibration`) -- a slow 1-core
+#: box gets proportionally more wall-clock and the same amount of work, so
+#: verdict-asserting benchmarks stop truncating there.  An explicit
+#: ``REPRO_BENCH_SPECIFIC_BUDGET`` is used verbatim, unscaled.
+SPECIFIC_BUDGET = (
+    float(os.environ["REPRO_BENCH_SPECIFIC_BUDGET"])
+    if "REPRO_BENCH_SPECIFIC_BUDGET" in os.environ
+    else calibrated_budget(150.0)
+)
 #: Wall-clock budget (seconds) given to one generic-verification attempt; this
-#: plays the role of the paper's 12-hour abort threshold.
-GENERIC_BUDGET = float(os.environ.get("REPRO_BENCH_GENERIC_BUDGET", 20))
+#: plays the role of the paper's 12-hour abort threshold.  Calibrated the same
+#: way (the *ratio* to SPECIFIC_BUDGET is what the tables compare).
+GENERIC_BUDGET = (
+    float(os.environ["REPRO_BENCH_GENERIC_BUDGET"])
+    if "REPRO_BENCH_GENERIC_BUDGET" in os.environ
+    else calibrated_budget(20.0)
+)
 
 #: Where the benchmark harness persists step-1 element summaries.  The figures
 #: and tables re-verify many pipelines that share elements (the Fig. 4(a)

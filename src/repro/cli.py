@@ -159,6 +159,11 @@ def _build_config(args: argparse.Namespace) -> VerifierConfig:
         workers=args.workers,
         cache_enabled=not args.no_cache,
         cache_dir=args.cache_dir,
+        # Checkpointing is on by default here (like caching): a conclusive run
+        # discards its checkpoint, an aborted one leaves a resumable file.
+        checkpoint_enabled=not getattr(args, "no_checkpoint", False),
+        resume=getattr(args, "resume", None) is not None,
+        escalate_inconclusive=getattr(args, "escalate", False),
     )
     if args.time_budget is not None:
         config = config.copy(time_budget=args.time_budget)
@@ -198,6 +203,22 @@ def _print_solver_stats(result: VerificationResult) -> None:
                   f"{description}", file=sys.stderr)
 
 
+def _print_resilience_stats(result: VerificationResult) -> None:
+    """Dump the recovery-ladder counters (``verify --stats``) to stderr."""
+    stats = result.stats
+    print(f"[resilience] worker failures:    {stats.worker_failures} "
+          f"(element retries: {stats.retries})", file=sys.stderr)
+    quarantined = ", ".join(stats.quarantined_elements) or "none"
+    print(f"[resilience] quarantined to serial path: {quarantined}",
+          file=sys.stderr)
+    print(f"[resilience] cache entries quarantined: {stats.cache_quarantined}",
+          file=sys.stderr)
+    print(f"[resilience] budget escalations: {stats.escalations}",
+          file=sys.stderr)
+    print(f"[resilience] checkpoint:         {stats.checkpoint_hits} element(s) "
+          f"reused, {stats.checkpoint_writes} write(s)", file=sys.stderr)
+
+
 def _print_result(result: VerificationResult, as_json: bool) -> int:
     if as_json:
         payload = {
@@ -226,7 +247,16 @@ def _print_result(result: VerificationResult, as_json: bool) -> int:
                     {"seconds": s, "atoms": n, "query": q}
                     for s, n, q in result.stats.slowest_queries
                 ],
+                "worker_failures": result.stats.worker_failures,
+                "retries": result.stats.retries,
+                "quarantined_elements": result.stats.quarantined_elements,
+                "cache_quarantined": result.stats.cache_quarantined,
+                "escalations": result.stats.escalations,
+                "checkpoint_hits": result.stats.checkpoint_hits,
+                "checkpoint_writes": result.stats.checkpoint_writes,
             },
+            "run_id": result.detail.get("run_id"),
+            "degradation": result.detail.get("degradation"),
             "counterexamples": [
                 {
                     "packet": counterexample.packet_bytes.hex(),
@@ -276,16 +306,45 @@ def _cmd_elements(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_resume_target(args: argparse.Namespace, pipeline: Pipeline,
+                         config: VerifierConfig,
+                         prop: Optional[FilteringProperty]) -> None:
+    """Validate an explicit ``--resume RUN_ID`` before any work happens.
+
+    The run id is *derived* from pipeline + property + configuration, so an
+    explicit id is a cross-check: it must both exist on disk and match what
+    this invocation would compute -- resuming run X with different budgets or
+    a different pipeline silently checking something else is exactly the bug
+    this guards against.
+    """
+    from repro.verifier import checkpoint
+
+    requested = args.resume
+    if requested in (None, "auto"):
+        return
+    checkpoint.find_run(requested, config.cache_dir)  # raises when missing
+    if args.property == "filtering" and prop is not None:
+        token = f"filtering:{prop.describe()}"
+        identity_config = config.without_abstraction()
+    else:
+        token = args.property
+        identity_config = config
+    identity = checkpoint.run_identity(pipeline, token, identity_config)
+    derived = identity[0] if identity else None
+    if derived != requested:
+        raise SystemExit(
+            f"checkpoint {requested!r} does not belong to this invocation "
+            f"(this pipeline/property/config derives run id {derived!r}); "
+            "rerun with the original pipeline, property and budgets")
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     pipeline = _resolve_pipeline(args)
     config = _build_config(args)
-    if args.property == "crash-freedom":
-        result = verify_crash_freedom(pipeline, config=config)
-    elif args.property == "bounded-execution":
-        result = verify_bounded_execution(
-            pipeline, instruction_bound=args.bound, config=config
-        )
-    else:
+    from repro.errors import CheckpointError
+
+    prop = None
+    if args.property == "filtering":
         prop = FilteringProperty(
             expectation=args.expect,
             src_prefix=args.src_prefix,
@@ -293,10 +352,27 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             protocol=args.protocol,
             dst_port=args.dst_port,
         )
-        result = verify_filtering(pipeline, prop, config=config)
+    try:
+        _check_resume_target(args, pipeline, config, prop)
+        if args.property == "crash-freedom":
+            result = verify_crash_freedom(pipeline, config=config)
+        elif args.property == "bounded-execution":
+            result = verify_bounded_execution(
+                pipeline, instruction_bound=args.bound, config=config
+            )
+        else:
+            result = verify_filtering(pipeline, prop, config=config)
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
     _report_cache(result.stats, config)
     if args.stats:
         _print_solver_stats(result)
+        _print_resilience_stats(result)
+    if result.inconclusive and config.checkpoint_enabled \
+            and result.detail.get("run_id"):
+        print(f"[checkpoint] progress saved as run "
+              f"{result.detail['run_id']} under {config.cache_dir}/runs; "
+              "rerun with --resume to continue", file=sys.stderr)
     return _print_result(result, args.json)
 
 
@@ -324,12 +400,36 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.verifier.checkpoint import list_runs
+
     cache = SummaryCache(args.cache_dir)
     if args.cache_command == "clear":
         removed = cache.clear()
         print(f"removed {removed} cache file(s) from {cache.base_dir}")
         return 0
+    if args.cache_command == "doctor":
+        report = cache.doctor()
+        print(json.dumps(report, indent=2))
+        # A store that needed healing is worth noticing in scripts, but it
+        # *was* healed -- not an error exit.
+        return 0
+    if args.cache_command == "runs":
+        runs = list_runs(args.cache_dir)
+        if not runs:
+            print(f"no resumable checkpoints under {args.cache_dir}/runs")
+        for entry in runs:
+            if "error" in entry:
+                print(f"{entry['run_id']}  ({entry['error']})")
+            else:
+                print(f"{entry['run_id']}  {entry['pipeline'] or '?':24s} "
+                      f"{entry['property']:20s} phase={entry['phase']} "
+                      f"elements={entry['elements']} "
+                      f"discharged={entry['discharged']}")
+        return 0
     stats = cache.disk_stats()
+    quarantined = [name for name, _ in cache.quarantine_entries()]
+    if quarantined:
+        stats["quarantined_entries"] = quarantined
     print(json.dumps(stats, indent=2))
     return 0
 
@@ -375,7 +475,21 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--json", action="store_true", help="machine-readable output")
     verify.add_argument("--stats", action="store_true",
                         help="print solver internals (queries, component cache "
-                             "hits/misses, intern table size, slowest queries)")
+                             "hits/misses, intern table size, slowest queries) "
+                             "and resilience counters (worker failures, "
+                             "retries, quarantined entries, checkpoints)")
+    verify.add_argument("--resume", nargs="?", const="auto", default=None,
+                        metavar="RUN_ID",
+                        help="resume the checkpoint of an identical aborted "
+                             "run (give the run id printed when it aborted, "
+                             "or no value to auto-derive it)")
+    verify.add_argument("--no-checkpoint", action="store_true",
+                        help="disable run checkpointing (on by default; "
+                             "conclusive runs clean up after themselves)")
+    verify.add_argument("--escalate", action="store_true",
+                        help="grant truncated element summaries one "
+                             "escalated-budget retry while wall-clock remains "
+                             "(the last rung before INCONCLUSIVE)")
     verify.set_defaults(func=_cmd_verify)
 
     # `bench` is dispatched in main() before this parser runs (the harness in
@@ -398,9 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
     cache = subparsers.add_parser(
         "cache", help="inspect (stats) or empty (clear) the persistent "
                       "step-1 summary store")
-    cache.add_argument("cache_command", choices=("stats", "clear"),
+    cache.add_argument("cache_command", choices=("stats", "clear", "doctor", "runs"),
                        help="stats: entry count, bytes and lifetime "
-                            "hit/miss totals; clear: delete every entry")
+                            "hit/miss totals (plus quarantined entries); "
+                            "clear: delete every entry; doctor: re-validate "
+                            "every entry's checksum and quarantine corrupt "
+                            "ones; runs: list resumable checkpoints")
     cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                        help=f"summary cache directory (default {DEFAULT_CACHE_DIR})")
     cache.set_defaults(func=_cmd_cache)
@@ -445,6 +562,12 @@ def main(argv: Optional[list] = None) -> int:
         return 3
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Checkers fold mid-run interrupts into INCONCLUSIVE results and save
+        # a checkpoint; an interrupt that still reaches here happened outside
+        # a run (or at its very edge).  128+SIGINT, the shell convention.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
     except SystemExit as exc:
         if isinstance(exc.code, str):
             print(exc.code, file=sys.stderr)

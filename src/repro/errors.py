@@ -66,6 +66,36 @@ class ExecutionBudgetExceeded(ReproError):
         return (type(self), (self.ops, self.budget))
 
 
+class WorkerCrashed(ReproError):
+    """A step-1 worker process died while summarising an element.
+
+    Wraps the raw pool failure (``BrokenProcessPool``, a lost future) with the
+    element that was in flight, so recovery and reporting can name the victim.
+    Like every exception that may cross a process pool or the summary cache,
+    it rebuilds from plain arguments under pickle.
+    """
+
+    def __init__(self, element: str, attempts: int = 1, cause: str = ""):
+        detail = f" after {attempts} attempt(s)" if attempts > 1 else ""
+        suffix = f": {cause}" if cause else ""
+        super().__init__(
+            f"worker died while summarising {element!r}{detail}{suffix}")
+        self.element = element
+        self.attempts = attempts
+        self.cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.element, self.attempts, self.cause))
+
+
+class CheckpointError(ReproError):
+    """A run checkpoint could not be loaded or does not match this run.
+
+    Raised only on explicit ``--resume`` requests; background checkpointing is
+    best-effort and silently degrades to a fresh run instead.
+    """
+
+
 class ConcretizationError(ReproError):
     """Element code tried to force a symbolic value into a concrete context.
 

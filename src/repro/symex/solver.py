@@ -206,6 +206,13 @@ def _replay_ok(result: SolverResult, solved_with: int, budget: int) -> bool:
 class Solver:
     """Decide satisfiability of conjunctions of boolean constraints."""
 
+    #: optional zero-argument callable invoked at the start of every
+    #: ``check()`` in this process; used by the fault-injection harness
+    #: (:mod:`repro.verifier.faults`) to add latency under test.  Class-wide
+    #: on purpose: worker processes build their own solvers, and the hook must
+    #: apply to all of them without threading extra state through every call.
+    query_hook = None
+
     def __init__(self, max_nodes: int = 20000, cache_size: int = 4096,
                  decompose: bool = True):
         self.max_nodes = max_nodes
@@ -237,6 +244,9 @@ class Solver:
         keeps an individual search from blowing up -- but callers tuning
         ``branch_check_nodes``-style budgets should know the contract.
         """
+        hook = Solver.query_hook
+        if hook is not None:
+            hook()
         self.stats.queries += 1
         simplified = self._preprocess(constraints)
         if simplified is None:  # a constraint folded to False

@@ -25,6 +25,17 @@ file, incompatible pickle) are deleted and treated as misses.
 Only *clean* results are stored: summaries that are complete, not timed out
 and free of analysis errors.  A summary cut short by a wall-clock budget must
 not masquerade as the element's full behaviour on the next run.
+
+**Integrity and self-healing.**  Every on-disk entry is framed with a magic
+header and a SHA-256 checksum of its pickled body, verified on every disk
+read.  An entry that fails the frame check, the checksum, or deserialisation
+is *quarantined* -- moved to ``<cache_dir>/quarantine/`` for post-mortem
+inspection -- and reported as a miss, so a corrupted store costs a recompute,
+never a crash and never a silently mis-deserialized summary.  All writes
+(entries, ``stats.json``, run checkpoints) go through a temp file and
+``os.replace`` so a crash mid-write leaves either the old bytes or the new,
+never a torn file.  ``SummaryCache.doctor`` re-validates every entry on
+demand (the CLI exposes it as ``repro cache doctor``).
 """
 
 from __future__ import annotations
@@ -51,7 +62,36 @@ from repro.verifier.config import VerifierConfig
 #: v2: PR4's component-decomposed solver decides more branch checks that the
 #: old solver answered UNKNOWN, which changes which alternate paths step 1
 #: schedules.
-FORMAT_VERSION = 2
+#: v3: entries are framed with a magic header + SHA-256 content checksum so
+#: corruption is detected on load instead of surfacing as pickle garbage.
+FORMAT_VERSION = 3
+
+#: magic prefix of a framed (checksummed) cache entry
+ENTRY_MAGIC = b"RPROC3\n"
+
+#: byte length of the SHA-256 digest embedded after the magic
+_DIGEST_LEN = 32
+
+
+class CacheIntegrityError(Exception):
+    """An on-disk entry failed the frame, checksum, or deserialisation check."""
+
+
+def frame_payload(body: bytes) -> bytes:
+    """Wrap pickled ``body`` bytes in the checksummed on-disk frame."""
+    return ENTRY_MAGIC + hashlib.sha256(body).digest() + body
+
+
+def unframe_payload(payload: bytes) -> bytes:
+    """Verify and strip the frame; raises :class:`CacheIntegrityError`."""
+    if not payload.startswith(ENTRY_MAGIC):
+        raise CacheIntegrityError("missing or damaged entry header")
+    start = len(ENTRY_MAGIC)
+    checksum = payload[start:start + _DIGEST_LEN]
+    body = payload[start + _DIGEST_LEN:]
+    if len(checksum) != _DIGEST_LEN or hashlib.sha256(body).digest() != checksum:
+        raise CacheIntegrityError("content checksum mismatch")
+    return body
 
 #: Default on-disk location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -84,6 +124,8 @@ class CacheStats:
     uncacheable: int = 0
     #: entries dropped because they failed to load or to pickle
     errors: int = 0
+    #: corrupt entries moved to the quarantine directory instead of served
+    quarantined: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
@@ -91,6 +133,7 @@ class CacheStats:
         self.stores += other.stores
         self.uncacheable += other.uncacheable
         self.errors += other.errors
+        self.quarantined += other.quarantined
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -99,6 +142,7 @@ class CacheStats:
             "stores": self.stores,
             "uncacheable": self.uncacheable,
             "errors": self.errors,
+            "quarantined": self.quarantined,
         }
 
 
@@ -289,32 +333,81 @@ class SummaryCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
 
+    def entry_path(self, key: str) -> Path:
+        """On-disk location of the entry stored under ``key``.
+
+        Exposed for diagnostics and fault injection; ordinary callers never
+        need the path.
+        """
+        return self._path(key)
+
+    def evict_from_memory(self, key: str) -> None:
+        """Drop ``key`` from the in-process memory layer (disk untouched)."""
+        payload = self._memory.pop(key, None)
+        if payload is not None:
+            self._memory_bytes -= len(payload)
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.base_dir / "quarantine"
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a corrupt entry aside (never served again, kept for autopsy)."""
+        self.evict_from_memory(key)
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / path.name
+            if target.exists():  # a second corruption of the same key
+                target = self.quarantine_dir / f"{path.stem}.{os.getpid()}{path.suffix}"
+            os.replace(path, target)
+        except OSError:
+            # Could not move it; deleting still protects future loads.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+
     def get(self, key: Optional[str]):
-        """Load and return the object stored under ``key`` (``None`` on miss)."""
+        """Load and return the object stored under ``key`` (``None`` on miss).
+
+        The memory layer holds checksum-verified pickled bodies; a disk read
+        verifies the entry frame and content checksum first, and any entry
+        that fails verification or deserialisation is quarantined and treated
+        as a miss -- the self-healing contract: corruption costs a recompute,
+        never a wrong summary.
+        """
         if key is None:
             return None
-        payload = self._memory_get(key)
-        if payload is None:
+        body = self._memory_get(key)
+        from_disk = body is None
+        if from_disk:
             path = self._path(key)
             try:
                 payload = path.read_bytes()
             except OSError:
                 self.stats.misses += 1
                 return None
+            try:
+                body = unframe_payload(payload)
+            except CacheIntegrityError:
+                self.stats.errors += 1
+                self._quarantine(key, path)
+                self.stats.misses += 1
+                return None
         try:
-            value = pickle.loads(payload)
+            value = pickle.loads(body)
         except Exception:
-            # A stale or corrupt entry: drop it and recompute.
+            # Checksum-valid but undeserialisable: written by an incompatible
+            # engine class layout.  Quarantine rather than serve garbage.
             self.stats.errors += 1
             self.stats.misses += 1
-            if self._memory.pop(key, None) is not None:
-                self._memory_bytes -= len(payload)
-            try:
-                self._path(key).unlink()
-            except OSError:
-                pass
+            if from_disk:
+                self._quarantine(key, self._path(key))
+            else:
+                self.evict_from_memory(key)
             return None
-        self._memory_store(key, payload)
+        self._memory_store(key, body)
         self.stats.hits += 1
         return value
 
@@ -325,15 +418,15 @@ class SummaryCache:
         try:
             buffer = io.BytesIO()
             pickle.dump(value, buffer, protocol=pickle.HIGHEST_PROTOCOL)
-            payload = buffer.getvalue()
+            body = buffer.getvalue()
         except Exception:
             self.stats.errors += 1
             return False
-        self._memory_store(key, payload)
+        self._memory_store(key, body)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_bytes(payload)
+            tmp.write_bytes(frame_payload(body))
             os.replace(tmp, self._path(key))
         except OSError:
             # Disk persistence is best-effort; the memory layer still serves
@@ -367,6 +460,47 @@ class SummaryCache:
             pass
         return removed
 
+    def quarantine_entries(self) -> list:
+        """The quarantined entry files as ``(name, bytes)`` pairs."""
+        entries = []
+        if self.quarantine_dir.exists():
+            for path in sorted(self.quarantine_dir.glob("*.pkl")):
+                try:
+                    entries.append((path.name, path.stat().st_size))
+                except OSError:
+                    pass
+        return entries
+
+    def doctor(self) -> Dict[str, object]:
+        """Re-validate every on-disk entry; quarantine the broken ones.
+
+        Walks the current-format directory, verifies each entry's frame,
+        checksum, and deserialisability, and moves failures to the quarantine
+        directory.  Returns a report dict (used by ``repro cache doctor``).
+        """
+        checked = 0
+        healthy = 0
+        quarantined = []
+        if self.directory.exists():
+            for path in sorted(self.directory.glob("*.pkl")):
+                checked += 1
+                key = path.stem
+                try:
+                    body = unframe_payload(path.read_bytes())
+                    pickle.loads(body)
+                except Exception:  # OSError, integrity, or unpickling failure
+                    self._quarantine(key, path)
+                    quarantined.append(path.name)
+                else:
+                    healthy += 1
+        return {
+            "directory": str(self.directory),
+            "checked": checked,
+            "healthy": healthy,
+            "quarantined": quarantined,
+            "quarantine_dir": str(self.quarantine_dir),
+        }
+
     def disk_stats(self) -> Dict[str, object]:
         """Entry count and byte size of the on-disk store, plus run totals."""
         entries = 0
@@ -378,11 +512,17 @@ class SummaryCache:
                     entries += 1
                 except OSError:
                     pass
+        quarantine = self.quarantine_entries()
         totals = self._load_persistent_stats()
         return {
             "directory": str(self.directory),
             "entries": entries,
             "bytes": size,
+            "quarantine": {
+                "entries": len(quarantine),
+                "bytes": sum(size for _, size in quarantine),
+                "files": [name for name, _ in quarantine],
+            },
             "lifetime": totals,
             "session": self.stats.as_dict(),
         }

@@ -1,0 +1,96 @@
+"""Machine-speed calibration for wall-clock budgets.
+
+Every wall-clock budget in the test- and benchmark-suite encodes an implicit
+assumption about how fast the machine is; on a slow 1-core box an honest
+90-second budget truncates step 1 and flips a would-be VIOLATED verdict to
+INCONCLUSIVE (the four known wall-budget truncations in the evaluation
+suite).  Soundness is never at risk -- budgets only ever degrade verdicts --
+but a *test* that asserts the verdict needs the budget scaled to the machine
+it runs on.
+
+:func:`machine_speed_factor` times a small deterministic sample of the real
+workload (symbolic exploration of a reference element plus cold solver
+queries over its path constraints) and returns how many times slower this
+machine is than the reference class the budgets were authored for, clamped
+to ``[1, 32]``.  :func:`calibrated_budget` multiplies a budget by that
+factor.  Fast machines measure at or below the reference and keep budgets
+unchanged; slow machines get proportionally more wall-clock and the same
+amount of *work*.
+
+The measurement runs once per process (~0.4 s on the reference class) and is
+memoised.  ``REPRO_SPEED_FACTOR`` overrides it entirely -- pin it to ``1``
+for budget experiments or to a fixed value for reproducible CI timings.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from typing import Optional
+
+#: environment override: skip measurement and use this factor verbatim
+ENV_VAR = "REPRO_SPEED_FACTOR"
+
+#: seconds one calibration round takes on the reference machine class the
+#: suite's budgets were authored for (measured: explore CheckIPHeader once and
+#: cold-solve each of its segment constraint sets)
+_REFERENCE_ROUND_SECONDS = 0.0024
+
+#: measurement rounds; the first warms imports/interning and is discarded
+_ROUNDS = 8
+
+#: clamp bounds -- a machine is never treated as faster than the reference
+#: (budgets are already sufficient there) nor more than 32x slower (beyond
+#: that, wall-clock asserts are meaningless and budgets would grow unbounded)
+_MIN_FACTOR = 1.0
+_MAX_FACTOR = 32.0
+
+_factor: Optional[float] = None
+
+
+def _measure_round() -> float:
+    from repro.dataplane.elements.checkipheader import CheckIPHeader
+    from repro.symex.solver import Solver
+    from repro.verifier.config import VerifierConfig
+    from repro.verifier.summaries import summarize_element
+
+    config = VerifierConfig()
+    started = time.monotonic()
+    summary = summarize_element(CheckIPHeader(name="calibration"), config, Solver())
+    solver = Solver(cache_size=0)  # cold queries: include search, not lookups
+    for segment in summary.segments:
+        solver.check(segment.constraints)
+    return time.monotonic() - started
+
+
+def machine_speed_factor() -> float:
+    """How many times slower this machine is than the reference class."""
+    global _factor
+    if _factor is not None:
+        return _factor
+    override = os.environ.get(ENV_VAR)
+    if override:
+        try:
+            _factor = max(_MIN_FACTOR, min(_MAX_FACTOR, float(override)))
+            return _factor
+        except ValueError:
+            pass  # unparsable override: fall through to measurement
+    try:
+        rounds = [_measure_round() for _ in range(_ROUNDS)]
+        # Median of the post-warmup rounds: robust to a GC pause or scheduler
+        # hiccup mid-measurement.
+        per_round = statistics.median(rounds[1:])
+        _factor = max(_MIN_FACTOR,
+                      min(_MAX_FACTOR, per_round / _REFERENCE_ROUND_SECONDS))
+    except Exception:
+        # Calibration must never break a run; assume the reference class.
+        _factor = _MIN_FACTOR
+    return _factor
+
+
+def calibrated_budget(seconds: Optional[float]) -> Optional[float]:
+    """Scale a reference-machine wall budget to this machine (None passes through)."""
+    if seconds is None:
+        return None
+    return seconds * machine_speed_factor()

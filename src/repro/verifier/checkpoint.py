@@ -1,0 +1,341 @@
+"""Run checkpoints: resumable step-1 progress and step-2 frontiers.
+
+A verification run that hits its wall-clock budget (or a SIGINT) has usually
+done real work: most element summaries are finished and many step-2 suspects
+are already discharged.  This module persists that progress so
+``repro verify --resume`` continues the run instead of redoing it.
+
+A checkpoint is identified by a *run id* derived from the pipeline
+fingerprint, the property being checked, and the exploration-shaping
+configuration fields -- the same identity the summary cache keys on.  Two
+runs with the same id are interchangeable: resuming one with the other's
+checkpoint cannot change the verdict, only skip already-completed work.
+Anything that would change exploration (element code, budgets, abstraction
+flags) changes the id and therefore never picks up a stale checkpoint.
+
+What is stored:
+
+* completed *clean* step-1 element summaries and loop analyses (the same
+  cleanliness rule the summary cache enforces: complete, untruncated,
+  error-free -- a truncated summary is worth retrying, not resuming);
+* the step-2 frontier: the set of suspects already proved infeasible
+  (``element#segment_index`` keys), so a resumed run re-examines only the
+  suspects the aborted run never reached.
+
+Checkpoints live under ``<cache_dir>/runs/<run_id>.ckpt`` in the same
+checksummed frame as cache entries (:func:`repro.verifier.cache.frame_payload`);
+a corrupt checkpoint degrades to a fresh run (or a :class:`CheckpointError`
+under explicit ``--resume``, which must not silently do the wrong run).
+Saves are throttled and atomic, and a run that ends conclusively discards its
+checkpoint -- there is nothing left to resume.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointError
+from repro.fingerprint import digest
+from repro.verifier.cache import (
+    _KEYED_CONFIG_FIELDS,
+    CacheIntegrityError,
+    frame_payload,
+    unframe_payload,
+)
+from repro.verifier.config import VerifierConfig
+
+#: checkpoint format marker, stored inside the payload; bump on layout change
+CHECKPOINT_VERSION = 1
+
+#: minimum seconds between two throttled checkpoint writes
+SAVE_INTERVAL = 0.5
+
+#: subdirectory of the cache dir holding run checkpoints
+RUNS_DIRNAME = "runs"
+
+
+def _config_token(config: VerifierConfig) -> str:
+    parts = [f"{name}={getattr(config, name)!r}" for name in _KEYED_CONFIG_FIELDS]
+    parts.append(f"instruction_bound={config.instruction_bound!r}")
+    return digest(parts)
+
+
+def run_identity(pipeline, property_token: str,
+                 config: VerifierConfig) -> Optional[Tuple[str, str, str]]:
+    """``(run_id, pipeline_fingerprint, config_token)`` or ``None``.
+
+    ``None`` means the pipeline cannot be fingerprinted deterministically, in
+    which case no checkpoint identity exists and checkpointing is skipped
+    (like the cache: allowed to miss, never to lie).
+    """
+    fingerprint = pipeline.fingerprint()
+    if fingerprint is None:
+        return None
+    config_token = _config_token(config)
+    run_id = digest([
+        f"ckpt={CHECKPOINT_VERSION}",
+        f"pipeline={fingerprint}",
+        f"property={property_token}",
+        f"config={config_token}",
+    ])[:12]
+    return run_id, fingerprint, config_token
+
+
+def runs_dir(cache_dir: str) -> Path:
+    return Path(cache_dir) / RUNS_DIRNAME
+
+
+@dataclass
+class RunCheckpoint:
+    """The persisted state of one interrupted verification run."""
+
+    run_id: str
+    pipeline_fingerprint: str
+    property_token: str
+    config_token: str
+    pipeline_name: str = ""
+    #: ``"step1"`` while summaries are still being produced, ``"step2"`` once
+    #: composition started (informational; resume logic keys off the contents)
+    phase: str = "step1"
+    #: clean, completed element summaries by element name
+    summaries: Dict[str, object] = field(default_factory=dict)
+    #: clean, completed loop analyses by element name
+    loop_analyses: Dict[str, object] = field(default_factory=dict)
+    #: step-2 suspects already proved infeasible (``element#index`` keys)
+    discharged: List[str] = field(default_factory=list)
+    #: candidate paths the aborted run had already composed (informational)
+    paths_composed: int = 0
+
+
+class CheckpointManager:
+    """Owns one run's checkpoint file: loading, throttled saving, discarding."""
+
+    def __init__(self, run_id: str, pipeline_fingerprint: str,
+                 property_token: str, config_token: str, path: Path,
+                 pipeline_name: str = ""):
+        self.run_id = run_id
+        self.path = path
+        self.state = RunCheckpoint(
+            run_id=run_id,
+            pipeline_fingerprint=pipeline_fingerprint,
+            property_token=property_token,
+            config_token=config_token,
+            pipeline_name=pipeline_name,
+        )
+        #: checkpoint files written (reported as ``checkpoint_writes``)
+        self.writes = 0
+        self._loaded: Optional[RunCheckpoint] = None
+        self._last_save = 0.0
+        self._dirty = False
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def for_run(cls, pipeline, property_token: str,
+                config: VerifierConfig) -> Optional["CheckpointManager"]:
+        """The manager for this (pipeline, property, config) run, or ``None``.
+
+        ``None`` when checkpointing is disabled or the pipeline has no
+        deterministic fingerprint.
+        """
+        if not getattr(config, "checkpoint_enabled", False):
+            return None
+        identity = run_identity(pipeline, property_token, config)
+        if identity is None:
+            return None
+        run_id, fingerprint, config_token = identity
+        path = runs_dir(config.cache_dir) / f"{run_id}.ckpt"
+        return cls(run_id, fingerprint, property_token, config_token, path,
+                   pipeline_name=getattr(pipeline, "name", ""))
+
+    # -- loading / seeding ----------------------------------------------------
+
+    def load(self, strict: bool = False) -> Optional[RunCheckpoint]:
+        """The persisted checkpoint for this run id, if one exists and is sane.
+
+        ``strict`` is the explicit ``--resume`` path: a checkpoint that exists
+        but cannot be loaded or does not match this run raises
+        :class:`CheckpointError` instead of silently starting fresh.
+        """
+        if self._loaded is not None:
+            return self._loaded
+        try:
+            payload = self.path.read_bytes()
+        except FileNotFoundError:
+            if strict:
+                raise CheckpointError(
+                    f"no checkpoint found for run {self.run_id} "
+                    f"(expected {self.path})")
+            return None
+        except OSError as error:
+            if strict:
+                raise CheckpointError(f"cannot read checkpoint: {error}")
+            return None
+        try:
+            body = unframe_payload(payload)
+            version, checkpoint = pickle.loads(body)
+        except (CacheIntegrityError, Exception) as error:
+            if strict:
+                raise CheckpointError(f"checkpoint is corrupt: {error}")
+            self._discard_file()
+            return None
+        if version != CHECKPOINT_VERSION or not isinstance(checkpoint, RunCheckpoint):
+            if strict:
+                raise CheckpointError("checkpoint was written by an "
+                                      "incompatible version")
+            self._discard_file()
+            return None
+        if (checkpoint.pipeline_fingerprint != self.state.pipeline_fingerprint
+                or checkpoint.property_token != self.state.property_token
+                or checkpoint.config_token != self.state.config_token):
+            # A hash-collision-grade mismatch; treat the file as foreign.
+            if strict:
+                raise CheckpointError(
+                    "checkpoint does not match this pipeline/property/config")
+            return None
+        self._loaded = checkpoint
+        return checkpoint
+
+    def seed(self, strict: bool = False):
+        """``(summaries, loop_analyses)`` to seed step 1, or ``None``.
+
+        Also primes the in-memory state with the loaded frontier so discharged
+        suspects stay discharged across further saves.
+        """
+        checkpoint = self.load(strict=strict)
+        if checkpoint is None:
+            return None
+        self.state.summaries = dict(checkpoint.summaries)
+        self.state.loop_analyses = dict(checkpoint.loop_analyses)
+        self.state.discharged = list(checkpoint.discharged)
+        self.state.paths_composed = checkpoint.paths_composed
+        self.state.phase = checkpoint.phase
+        return dict(checkpoint.summaries), dict(checkpoint.loop_analyses)
+
+    # -- recording progress ---------------------------------------------------
+
+    def record_step1(self, summary) -> None:
+        """Fold a (possibly in-progress) PipelineSummary into the checkpoint.
+
+        Only clean results are kept -- the same rule the summary cache
+        applies -- so a resumed run retries truncated or failed elements.
+        """
+        from repro.verifier.pipeline_summary import _cacheable
+
+        for name, analysis in summary.loop_analyses.items():
+            if name not in self.state.loop_analyses and _cacheable(analysis):
+                self.state.loop_analyses[name] = analysis
+                self._dirty = True
+        for name, element_summary in summary.summaries.items():
+            if name in self.state.loop_analyses:
+                continue  # the loop analysis already carries the summary
+            if name not in self.state.summaries and _cacheable(element_summary):
+                self.state.summaries[name] = element_summary
+                self._dirty = True
+        self.save()
+
+    def begin_step2(self) -> None:
+        if self.state.phase != "step2":
+            self.state.phase = "step2"
+            self._dirty = True
+
+    @staticmethod
+    def suspect_key(element_name: str, segment) -> str:
+        return f"{element_name}#{segment.index}"
+
+    def is_discharged(self, key: str) -> bool:
+        return key in self.state.discharged
+
+    def mark_discharged(self, key: str, paths_composed: int = 0) -> None:
+        if key not in self.state.discharged:
+            self.state.discharged.append(key)
+            self._dirty = True
+        if paths_composed > self.state.paths_composed:
+            self.state.paths_composed = paths_composed
+            self._dirty = True
+        self.save()
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, force: bool = False) -> None:
+        """Write the checkpoint file (throttled unless ``force``)."""
+        if not self._dirty and not force:
+            return
+        now = time.monotonic()
+        if not force and (now - self._last_save) < SAVE_INTERVAL:
+            return
+        try:
+            body = pickle.dumps((CHECKPOINT_VERSION, self.state),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # An unpicklable summary must not kill the run it is meant to
+            # protect; the checkpoint simply skips this save.
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        try:
+            tmp.write_bytes(frame_payload(body))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self.writes += 1
+        self._last_save = now
+        self._dirty = False
+
+    def discard(self) -> None:
+        """Remove the checkpoint (the run ended conclusively)."""
+        self._discard_file()
+        self._dirty = False
+
+    def _discard_file(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def list_runs(cache_dir: str) -> List[Dict[str, object]]:
+    """Metadata of every resumable checkpoint under ``cache_dir``."""
+    out = []
+    directory = runs_dir(cache_dir)
+    if not directory.is_dir():
+        return out
+    for path in sorted(directory.glob("*.ckpt")):
+        entry: Dict[str, object] = {"run_id": path.stem, "path": str(path)}
+        try:
+            body = unframe_payload(path.read_bytes())
+            version, checkpoint = pickle.loads(body)
+            if version == CHECKPOINT_VERSION and isinstance(checkpoint, RunCheckpoint):
+                entry.update(
+                    pipeline=checkpoint.pipeline_name,
+                    property=checkpoint.property_token,
+                    phase=checkpoint.phase,
+                    elements=len(checkpoint.summaries) + len(checkpoint.loop_analyses),
+                    discharged=len(checkpoint.discharged),
+                )
+            else:
+                entry["error"] = "incompatible version"
+        except Exception as error:
+            entry["error"] = f"unreadable: {type(error).__name__}"
+        out.append(entry)
+    return out
+
+
+def find_run(run_id: str, cache_dir: str) -> Path:
+    """The checkpoint path for an explicit ``--resume RUN_ID`` request."""
+    path = runs_dir(cache_dir) / f"{run_id}.ckpt"
+    if not path.is_file():
+        known = ", ".join(e["run_id"] for e in list_runs(cache_dir)) or "<none>"
+        raise CheckpointError(
+            f"no checkpoint {run_id!r} under {runs_dir(cache_dir)} "
+            f"(known: {known})")
+    return path

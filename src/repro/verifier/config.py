@@ -11,9 +11,12 @@ INCONCLUSIVE verdict, never into a wrong proof.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.net.headers import ETHER_HEADER_LEN
+
+if TYPE_CHECKING:  # import cycle: faults is part of the verifier package
+    from repro.verifier.faults import FaultPlan
 
 
 @dataclass
@@ -74,6 +77,30 @@ class VerifierConfig:
     cache_enabled: bool = False
     #: directory of the persistent summary store
     cache_dir: str = ".repro_cache"
+
+    # -- resilience (fault recovery, checkpoints, degradation ladder) ----------------
+    #: in-process retries granted to an element whose summarisation fails with
+    #: an infrastructure error (worker death, MemoryError, OSError) before the
+    #: failure is recorded as an analysis error on the element
+    worker_retries: int = 2
+    #: base backoff (seconds) between in-process retries; attempt ``n`` waits
+    #: ``n * retry_backoff``
+    retry_backoff: float = 0.05
+    #: when step 1 ends with truncated (incomplete or timed-out) element
+    #: summaries and wall-clock budget remains, retry each such element once
+    #: with exploration budgets scaled by ``escalation_factor`` -- the last
+    #: rung of the degradation ladder before INCONCLUSIVE
+    escalate_inconclusive: bool = False
+    #: budget multiplier applied by the escalated retry
+    escalation_factor: float = 4.0
+    #: persist run checkpoints (step-1 summaries, step-2 frontier) under
+    #: ``<cache_dir>/runs/`` so an aborted run can be resumed
+    checkpoint_enabled: bool = False
+    #: resume from the checkpoint of an identical earlier run, if one exists
+    resume: bool = False
+    #: fault-injection plan (testing/chaos only; see :mod:`repro.verifier.faults`);
+    #: ``None`` also consults the ``REPRO_FAULTS`` environment variable
+    fault_plan: Optional["FaultPlan"] = None
 
     def without_abstraction(self) -> "VerifierConfig":
         """A copy configured for specific-configuration (filtering) proofs."""

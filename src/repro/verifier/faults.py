@@ -1,0 +1,274 @@
+"""Fault injection for the verifier stack.
+
+The paper's operational promise is "when we fail, we know it": resource
+exhaustion and infrastructure failures may turn a proof into INCONCLUSIVE but
+never into a wrong answer.  That promise is only testable if failures can be
+*provoked on demand*, so this module provides a :class:`FaultPlan` -- a small,
+picklable description of infrastructure faults to inject while a verification
+runs:
+
+* **worker kills** -- a step-1 worker process calls ``os._exit`` on its Nth
+  task, which is exactly what an OOM kill or a segfaulting native dependency
+  looks like to the parent (``BrokenProcessPool``);
+* **cache corruption** -- the on-disk summary-cache entry of a named element
+  is scribbled over or truncated just before the verifier probes it,
+  exercising the checksum verification and quarantine path of
+  :mod:`repro.verifier.cache`;
+* **element errors** -- ``MemoryError`` / ``OSError`` (or a synthetic
+  ``KeyboardInterrupt``) raised inside a named element's summarisation,
+  exercising the bounded in-process retry path;
+* **solver latency** -- a fixed sleep added to every solver query, simulating
+  deadline pressure without hand-tuning budgets per machine.
+
+A plan is activated either programmatically (``VerifierConfig.fault_plan``)
+or via the ``REPRO_FAULTS`` environment variable, whose value is a
+comma-separated list of directives::
+
+    REPRO_FAULTS="worker-kill:2,cache-corrupt:ipoptions,element-error:ttl:memory,solver-latency:0.01"
+
+Every injection is **one-shot per process per target**: a corrupted entry is
+corrupted once (so the self-healing recompute is not re-corrupted forever),
+an element error fires once per process (so bounded retries converge), and a
+worker kills itself at most once.  Worker processes inherit the plan either
+through the pickled config or through the environment, each with fresh
+one-shot counters -- a restarted pool can therefore die again, which is what
+forces the recovery ladder all the way down to the serial path.
+
+Faults are infrastructure-level by design: they perturb *where and whether*
+work happens, never *what* a summary says, so any fault from a plan may cost
+time or a verdict downgrade to INCONCLUSIVE but can never flip PROVED and
+VIOLATED (the property test in ``tests/property/test_fault_soundness.py``
+pins this).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: environment variable consulted by :func:`resolve_plan`
+ENV_VAR = "REPRO_FAULTS"
+
+#: element-error kinds -> the exception type raised
+_ERROR_KINDS = {
+    "memory": MemoryError,
+    "os": OSError,
+    # A synthetic SIGINT: lets tests drive the interrupt/checkpoint path
+    # deterministically instead of delivering real signals.
+    "interrupt": KeyboardInterrupt,
+}
+
+#: bytes scribbled over a corrupted cache entry (long enough to damage the
+#: checksummed body no matter where the file starts)
+_SCRIBBLE = b"\xde\xad\xbe\xef" * 16
+
+
+class FaultPlanError(ValueError):
+    """A ``REPRO_FAULTS`` directive could not be parsed."""
+
+
+@dataclass
+class FaultPlan:
+    """A picklable description of infrastructure faults to inject.
+
+    Runtime one-shot accounting lives in :attr:`injected` (a per-process
+    counter map, keyed ``"<fault>:<target>"``); it travels along when the plan
+    is pickled to a worker, which is intentional -- faults the parent already
+    fired are not re-fired by the worker.
+    """
+
+    #: kill the calling worker process on its Nth summarisation task (1-based)
+    kill_worker_task: Optional[int] = None
+    #: element names whose on-disk cache entry is scribbled before probing
+    corrupt_cache_entries: Tuple[str, ...] = ()
+    #: element names whose on-disk cache entry is truncated before probing
+    truncate_cache_entries: Tuple[str, ...] = ()
+    #: element name -> error kind (``memory`` / ``os`` / ``interrupt``) raised
+    #: once inside that element's summarisation
+    element_errors: Dict[str, str] = field(default_factory=dict)
+    #: seconds of latency added to every solver query
+    solver_latency: float = 0.0
+    #: one-shot bookkeeping: ``"<fault>:<target>" -> times fired``
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` directive string into a plan."""
+        plan = cls()
+        for raw in text.split(","):
+            directive = raw.strip()
+            if not directive:
+                continue
+            parts = directive.split(":")
+            kind = parts[0]
+            try:
+                if kind == "worker-kill" and len(parts) == 2:
+                    plan.kill_worker_task = int(parts[1])
+                    if plan.kill_worker_task < 1:
+                        raise FaultPlanError(
+                            f"worker-kill task must be >= 1: {directive!r}")
+                elif kind == "cache-corrupt" and len(parts) == 2:
+                    plan.corrupt_cache_entries += (parts[1],)
+                elif kind == "cache-truncate" and len(parts) == 2:
+                    plan.truncate_cache_entries += (parts[1],)
+                elif kind == "element-error" and len(parts) == 3:
+                    if parts[2] not in _ERROR_KINDS:
+                        raise FaultPlanError(
+                            f"unknown element-error kind {parts[2]!r} "
+                            f"(known: {', '.join(sorted(_ERROR_KINDS))})")
+                    plan.element_errors[parts[1]] = parts[2]
+                elif kind == "solver-latency" and len(parts) == 2:
+                    plan.solver_latency = float(parts[1])
+                    if plan.solver_latency < 0:
+                        raise FaultPlanError(
+                            f"solver latency must be >= 0: {directive!r}")
+                else:
+                    raise FaultPlanError(f"unknown fault directive {directive!r}")
+            except ValueError as exc:
+                if isinstance(exc, FaultPlanError):
+                    raise
+                raise FaultPlanError(f"malformed fault directive {directive!r}: {exc}")
+        return plan
+
+    @property
+    def active(self) -> bool:
+        """True when the plan injects at least one fault."""
+        return bool(
+            self.kill_worker_task
+            or self.corrupt_cache_entries
+            or self.truncate_cache_entries
+            or self.element_errors
+            or self.solver_latency > 0
+        )
+
+    # -- one-shot bookkeeping ----------------------------------------------
+
+    def _fire_once(self, key: str) -> bool:
+        """Record fault ``key``; True the first time it fires in this process."""
+        fired = self.injected.get(key, 0)
+        self.injected[key] = fired + 1
+        return fired == 0
+
+    def injections(self) -> Dict[str, int]:
+        """A copy of the per-process injection counters (for tests/stats)."""
+        return dict(self.injected)
+
+    # -- injection points ---------------------------------------------------
+
+    def on_worker_task(self) -> None:
+        """Called by the process-pool worker entry point, once per task.
+
+        Kills the worker (``os._exit``) on its ``kill_worker_task``-th task --
+        a hard death the parent observes as ``BrokenProcessPool``, exactly
+        like an OOM kill.
+        """
+        if self.kill_worker_task is None:
+            return
+        count = self.injected.get("worker-task", 0) + 1
+        self.injected["worker-task"] = count
+        if count == self.kill_worker_task and self._fire_once("worker-kill"):
+            os._exit(43)
+
+    def maybe_break_cache(self, cache, element_name: str,
+                          key: Optional[str]) -> None:
+        """Corrupt/truncate ``element_name``'s on-disk entry before a probe.
+
+        Damages only the bytes on disk -- detection, quarantine and recompute
+        are entirely the cache's job (:meth:`SummaryCache.get`).
+        """
+        if cache is None or key is None:
+            return
+        wants_corrupt = element_name in self.corrupt_cache_entries
+        wants_truncate = element_name in self.truncate_cache_entries
+        if not wants_corrupt and not wants_truncate:
+            return
+        path = cache.entry_path(key)
+        if not path.exists():
+            return
+        mode = "cache-corrupt" if wants_corrupt else "cache-truncate"
+        if not self._fire_once(f"{mode}:{element_name}"):
+            return
+        try:
+            if wants_corrupt:
+                with open(path, "r+b") as handle:
+                    handle.seek(0)
+                    handle.write(_SCRIBBLE)
+            else:
+                with open(path, "r+b") as handle:
+                    handle.truncate(max(0, path.stat().st_size // 2))
+        except OSError:
+            pass
+        # The cache's memory layer would mask the damaged file; evict so the
+        # next probe actually reads (and must verify) the bytes on disk.
+        cache.evict_from_memory(key)
+
+    def maybe_element_error(self, element_name: str) -> None:
+        """Raise the configured error inside ``element_name``'s summarisation."""
+        kind = self.element_errors.get(element_name)
+        if kind is None:
+            return
+        if self._fire_once(f"element-error:{element_name}"):
+            raise _ERROR_KINDS[kind](
+                f"injected {kind} fault in element {element_name!r}")
+
+    def on_solver_query(self) -> None:
+        """Inject the configured latency into one solver query."""
+        if self.solver_latency > 0:
+            self.injected["solver-latency"] = \
+                self.injected.get("solver-latency", 0) + 1
+            time.sleep(self.solver_latency)
+
+
+# ---------------------------------------------------------------------------
+# plan resolution and activation
+# ---------------------------------------------------------------------------
+
+#: memo of the plan parsed from the environment, keyed by the raw env value so
+#: the one-shot counters survive repeated ``resolve_plan`` calls in a process
+_ENV_PLAN: Optional[Tuple[str, FaultPlan]] = None
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The process-wide plan described by ``REPRO_FAULTS`` (memoised)."""
+    global _ENV_PLAN
+    text = os.environ.get(ENV_VAR, "").strip()
+    if not text:
+        _ENV_PLAN = None
+        return None
+    if _ENV_PLAN is not None and _ENV_PLAN[0] == text:
+        return _ENV_PLAN[1]
+    plan = FaultPlan.parse(text)
+    _ENV_PLAN = (text, plan)
+    return plan
+
+
+def resolve_plan(config) -> Optional[FaultPlan]:
+    """The fault plan a run should honour: config first, then environment.
+
+    Returns ``None`` (the overwhelmingly common case) when no faults are
+    configured; every injection point treats ``None`` as "no faults".
+    """
+    plan = getattr(config, "fault_plan", None)
+    if plan is not None:
+        return plan if plan.active else None
+    return plan_from_env()
+
+
+def install_solver_hook(plan: Optional[FaultPlan]) -> None:
+    """Install (or clear) the solver-latency hook for this process.
+
+    The solver exposes a single process-wide ``Solver.query_hook`` callable so
+    it does not need to know anything about fault plans; the hook is installed
+    by :func:`repro.verifier.pipeline_summary.summarize_pipeline` for the
+    duration of a run and cleared afterwards.
+    """
+    from repro.symex.solver import Solver
+
+    if plan is not None and plan.solver_latency > 0:
+        Solver.query_hook = plan.on_solver_query
+    else:
+        Solver.query_hook = None

@@ -22,21 +22,46 @@ soundness-preserving:
   whole-pipeline entry keyed on :meth:`Pipeline.fingerprint` (the config-file
   fast path): an unchanged pipeline -- e.g. one elaborated from the same
   ``.click`` file -- answers step 1 with a single cache load.
+
+On top of both sits the **resilience ladder** (this PR's subject): a worker
+process that dies mid-task is observed as ``BrokenProcessPool``, its elements
+are retried on a restarted pool, elements that kill workers repeatedly are
+quarantined to the in-process serial path, and an element whose summarisation
+raises an infrastructure error (``MemoryError``, ``OSError``) in-process gets
+bounded retries with backoff before the failure is recorded as an analysis
+error -- which downgrades the eventual verdict to INCONCLUSIVE instead of
+crashing the run.  Elements completed before a deadline or SIGINT abort are
+reported (and checkpointed by the callers) so a resumed run does not redo
+them, and ``config.escalate_inconclusive`` grants truncated elements one
+escalated-budget retry while wall-clock remains.  Every rung is accounted in
+the result (``worker_failures``, ``retries``, ``quarantined``,
+``escalations``) so ``verify --stats`` can show what the run survived.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.dataplane.element import Element
 from repro.dataplane.pipeline import Pipeline
+from repro.errors import DataplaneCrash, ExecutionBudgetExceeded
 from repro.symex.solver import Solver
+from repro.verifier import faults as fault_injection
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
 from repro.verifier.loops import LoopAnalysis, expand_loop_element
-from repro.verifier.summaries import ElementSummary, summarize_element
+from repro.verifier.summaries import ElementSummary, Segment, summarize_element
+
+#: a worker may be killed mid-task this many times before the whole run falls
+#: back to the serial path (each breakage restarts the pool once)
+MAX_POOL_RESTARTS = 2
+
+#: an element whose task killed a worker this many times is quarantined to the
+#: serial path instead of being resubmitted
+QUARANTINE_KILL_COUNT = 2
 
 
 @dataclass
@@ -56,6 +81,22 @@ class PipelineSummary:
     cache_hits: int = 0
     #: elements that had to be explored (and, when clean, were then stored)
     cache_misses: int = 0
+    #: elements whose summaries were seeded from a run checkpoint (--resume)
+    checkpoint_hits: int = 0
+    #: cache entries quarantined (corruption detected and self-healed) during
+    #: this run's probes
+    cache_quarantined: int = 0
+    #: step-1 worker-process failures observed (died workers, lost futures)
+    worker_failures: int = 0
+    #: element re-executions after a failure (pool resubmissions, serial
+    #: fallbacks, and in-process retries)
+    retries: int = 0
+    #: elements forced onto the serial path after repeatedly killing workers
+    quarantined: List[str] = field(default_factory=list)
+    #: truncated elements that received an escalated-budget retry
+    escalations: int = 0
+    #: True when the run was cut short by SIGINT/KeyboardInterrupt
+    interrupted: bool = False
 
     @property
     def complete(self) -> bool:
@@ -87,6 +128,16 @@ class PipelineSummary:
                 out[name] = failures
         return out
 
+    @property
+    def incomplete_elements(self) -> List[str]:
+        """Elements with no summary or a truncated one (degradation report)."""
+        out = []
+        for element in self.pipeline.elements:
+            summary = self.summaries.get(element.name)
+            if summary is None or not summary.complete or summary.timed_out:
+                out.append(element.name)
+        return out
+
     def suspect_crash_segments(self):
         """All (element, segment) pairs whose segment crashes."""
         for name, summary in self.summaries.items():
@@ -102,6 +153,12 @@ class PipelineSummary:
 
 #: A step-1 result for one element: a plain summary or a whole loop analysis.
 _ElementResult = Union[ElementSummary, LoopAnalysis]
+
+#: Optional per-element progress callback (used for incremental checkpoints).
+ProgressCallback = Callable[["PipelineSummary"], None]
+
+#: Seed summaries handed in from a run checkpoint.
+SummarySeed = Tuple[Dict[str, ElementSummary], Dict[str, LoopAnalysis]]
 
 
 def _wants_loop_expansion(element: Element, config: VerifierConfig) -> bool:
@@ -138,9 +195,72 @@ def _record(result_summary: PipelineSummary, element: Element,
 def _compute_element(element: Element, config: VerifierConfig,
                      solver: Optional[Solver],
                      deadline: Optional[float]) -> _ElementResult:
+    plan = fault_injection.resolve_plan(config)
+    if plan is not None:
+        plan.maybe_element_error(element.name)
     if _wants_loop_expansion(element, config):
         return expand_loop_element(element, config, solver, deadline)
     return summarize_element(element, config, solver, deadline)
+
+
+def _failure_summary(element: Element, error: BaseException) -> ElementSummary:
+    """An ElementSummary recording that summarisation itself failed.
+
+    The failure is carried as a segment-level ``analysis_error`` (the same
+    channel element code bugs use), so every checker downgrades the verdict
+    to INCONCLUSIVE -- an infrastructure failure must never be mistaken for
+    "this element has no behaviour".
+    """
+    marker = Segment(
+        element=element.name,
+        index=0,
+        constraints=[],
+        emissions=[],
+        crash=None,
+        budget_exceeded=False,
+        ops=0,
+        analysis_error=error,
+    )
+    return ElementSummary(
+        element=element.name,
+        segments=[marker],
+        complete=False,
+        states=0,
+        elapsed=0.0,
+    )
+
+
+def _attempt_element(element: Element, config: VerifierConfig,
+                     solver: Optional[Solver], deadline: Optional[float],
+                     result: PipelineSummary) -> _ElementResult:
+    """Compute one element's summary with bounded retries on infra failures.
+
+    Dataplane crashes and exploration budgets are *results* (the explorer
+    already folds them into segments); what is retried here are failures of
+    the machinery itself -- ``MemoryError``, ``OSError`` and anything else
+    non-dataplane that escapes summarisation.  After ``config.worker_retries``
+    retries the error becomes an analysis-error summary instead of an
+    exception, so one sick element degrades the verdict, not the process.
+    """
+    retries = max(0, getattr(config, "worker_retries", 2))
+    backoff = max(0.0, getattr(config, "retry_backoff", 0.05))
+    attempt = 0
+    while True:
+        try:
+            return _compute_element(element, config, solver, deadline)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except (DataplaneCrash, ExecutionBudgetExceeded):
+            # Engine-internal signals must not escape summarisation; if one
+            # does, it is a bug worth surfacing, not retrying.
+            raise
+        except Exception as error:
+            if attempt >= retries:
+                return _failure_summary(element, error)
+            attempt += 1
+            result.retries += 1
+            if backoff:
+                time.sleep(backoff * attempt)
 
 
 def _worker_summarize(element: Element, config: VerifierConfig,
@@ -157,6 +277,10 @@ def _worker_summarize(element: Element, config: VerifierConfig,
     Returns ``(elapsed, result)``: the element's own compute time, measured
     here so the parent's per-element accounting excludes pool queue wait.
     """
+    plan = fault_injection.resolve_plan(config)
+    if plan is not None:
+        plan.on_worker_task()
+        fault_injection.install_solver_hook(plan)
     solver = Solver(max_nodes=config.solver_max_nodes)
     started = time.monotonic()
     computed = _compute_element(element, config, solver, deadline)
@@ -177,80 +301,120 @@ def _resolved_workers(config: VerifierConfig) -> int:
 def summarize_pipeline(pipeline: Pipeline, config: VerifierConfig = DEFAULT_CONFIG,
                        solver: Optional[Solver] = None,
                        deadline: Optional[float] = None,
-                       cache=None) -> PipelineSummary:
+                       cache=None,
+                       seed: Optional[SummarySeed] = None,
+                       on_element: Optional[ProgressCallback] = None) -> PipelineSummary:
     """Run verification step 1 on every element of ``pipeline``.
 
     ``cache`` overrides the cache selection of
     :func:`repro.verifier.cache.resolve_cache`; the default consults the
     process-wide installed cache and ``config.cache_enabled``.
+
+    ``seed`` is a ``(summaries, loop_analyses)`` pair from a run checkpoint:
+    elements found there are recorded directly (counted as
+    ``checkpoint_hits``) and skip both the cache probe and exploration.
+    ``on_element`` is called with the in-progress result after each element
+    completes -- the hook incremental checkpointing hangs off.
     """
     from repro.verifier.cache import resolve_cache
 
     solver = solver or Solver(max_nodes=config.solver_max_nodes)
     cache = resolve_cache(config, cache)
+    plan = fault_injection.resolve_plan(config)
+    fault_injection.install_solver_hook(plan)
     result = PipelineSummary(pipeline=pipeline)
     started = time.monotonic()
     if deadline is None and config.time_budget is not None:
         deadline = started + config.time_budget
+    quarantine_before = cache.stats.quarantined if cache is not None else 0
 
-    # Whole-pipeline fast path: a pipeline whose fingerprint (elements,
-    # configuration, state, wiring -- e.g. an unchanged .click file) was
-    # summarised before loads one pickled summary map and skips the
-    # per-element probes entirely.
-    pipeline_key = None
-    if cache is not None:
-        pipeline_key = cache.pipeline_key(pipeline, config)
-        cached = cache.get(pipeline_key) if pipeline_key is not None else None
-        if cached is not None:
-            summaries, loop_analyses = cached
-            result.summaries = dict(summaries)
-            result.loop_analyses = dict(loop_analyses)
-            result.cache_hits = len(result.summaries)
-            result.elapsed = time.monotonic() - started
-            cache.flush_stats()
-            return result
-
-    # Probe the cache for every element up front (cheap), keeping only the
-    # misses for actual exploration.
-    pending: List[Tuple[Element, Optional[str]]] = []
-    for element in pipeline.elements:
-        element_started = time.monotonic()
-        key = None
+    try:
+        # Whole-pipeline fast path: a pipeline whose fingerprint (elements,
+        # configuration, state, wiring -- e.g. an unchanged .click file) was
+        # summarised before loads one pickled summary map and skips the
+        # per-element probes entirely.  An active fault plan disables the
+        # shortcut: injection points live on the per-element path, and a chaos
+        # run that skips them all has tested nothing.
+        pipeline_key = None
         if cache is not None:
-            kind = "loop" if _wants_loop_expansion(element, config) else "process"
-            key = cache.element_key(element, config, kind)
-            cached = cache.get(key) if key is not None else None
+            pipeline_key = cache.pipeline_key(pipeline, config)
+            cached = (cache.get(pipeline_key)
+                      if pipeline_key is not None and plan is None else None)
             if cached is not None:
-                _record(result, element, cached)
+                summaries, loop_analyses = cached
+                result.summaries = dict(summaries)
+                result.loop_analyses = dict(loop_analyses)
+                result.cache_hits = len(result.summaries)
+                result.elapsed = time.monotonic() - started
+                result.cache_quarantined = cache.stats.quarantined - quarantine_before
+                cache.flush_stats()
+                return result
+
+        # Probe the checkpoint seed and the cache for every element up front
+        # (cheap), keeping only the misses for actual exploration.
+        seed_summaries, seed_loops = seed if seed is not None else ({}, {})
+        pending: List[Tuple[Element, Optional[str]]] = []
+        for element in pipeline.elements:
+            element_started = time.monotonic()
+            seeded = seed_loops.get(element.name) or seed_summaries.get(element.name)
+            if seeded is not None:
+                _record(result, element, seeded)
                 result.element_elapsed[element.name] = time.monotonic() - element_started
-                result.cache_hits += 1
+                result.checkpoint_hits += 1
                 continue
-        pending.append((element, key))
+            key = None
+            if cache is not None:
+                kind = "loop" if _wants_loop_expansion(element, config) else "process"
+                key = cache.element_key(element, config, kind)
+                if plan is not None:
+                    plan.maybe_break_cache(cache, element.name, key)
+                cached = cache.get(key) if key is not None else None
+                if cached is not None:
+                    _record(result, element, cached)
+                    result.element_elapsed[element.name] = time.monotonic() - element_started
+                    result.cache_hits += 1
+                    continue
+            pending.append((element, key))
 
-    if _resolved_workers(config) > 1 and len(pending) > 1:
-        _summarize_parallel(pipeline, pending, result, config, cache, deadline)
-    else:
-        _summarize_serial(pending, result, config, solver, cache, deadline)
+        # The serial shortcut for a single pending element is likewise skipped
+        # under an active plan, so a worker-kill injection always has a worker
+        # to kill.
+        if _resolved_workers(config) > 1 and (len(pending) > 1
+                                              or (plan is not None and pending)):
+            _summarize_parallel(pipeline, pending, result, config, cache, deadline,
+                                on_element)
+        else:
+            _summarize_serial(pending, result, config, solver, cache, deadline,
+                              on_element)
 
-    # Re-order the summary maps to pipeline order (cache hits and parallel
-    # completions may have interleaved arbitrarily).
-    order = [e.name for e in pipeline.elements]
-    result.summaries = {n: result.summaries[n] for n in order if n in result.summaries}
-    result.loop_analyses = {
-        n: result.loop_analyses[n] for n in order if n in result.loop_analyses
-    }
-    if cache is not None:
-        # Misses = elements that actually had to be explored this run; a
-        # step-1 timeout can leave pending elements unattempted, and those
-        # are neither hits nor misses.
-        result.cache_misses = sum(
-            1 for element, _ in pending if element.name in result.summaries
-        )
-    result.elapsed = time.monotonic() - started
-    if cache is not None:
-        _store_pipeline(cache, pipeline_key, pipeline, result)
-        cache.flush_stats()
-    return result
+        # The last rung of the degradation ladder: truncated elements get one
+        # escalated-budget retry while wall-clock remains.
+        if getattr(config, "escalate_inconclusive", False):
+            _escalate_incomplete(pipeline, result, config, solver, cache,
+                                 deadline, on_element)
+
+        # Re-order the summary maps to pipeline order (cache hits and parallel
+        # completions may have interleaved arbitrarily).
+        order = [e.name for e in pipeline.elements]
+        result.summaries = {n: result.summaries[n] for n in order if n in result.summaries}
+        result.loop_analyses = {
+            n: result.loop_analyses[n] for n in order if n in result.loop_analyses
+        }
+        if cache is not None:
+            # Misses = elements that actually had to be explored this run; a
+            # step-1 timeout can leave pending elements unattempted, and those
+            # are neither hits nor misses.
+            result.cache_misses = sum(
+                1 for element, _ in pending if element.name in result.summaries
+            )
+        result.elapsed = time.monotonic() - started
+        if cache is not None:
+            _store_pipeline(cache, pipeline_key, pipeline, result)
+            result.cache_quarantined = cache.stats.quarantined - quarantine_before
+            cache.flush_stats()
+        return result
+    finally:
+        fault_injection.install_solver_hook(None)
 
 
 def _store_pipeline(cache, pipeline_key: Optional[str], pipeline: Pipeline,
@@ -271,87 +435,226 @@ def _store(cache, key: Optional[str], computed: _ElementResult) -> None:
         cache.put(key, computed)
 
 
+def _escalate_incomplete(pipeline: Pipeline, result: PipelineSummary,
+                         config: VerifierConfig, solver: Solver, cache,
+                         deadline: Optional[float],
+                         on_element: Optional[ProgressCallback]) -> None:
+    """Retry truncated elements once with escalated exploration budgets.
+
+    Only fires while wall-clock remains (never against a spent deadline) and
+    never for analysis-error elements -- a bigger budget does not fix a
+    failing summarisation, only a truncated one.  A retry that completes
+    replaces the truncated summary; one that is still truncated changes
+    nothing.  Either way the verdict can only improve towards decidability --
+    budgets bound exploration, not meaning.
+    """
+    if result.interrupted:
+        return
+    if deadline is not None and time.monotonic() >= deadline:
+        return
+    factor = max(1.0, getattr(config, "escalation_factor", 4.0))
+    escalated = config.copy(
+        max_segments_per_element=int(config.max_segments_per_element * factor),
+        max_ops_per_segment=int(config.max_ops_per_segment * factor),
+        max_composed_paths=int(config.max_composed_paths * factor),
+        solver_max_nodes=int(config.solver_max_nodes * factor),
+        escalate_inconclusive=False,  # one rung, not a ladder to infinity
+    )
+    for element in pipeline.elements:
+        if deadline is not None and time.monotonic() >= deadline:
+            result.timed_out = True
+            return
+        summary = result.summaries.get(element.name)
+        if summary is not None and _clean(summary):
+            continue
+        if summary is not None and summary.analysis_errors:
+            continue
+        key = None
+        if cache is not None:
+            kind = "loop" if _wants_loop_expansion(element, config) else "process"
+            key = cache.element_key(element, escalated, kind)
+        element_started = time.monotonic()
+        try:
+            computed = _attempt_element(element, escalated, solver, deadline, result)
+        except KeyboardInterrupt:
+            result.interrupted = True
+            result.timed_out = True
+            return
+        result.escalations += 1
+        retried = computed.expanded if isinstance(computed, LoopAnalysis) else computed
+        if _clean(retried):
+            _record(result, element, computed)
+            result.element_elapsed[element.name] = (
+                result.element_elapsed.get(element.name, 0.0)
+                + (time.monotonic() - element_started))
+            _store(cache, key, computed)
+            if on_element is not None:
+                on_element(result)
+    # If escalation completed every previously truncated element, the run as
+    # a whole is no longer "timed out".
+    if result.timed_out and not result.incomplete_elements:
+        result.timed_out = False
+
+
 def _summarize_serial(pending: List[Tuple[Element, Optional[str]]],
                       result: PipelineSummary, config: VerifierConfig,
-                      solver: Solver, cache, deadline: Optional[float]) -> None:
+                      solver: Solver, cache, deadline: Optional[float],
+                      on_element: Optional[ProgressCallback] = None) -> None:
     for element, key in pending:
         if deadline is not None and time.monotonic() > deadline:
             result.timed_out = True
             break
         element_started = time.monotonic()
-        computed = _compute_element(element, config, solver, deadline)
+        try:
+            computed = _attempt_element(element, config, solver, deadline, result)
+        except KeyboardInterrupt:
+            # Leave the elements completed so far intact: the caller
+            # checkpoints them, and a resumed run picks up from here.
+            result.interrupted = True
+            result.timed_out = True
+            break
         summary = _record(result, element, computed)
         result.element_elapsed[element.name] = time.monotonic() - element_started
         if summary.timed_out:
             result.timed_out = True
         _store(cache, key, computed)
+        if on_element is not None:
+            on_element(result)
 
 
 def _summarize_parallel(pipeline: Pipeline,
                         pending: List[Tuple[Element, Optional[str]]],
                         result: PipelineSummary, config: VerifierConfig,
-                        cache, deadline: Optional[float]) -> None:
-    """Summarise the pending elements on a process pool.
+                        cache, deadline: Optional[float],
+                        on_element: Optional[ProgressCallback] = None) -> None:
+    """Summarise the pending elements on a process pool, surviving its death.
 
-    Each element is independent, so failures fall back to in-process
-    computation and a missed deadline simply leaves the remaining elements
-    unsummarised -- exactly what the serial driver's early ``break`` does.
+    Each element is independent, so the recovery ladder is per-element:
+
+    1. a future lost to a dying worker (``BrokenProcessPool``) re-queues its
+       element; the pool is rebuilt (at most :data:`MAX_POOL_RESTARTS` times)
+       and the element resubmitted;
+    2. an element whose task killed workers :data:`QUARANTINE_KILL_COUNT`
+       times is quarantined: it skips the pool and runs on the in-process
+       serial path (with bounded in-process retries);
+    3. a worker that *returns* an exception (infrastructure error inside
+       summarisation) sends the element to the same serial path;
+    4. a missed deadline simply leaves the remaining elements unsummarised --
+       exactly what the serial driver's early ``break`` does.
     """
-    workers = min(_resolved_workers(config), len(pending))
-    by_name = {element.name: (element, key) for element, key in pending}
-    leftovers: List[Tuple[Element, Optional[str]]] = []
-    try:
-        executor = ProcessPoolExecutor(max_workers=workers)
-    except (OSError, ValueError):
-        # No process support on this platform: keep the semantics, lose the
-        # concurrency.
-        _summarize_serial(pending, result, config,
-                          Solver(max_nodes=config.solver_max_nodes), cache, deadline)
-        return
+    serial_solver = lambda: Solver(max_nodes=config.solver_max_nodes)  # noqa: E731
+    queue: List[Tuple[Element, Optional[str]]] = list(pending)
+    inproc: List[Tuple[Element, Optional[str]]] = []
+    kill_counts: Dict[str, int] = {}
+    restarts = 0
 
-    try:
-        futures = {}
-        for element, key in pending:
-            if deadline is not None and time.monotonic() >= deadline:
-                result.timed_out = True
-                break
-            try:
-                future = executor.submit(_worker_summarize, element, config, deadline)
-            except Exception:
-                # Unpicklable element (or a dying pool): run it in-process.
-                leftovers.append((element, key))
-                continue
-            futures[future] = element.name
+    while queue and not result.timed_out and not result.interrupted:
+        pool_items = []
+        for element, key in queue:
+            if kill_counts.get(element.name, 0) >= QUARANTINE_KILL_COUNT:
+                if element.name not in result.quarantined:
+                    result.quarantined.append(element.name)
+                inproc.append((element, key))
+            else:
+                pool_items.append((element, key))
+        queue = []
+        if not pool_items:
+            break
+        if restarts > MAX_POOL_RESTARTS:
+            # The pool keeps dying; stop feeding it and go serial.
+            for element, key in pool_items:
+                if element.name not in result.quarantined:
+                    result.quarantined.append(element.name)
+            inproc.extend(pool_items)
+            break
 
-        remaining = set(futures)
-        while remaining:
-            timeout = None
-            if deadline is not None:
-                timeout = max(0.0, deadline - time.monotonic())
-            done, remaining = wait(remaining, timeout=timeout,
-                                   return_when=FIRST_COMPLETED)
-            if not done:
-                # Deadline expired with work still in flight.
-                result.timed_out = True
-                for future in remaining:
-                    future.cancel()
-                break
-            for future in done:
-                name = futures[future]
-                element, key = by_name[name]
-                try:
-                    elapsed, computed = future.result()
-                except Exception:
-                    leftovers.append((element, key))
-                    continue
-                summary = _record(result, element, computed)
-                result.element_elapsed[name] = elapsed
-                if summary.timed_out:
+        workers = min(_resolved_workers(config), len(pool_items))
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError):
+            # No process support on this platform: keep the semantics, lose
+            # the concurrency.
+            inproc.extend(pool_items)
+            break
+
+        pool_broke = False
+        try:
+            futures = {}
+            by_name = {element.name: (element, key) for element, key in pool_items}
+            for element, key in pool_items:
+                if deadline is not None and time.monotonic() >= deadline:
                     result.timed_out = True
-                _store(cache, key, computed)
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+                    break
+                try:
+                    future = executor.submit(_worker_summarize, element, config,
+                                             deadline)
+                except Exception:
+                    # Unpicklable element (or a dying pool): run it in-process.
+                    inproc.append((element, key))
+                    continue
+                futures[future] = element.name
 
-    if leftovers and not result.timed_out:
-        _summarize_serial(leftovers, result, config,
-                          Solver(max_nodes=config.solver_max_nodes), cache, deadline)
+            remaining = set(futures)
+            while remaining:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - time.monotonic())
+                try:
+                    done, remaining = wait(remaining, timeout=timeout,
+                                           return_when=FIRST_COMPLETED)
+                except KeyboardInterrupt:
+                    result.interrupted = True
+                    result.timed_out = True
+                    break
+                if not done:
+                    # Deadline expired with work still in flight.
+                    result.timed_out = True
+                    for future in remaining:
+                        future.cancel()
+                    break
+                for future in done:
+                    name = futures[future]
+                    element, key = by_name[name]
+                    try:
+                        elapsed, computed = future.result()
+                    except BrokenProcessPool:
+                        # The worker died (OOM kill, hard crash).  Blame every
+                        # lost future: the parent cannot see which task was on
+                        # the dying worker's desk, and an innocent element
+                        # merely earns a strike it can afford.
+                        result.worker_failures += 1
+                        result.retries += 1
+                        kill_counts[name] = kill_counts.get(name, 0) + 1
+                        queue.append((element, key))
+                        pool_broke = True
+                        continue
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception:
+                        # The worker survived but summarisation failed with an
+                        # infrastructure error; retry in-process.
+                        result.worker_failures += 1
+                        inproc.append((element, key))
+                        continue
+                    summary = _record(result, element, computed)
+                    result.element_elapsed[name] = elapsed
+                    if summary.timed_out:
+                        result.timed_out = True
+                    _store(cache, key, computed)
+                    if on_element is not None:
+                        on_element(result)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        if pool_broke:
+            restarts += 1
+
+    if (queue or inproc) and not result.timed_out and not result.interrupted:
+        leftovers = inproc + queue
+        for element, _ in leftovers:
+            # Anything that reaches the serial path after a pool failure is a
+            # re-execution; first-time fallbacks (unpicklable elements, no
+            # process support) are not retries and have no kill count.
+            if kill_counts.get(element.name, 0) > 0:
+                result.retries += 1
+        _summarize_serial(leftovers, result, config, serial_solver(), cache,
+                          deadline, on_element)

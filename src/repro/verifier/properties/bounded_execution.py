@@ -26,10 +26,17 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dataplane.pipeline import Pipeline
 from repro.symex.solver import Solver
+from repro.verifier.checkpoint import CheckpointManager
 from repro.verifier.composition import ComposedPath, PathComposer, search_paths_to_segment
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
 from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
-from repro.verifier.results import Counterexample, EffortStats, VerificationResult, Verdict
+from repro.verifier.results import (
+    Counterexample,
+    EffortStats,
+    VerificationResult,
+    Verdict,
+    degradation_detail,
+)
 from repro.verifier.summaries import ElementSummary
 
 PROPERTY_NAME = "bounded-execution"
@@ -182,8 +189,17 @@ class BoundedExecutionChecker:
         if self.config.time_budget is not None:
             deadline = started + self.config.time_budget
 
+        manager = None
         if summary is None:
-            summary = summarize_pipeline(pipeline, self.config, self.solver, deadline)
+            manager = CheckpointManager.for_run(pipeline, PROPERTY_NAME, self.config)
+            seed = None
+            if manager is not None:
+                seed = manager.seed(strict=getattr(self.config, "resume", False))
+            summary = summarize_pipeline(
+                pipeline, self.config, self.solver, deadline,
+                seed=seed,
+                on_element=manager.record_step1 if manager is not None else None,
+            )
         stats = EffortStats(
             step1_elapsed=summary.elapsed,
             states=summary.total_states,
@@ -192,6 +208,7 @@ class BoundedExecutionChecker:
             cache_misses=summary.cache_misses,
             element_elapsed=dict(summary.element_elapsed),
         )
+        stats.record_resilience(summary)
         result = VerificationResult(
             property_name=PROPERTY_NAME,
             pipeline_name=pipeline.name,
@@ -199,44 +216,64 @@ class BoundedExecutionChecker:
             stats=stats,
             detail={"instruction_bound": imax},
         )
+        if manager is not None:
+            result.detail["run_id"] = manager.run_id
 
         if summary.analysis_errors:
             result.reason = "element code raised non-dataplane errors during analysis"
-            self._finish(result, started, solver_since)
+            self._finish(result, summary, manager, started, solver_since)
+            return result
+        if summary.interrupted:
+            result.reason = "interrupted before step 1 finished"
+            self._finish(result, summary, manager, started, solver_since)
             return result
 
+        if manager is not None:
+            manager.begin_step2()
         composer = PathComposer(solver=self.solver, config=self.config)
         step2_started = time.monotonic()
 
         # First: are any potentially-unbounded segments (budget blow-ups, i.e.
-        # possible infinite loops) reachable?
+        # possible infinite loops) reachable?  Suspects an aborted run already
+        # proved unreachable are skipped via the checkpoint frontier.
         unbounded_reachable = False
         unbounded_inconclusive = False
-        for element_name, segment in summary.suspect_unbounded_segments():
-            search = search_paths_to_segment(
-                pipeline, summary.summaries, composer, element_name, segment,
-                config=self.config, stop_on_first_feasible=True, deadline=deadline,
-            )
-            if search.feasible_paths:
-                unbounded_reachable = True
-                path, model = search.feasible_paths[0]
-                result.counterexamples.append(
-                    Counterexample(
-                        packet_bytes=composer.counterexample_bytes(model),
-                        path=[f"{name}#{seg.index}" for name, seg in path.steps],
-                        detail={
-                            "kind": "possible infinite loop",
-                            "ops_at_cutoff": segment.ops,
-                        },
-                        model=model,
-                    )
-                )
-            elif not search.exhaustive or search.any_unknown:
-                unbounded_inconclusive = True
-
-        # Second: the longest feasible path among ordinary segments.
+        longest = []
         search = _BestFirstSearch(pipeline, summary.summaries, composer, self.config, deadline)
-        longest = search.run(k=1)
+        try:
+            for element_name, segment in summary.suspect_unbounded_segments():
+                suspect_key = CheckpointManager.suspect_key(element_name, segment)
+                if manager is not None and manager.is_discharged(suspect_key):
+                    continue
+                reach = search_paths_to_segment(
+                    pipeline, summary.summaries, composer, element_name, segment,
+                    config=self.config, stop_on_first_feasible=True, deadline=deadline,
+                )
+                if reach.feasible_paths:
+                    unbounded_reachable = True
+                    path, model = reach.feasible_paths[0]
+                    result.counterexamples.append(
+                        Counterexample(
+                            packet_bytes=composer.counterexample_bytes(model),
+                            path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                            detail={
+                                "kind": "possible infinite loop",
+                                "ops_at_cutoff": segment.ops,
+                            },
+                            model=model,
+                        )
+                    )
+                elif not reach.exhaustive or reach.any_unknown:
+                    unbounded_inconclusive = True
+                elif manager is not None:
+                    manager.mark_discharged(suspect_key, composer.stats.paths_composed)
+
+            # Second: the longest feasible path among ordinary segments.
+            longest = search.run(k=1)
+        except KeyboardInterrupt:
+            summary.interrupted = True
+            unbounded_inconclusive = True
+            search.exhaustive = False
         result.detail["longest_path_combinations"] = search.combinations
 
         stats.step2_elapsed = time.monotonic() - step2_started
@@ -248,7 +285,7 @@ class BoundedExecutionChecker:
                 "a packet can drive the pipeline past the execution budget "
                 "(possible infinite loop); counter-example attached"
             )
-            self._finish(result, started, solver_since)
+            self._finish(result, summary, manager, started, solver_since)
             return result
 
         if longest:
@@ -269,7 +306,7 @@ class BoundedExecutionChecker:
                         model=model,
                     )
                 )
-                self._finish(result, started, solver_since)
+                self._finish(result, summary, manager, started, solver_since)
                 return result
 
         if (summary.complete and not summary.timed_out and search.exhaustive
@@ -283,13 +320,22 @@ class BoundedExecutionChecker:
         else:
             result.verdict = Verdict.INCONCLUSIVE
             result.reason = "analysis budget exhausted before the longest path was established"
-        self._finish(result, started, solver_since)
+        self._finish(result, summary, manager, started, solver_since)
         return result
 
-    def _finish(self, result: VerificationResult, started: float,
+    def _finish(self, result: VerificationResult, summary: PipelineSummary,
+                manager: Optional[CheckpointManager], started: float,
                 solver_since=None) -> None:
         result.stats.elapsed = time.monotonic() - started
         result.stats.record_solver(self.solver, since=solver_since)
+        if result.inconclusive:
+            result.detail["degradation"] = degradation_detail(result, summary)
+        if manager is not None:
+            if result.inconclusive:
+                manager.save(force=True)
+            else:
+                manager.discard()
+            result.stats.checkpoint_writes = manager.writes
 
 
 def find_longest_paths(pipeline: Pipeline, k: int = 10,

@@ -13,6 +13,13 @@ If step 1 produces no suspects, the pipeline is proved crash-free without any
 composition work at all (the common case for the meaningful pipelines).  If a
 feasible violating path exists, the checker reconstructs the concrete packet
 from the solver model and attaches it as a counter-example.
+
+When ``config.checkpoint_enabled`` is set, the checker journals its progress
+through :mod:`repro.verifier.checkpoint`: completed step-1 summaries and
+every suspect it proves infeasible.  A run aborted by the wall-clock budget
+or SIGINT then leaves a checkpoint whose run id is reported in
+``result.detail`` -- ``repro verify --resume`` picks it up and continues from
+the frontier instead of starting over.
 """
 
 from __future__ import annotations
@@ -22,10 +29,17 @@ from typing import Optional
 
 from repro.dataplane.pipeline import Pipeline
 from repro.symex.solver import Solver
+from repro.verifier.checkpoint import CheckpointManager
 from repro.verifier.composition import PathComposer, search_paths_to_segment
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
 from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
-from repro.verifier.results import Counterexample, EffortStats, VerificationResult, Verdict
+from repro.verifier.results import (
+    Counterexample,
+    EffortStats,
+    VerificationResult,
+    Verdict,
+    degradation_detail,
+)
 
 PROPERTY_NAME = "crash-freedom"
 
@@ -47,8 +61,19 @@ class CrashFreedomChecker:
         if self.config.time_budget is not None:
             deadline = started + self.config.time_budget
 
+        manager = None
         if summary is None:
-            summary = summarize_pipeline(pipeline, self.config, self.solver, deadline)
+            # Checkpointing only applies when this checker owns step 1; a
+            # caller-provided summary has caller-managed provenance.
+            manager = CheckpointManager.for_run(pipeline, PROPERTY_NAME, self.config)
+            seed = None
+            if manager is not None:
+                seed = manager.seed(strict=getattr(self.config, "resume", False))
+            summary = summarize_pipeline(
+                pipeline, self.config, self.solver, deadline,
+                seed=seed,
+                on_element=manager.record_step1 if manager is not None else None,
+            )
         stats = EffortStats(
             step1_elapsed=summary.elapsed,
             states=summary.total_states,
@@ -57,6 +82,7 @@ class CrashFreedomChecker:
             cache_misses=summary.cache_misses,
             element_elapsed=dict(summary.element_elapsed),
         )
+        stats.record_resilience(summary)
 
         result = VerificationResult(
             property_name=PROPERTY_NAME,
@@ -64,6 +90,8 @@ class CrashFreedomChecker:
             verdict=Verdict.INCONCLUSIVE,
             stats=stats,
         )
+        if manager is not None:
+            result.detail["run_id"] = manager.run_id
 
         failures = summary.analysis_errors
         if failures:
@@ -71,7 +99,11 @@ class CrashFreedomChecker:
                 "element code raised non-dataplane errors during analysis: "
                 + ", ".join(f"{name} ({count})" for name, count in failures.items())
             )
-            self._finish(result, started, solver_since)
+            self._finish(result, summary, manager, started, solver_since)
+            return result
+        if summary.interrupted:
+            result.reason = "interrupted before step 1 finished"
+            self._finish(result, summary, manager, started, solver_since)
             return result
 
         suspects = list(summary.suspect_crash_segments())
@@ -83,38 +115,58 @@ class CrashFreedomChecker:
                 result.reason = "no element contains a crashing segment"
             else:
                 result.reason = "no suspects found, but step 1 was not exhaustive"
-            self._finish(result, started, solver_since)
+            self._finish(result, summary, manager, started, solver_since)
             return result
 
         # Step 2: feasibility of each suspect in the context of the pipeline.
+        if manager is not None:
+            manager.begin_step2()
         composer = PathComposer(solver=self.solver, config=self.config)
         step2_started = time.monotonic()
         all_infeasible = True
         any_unknown = False
         exhaustive = True
-        for element_name, segment in suspects:
-            search = search_paths_to_segment(
-                pipeline, summary.summaries, composer, element_name, segment,
-                config=self.config, stop_on_first_feasible=True, deadline=deadline,
-            )
-            exhaustive &= search.exhaustive
-            any_unknown |= search.any_unknown
-            if search.feasible_paths:
-                all_infeasible = False
-                path, model = search.feasible_paths[0]
-                result.counterexamples.append(
-                    Counterexample(
-                        packet_bytes=composer.counterexample_bytes(model),
-                        path=[f"{name}#{seg.index}" for name, seg in path.steps],
-                        detail={
-                            "crash": str(segment.crash),
-                            "crash_kind": segment.crash.kind if segment.crash else None,
-                        },
-                        model=model,
-                    )
+        discharged = 0
+        try:
+            for element_name, segment in suspects:
+                suspect_key = CheckpointManager.suspect_key(element_name, segment)
+                if manager is not None and manager.is_discharged(suspect_key):
+                    # An earlier (aborted) run already proved this suspect
+                    # infeasible exhaustively; the proof carries over because
+                    # the run id pins pipeline, property and configuration.
+                    discharged += 1
+                    continue
+                search = search_paths_to_segment(
+                    pipeline, summary.summaries, composer, element_name, segment,
+                    config=self.config, stop_on_first_feasible=True, deadline=deadline,
                 )
+                exhaustive &= search.exhaustive
+                any_unknown |= search.any_unknown
+                if search.feasible_paths:
+                    all_infeasible = False
+                    path, model = search.feasible_paths[0]
+                    result.counterexamples.append(
+                        Counterexample(
+                            packet_bytes=composer.counterexample_bytes(model),
+                            path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                            detail={
+                                "crash": str(segment.crash),
+                                "crash_kind": segment.crash.kind if segment.crash else None,
+                            },
+                            model=model,
+                        )
+                    )
+                elif search.exhaustive and not search.any_unknown:
+                    discharged += 1
+                    if manager is not None:
+                        manager.mark_discharged(
+                            suspect_key, composer.stats.paths_composed)
+        except KeyboardInterrupt:
+            summary.interrupted = True
+            any_unknown = True
         stats.step2_elapsed = time.monotonic() - step2_started
         stats.paths_composed = composer.stats.paths_composed
+        result.detail["suspects_discharged"] = discharged
 
         if result.counterexamples:
             result.verdict = Verdict.VIOLATED
@@ -128,11 +180,25 @@ class CrashFreedomChecker:
             result.reason = "every crashing segment is infeasible in the pipeline context"
         else:
             result.verdict = Verdict.INCONCLUSIVE
-            result.reason = "analysis budget exhausted before all suspects were discharged"
-        self._finish(result, started, solver_since)
+            if summary.interrupted:
+                result.reason = "interrupted before all suspects were discharged"
+            else:
+                result.reason = "analysis budget exhausted before all suspects were discharged"
+        self._finish(result, summary, manager, started, solver_since,
+                     suspects_total=len(suspects))
         return result
 
-    def _finish(self, result: VerificationResult, started: float,
-                solver_since=None) -> None:
+    def _finish(self, result: VerificationResult, summary: PipelineSummary,
+                manager: Optional[CheckpointManager], started: float,
+                solver_since=None, suspects_total: Optional[int] = None) -> None:
         result.stats.elapsed = time.monotonic() - started
         result.stats.record_solver(self.solver, since=solver_since)
+        if result.inconclusive:
+            result.detail["degradation"] = degradation_detail(
+                result, summary, suspects_total)
+        if manager is not None:
+            if result.inconclusive:
+                manager.save(force=True)
+            else:
+                manager.discard()
+            result.stats.checkpoint_writes = manager.writes

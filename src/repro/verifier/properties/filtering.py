@@ -27,10 +27,17 @@ from repro.net.addresses import ip_to_int
 from repro.structures.lpm import parse_prefix
 from repro.symex import exprs as E
 from repro.symex.solver import Solver
+from repro.verifier.checkpoint import CheckpointManager
 from repro.verifier.composition import PathComposer, iterate_pipeline_paths
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
 from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
-from repro.verifier.results import Counterexample, EffortStats, VerificationResult, Verdict
+from repro.verifier.results import (
+    Counterexample,
+    EffortStats,
+    VerificationResult,
+    Verdict,
+    degradation_detail,
+)
 from repro.verifier.summaries import packet_symbol_name
 
 PROPERTY_NAME = "filtering"
@@ -135,8 +142,23 @@ class FilteringChecker:
         if self.config.time_budget is not None:
             deadline = started + self.config.time_budget
 
+        manager = None
         if summary is None:
-            summary = summarize_pipeline(pipeline, self.config, self.solver, deadline)
+            # The checkpoint carries step 1 only: step-2 path enumeration is a
+            # stream with no stable per-suspect frontier, so a resumed
+            # filtering run redoes composition but reuses every summary.  The
+            # property's premise is part of the run identity -- two different
+            # filtering properties never share a checkpoint.
+            manager = CheckpointManager.for_run(
+                pipeline, f"{PROPERTY_NAME}:{prop.describe()}", self.config)
+            seed = None
+            if manager is not None:
+                seed = manager.seed(strict=getattr(self.config, "resume", False))
+            summary = summarize_pipeline(
+                pipeline, self.config, self.solver, deadline,
+                seed=seed,
+                on_element=manager.record_step1 if manager is not None else None,
+            )
         stats = EffortStats(
             step1_elapsed=summary.elapsed,
             states=summary.total_states,
@@ -145,54 +167,68 @@ class FilteringChecker:
             cache_misses=summary.cache_misses,
             element_elapsed=dict(summary.element_elapsed),
         )
+        stats.record_resilience(summary)
         result = VerificationResult(
             property_name=f"{PROPERTY_NAME}: {prop.describe()}",
             pipeline_name=pipeline.name,
             verdict=Verdict.INCONCLUSIVE,
             stats=stats,
         )
+        if manager is not None:
+            result.detail["run_id"] = manager.run_id
         if summary.analysis_errors:
             result.reason = "element code raised non-dataplane errors during analysis"
-            self._finish(result, started, solver_since)
+            self._finish(result, summary, manager, started, solver_since)
+            return result
+        if summary.interrupted:
+            result.reason = "interrupted before step 1 finished"
+            self._finish(result, summary, manager, started, solver_since)
             return result
 
+        if manager is not None:
+            manager.begin_step2()
         premise = prop.premise_constraints(self.config.ip_offset)
         composer = PathComposer(solver=self.solver, config=self.config)
         step2_started = time.monotonic()
         any_unknown = False
         exhaustive = True
 
-        for path, feasibility in iterate_pipeline_paths(
-            pipeline, summary.summaries, composer, self.config, deadline=deadline
-        ):
-            if feasibility is not None and feasibility.is_unknown:
-                any_unknown = True
-            if path.crashed or path.budget_exceeded:
-                # Crash/bounded-execution issues are separate properties; for a
-                # filtering property they make the verdict inconclusive at most.
-                continue
-            delivered = path.exit_port is not None
-            violating = (
-                (prop.expectation == "dropped" and delivered)
-                or (prop.expectation == "delivered" and not delivered)
-            )
-            if not violating:
-                continue
-            verdict = self.solver.check(path.constraints + premise,
-                                        max_nodes=self.config.solver_max_nodes)
-            composer.stats.paths_composed += 1
-            if verdict.is_sat:
-                result.counterexamples.append(
-                    Counterexample(
-                        packet_bytes=composer.counterexample_bytes(verdict.model),
-                        path=[f"{name}#{seg.index}" for name, seg in path.steps],
-                        detail={"outcome": "delivered" if delivered else "dropped"},
-                        model=verdict.model,
-                    )
+        try:
+            for path, feasibility in iterate_pipeline_paths(
+                pipeline, summary.summaries, composer, self.config, deadline=deadline
+            ):
+                if feasibility is not None and feasibility.is_unknown:
+                    any_unknown = True
+                if path.crashed or path.budget_exceeded:
+                    # Crash/bounded-execution issues are separate properties; for a
+                    # filtering property they make the verdict inconclusive at most.
+                    continue
+                delivered = path.exit_port is not None
+                violating = (
+                    (prop.expectation == "dropped" and delivered)
+                    or (prop.expectation == "delivered" and not delivered)
                 )
-                break
-            if verdict.is_unknown:
-                any_unknown = True
+                if not violating:
+                    continue
+                verdict = self.solver.check(path.constraints + premise,
+                                            max_nodes=self.config.solver_max_nodes)
+                composer.stats.paths_composed += 1
+                if verdict.is_sat:
+                    result.counterexamples.append(
+                        Counterexample(
+                            packet_bytes=composer.counterexample_bytes(verdict.model),
+                            path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                            detail={"outcome": "delivered" if delivered else "dropped"},
+                            model=verdict.model,
+                        )
+                    )
+                    break
+                if verdict.is_unknown:
+                    any_unknown = True
+        except KeyboardInterrupt:
+            summary.interrupted = True
+            any_unknown = True
+            exhaustive = False
 
         if composer.stats.paths_composed >= self.config.max_composed_paths:
             exhaustive = False
@@ -208,10 +244,19 @@ class FilteringChecker:
         else:
             result.verdict = Verdict.INCONCLUSIVE
             result.reason = "analysis budget exhausted before all paths were examined"
-        self._finish(result, started, solver_since)
+        self._finish(result, summary, manager, started, solver_since)
         return result
 
-    def _finish(self, result: VerificationResult, started: float,
+    def _finish(self, result: VerificationResult, summary: PipelineSummary,
+                manager: Optional[CheckpointManager], started: float,
                 solver_since=None) -> None:
         result.stats.elapsed = time.monotonic() - started
         result.stats.record_solver(self.solver, since=solver_since)
+        if result.inconclusive:
+            result.detail["degradation"] = degradation_detail(result, summary)
+        if manager is not None:
+            if result.inconclusive:
+                manager.save(force=True)
+            else:
+                manager.discard()
+            result.stats.checkpoint_writes = manager.writes

@@ -89,6 +89,31 @@ class EffortStats:
     #: cost only the lookup)
     element_elapsed: Dict[str, float] = field(default_factory=dict)
 
+    # -- resilience counters (what ``verify --stats`` reports as [resilience]) --
+    #: step-1 worker-process failures observed (died workers, lost futures)
+    worker_failures: int = 0
+    #: element re-executions after a failure (pool resubmits, in-process retries)
+    retries: int = 0
+    #: elements forced onto the serial path after repeatedly killing workers
+    quarantined_elements: List[str] = field(default_factory=list)
+    #: summary-cache entries quarantined (corruption self-healed) this run
+    cache_quarantined: int = 0
+    #: truncated elements granted an escalated-budget retry
+    escalations: int = 0
+    #: element summaries reused from a run checkpoint (--resume)
+    checkpoint_hits: int = 0
+    #: checkpoint files written during this run
+    checkpoint_writes: int = 0
+
+    def record_resilience(self, summary) -> None:
+        """Copy a step-1 :class:`PipelineSummary`'s resilience counters."""
+        self.worker_failures = summary.worker_failures
+        self.retries = summary.retries
+        self.quarantined_elements = list(summary.quarantined)
+        self.cache_quarantined = summary.cache_quarantined
+        self.escalations = summary.escalations
+        self.checkpoint_hits = summary.checkpoint_hits
+
     def record_solver(self, solver, since: Optional[Dict[str, int]] = None) -> None:
         """Copy the solver-internal counters onto this stats record.
 
@@ -149,3 +174,36 @@ class VerificationResult:
         if self.reason:
             base += f" -- {self.reason}"
         return base
+
+
+def degradation_detail(result: VerificationResult, summary,
+                       suspects_total: Optional[int] = None) -> Dict[str, Any]:
+    """Structured account of *why* a verdict degraded to INCONCLUSIVE.
+
+    ``summary`` is the step-1 :class:`~repro.verifier.pipeline_summary.PipelineSummary`
+    (duck-typed to keep this module free of verifier imports).  The ``budget``
+    field names the rung of the degradation ladder the run stopped on, so
+    callers (and the CLI's resume hint) can tell "ran out of time, resume me"
+    apart from "element analysis is broken, resuming will not help".
+    """
+    if summary.interrupted:
+        budget = "interrupted"
+    elif summary.analysis_errors:
+        budget = "analysis_error"
+    elif summary.timed_out:
+        budget = "time_budget"
+    elif summary.incomplete_elements:
+        budget = "incomplete_step1"
+    else:
+        budget = "solver_budget"
+    detail: Dict[str, Any] = {
+        "budget": budget,
+        "elements_total": len(summary.pipeline.elements),
+        "elements_summarized": len(summary.summaries),
+        "incomplete_elements": summary.incomplete_elements,
+        "paths_composed": result.stats.paths_composed,
+    }
+    if suspects_total is not None:
+        detail["suspects_total"] = suspects_total
+        detail["suspects_discharged"] = result.detail.get("suspects_discharged", 0)
+    return detail

@@ -1,0 +1,92 @@
+"""Property tests: injected infrastructure faults never flip a verdict.
+
+The fault-injection contract (:mod:`repro.verifier.faults`) is that faults
+perturb *where and whether* work happens -- workers die, cache entries rot,
+summarisation hits MemoryError -- but never *what* a summary says.  The
+observable consequence, pinned here over randomly drawn fault plans:
+
+* a faulted run answers either the fault-free verdict or INCONCLUSIVE;
+  PROVED and VIOLATED never trade places;
+* after any amount of injected cache corruption, a fault-free rerun over the
+  same cache directory self-heals and reproduces the fault-free verdict.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane.element import Element
+from repro.dataplane.elements import CheckIPHeader, DecIPTTL, PassThrough
+from repro.dataplane.pipeline import Pipeline
+from repro.errors import AssertionFailure
+from repro.verifier import Verdict, VerifierConfig, verify_crash_freedom
+from repro.verifier.faults import FaultPlan
+
+
+class Crasher(Element):
+    """Reachable crash, so the suite includes a VIOLATED baseline (a fault
+    must never upgrade it to PROVED)."""
+
+    def process(self, packet):
+        if packet.ip().ttl == 77:
+            raise AssertionFailure("ttl 77 is cursed")
+        return packet
+
+
+def build_pipeline(shape: str) -> Pipeline:
+    if shape == "proved":
+        return Pipeline.linear(
+            [CheckIPHeader(name="chk"), DecIPTTL(name="ttl")], name="fault-proved")
+    return Pipeline.linear(
+        [PassThrough(name="fwd"), Crasher(name="crash")], name="fault-violated")
+
+
+BASELINE = {"proved": Verdict.PROVED, "violated": Verdict.VIOLATED}
+ELEMENTS = ("chk", "ttl", "fwd", "crash")
+
+#: individual fault directives a plan is drawn from.  ``worker-kill`` is
+#: deliberately absent: these runs are serial (workers=1) so it cannot fire,
+#: and the parallel recovery path has its own integration test.
+directive_st = st.one_of(
+    st.tuples(st.just("element-error"), st.sampled_from(ELEMENTS),
+              st.sampled_from(["memory", "os", "interrupt"]))
+    .map(":".join),
+    st.tuples(st.just("cache-corrupt"), st.sampled_from(ELEMENTS)).map(":".join),
+    st.tuples(st.just("cache-truncate"), st.sampled_from(ELEMENTS)).map(":".join),
+    st.just("solver-latency:0.001"),
+)
+
+plan_st = st.lists(directive_st, min_size=1, max_size=4, unique=True).map(",".join)
+
+
+def run(pipeline: Pipeline, cache_dir: str, plan: FaultPlan = None):
+    config = VerifierConfig(cache_dir=cache_dir, cache_enabled=True, workers=1,
+                            checkpoint_enabled=False, fault_plan=plan)
+    return verify_crash_freedom(pipeline, config=config)
+
+
+@settings(max_examples=10, deadline=None)
+@given(shape=st.sampled_from(["proved", "violated"]), plan_text=plan_st)
+def test_faults_degrade_but_never_flip(shape, plan_text):
+    cache_dir = tempfile.mkdtemp(prefix="repro-fault-prop-")
+    try:
+        pipeline = build_pipeline(shape)
+        baseline = BASELINE[shape]
+        # Warm run: establishes the fault-free verdict and populates the cache
+        # entries the drawn plan may later corrupt.
+        assert run(pipeline, cache_dir).verdict is baseline
+
+        faulted = run(pipeline, cache_dir, plan=FaultPlan.parse(plan_text))
+        assert faulted.verdict in (baseline, Verdict.INCONCLUSIVE), (
+            f"fault plan {plan_text!r} flipped {baseline} "
+            f"to {faulted.verdict}")
+
+        # Self-heal: whatever the plan corrupted, a fault-free rerun over the
+        # same cache directory quarantines the damage and recovers the verdict.
+        healed = run(pipeline, cache_dir)
+        assert healed.verdict is baseline
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)

@@ -1,0 +1,225 @@
+"""Unit tests for run checkpoints (:mod:`repro.verifier.checkpoint`)."""
+
+import dataclasses
+import pickle
+from types import SimpleNamespace
+
+import pytest
+
+from repro.dataplane.elements import CheckIPHeader, DecIPTTL
+from repro.dataplane.pipeline import Pipeline
+from repro.errors import CheckpointError
+from repro.symex.solver import Solver
+from repro.verifier.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    RunCheckpoint,
+    find_run,
+    list_runs,
+    run_identity,
+    runs_dir,
+)
+from repro.verifier.config import VerifierConfig
+from repro.verifier.summaries import summarize_element
+
+
+PIPELINE = Pipeline.linear(
+    [CheckIPHeader(name="chk"), DecIPTTL(name="ttl")], name="ckpt-unit",
+)
+
+
+def make_config(tmp_path, **overrides):
+    overrides.setdefault("checkpoint_enabled", True)
+    return VerifierConfig(cache_dir=str(tmp_path), **overrides)
+
+
+def make_manager(tmp_path, **overrides) -> CheckpointManager:
+    manager = CheckpointManager.for_run(
+        PIPELINE, "crash-freedom", make_config(tmp_path, **overrides))
+    assert manager is not None
+    return manager
+
+
+class TestIdentity:
+    def test_identity_is_stable(self, tmp_path):
+        config = make_config(tmp_path)
+        assert (run_identity(PIPELINE, "crash-freedom", config)
+                == run_identity(PIPELINE, "crash-freedom", config))
+
+    def test_identity_tracks_property_pipeline_and_config(self, tmp_path):
+        config = make_config(tmp_path)
+        base, _, _ = run_identity(PIPELINE, "crash-freedom", config)
+        other_prop, _, _ = run_identity(PIPELINE, "bounded", config)
+        assert other_prop != base
+        other_pipe, _, _ = run_identity(
+            Pipeline.linear([CheckIPHeader(name="chk")], name="ckpt-unit"),
+            "crash-freedom", config)
+        assert other_pipe != base
+        shaped = make_config(
+            tmp_path, max_segments_per_element=config.max_segments_per_element + 1)
+        other_config, _, _ = run_identity(PIPELINE, "crash-freedom", shaped)
+        assert other_config != base
+
+    def test_identity_ignores_non_shaping_fields(self, tmp_path):
+        # Wall budgets and worker counts change *when* a run finishes, never
+        # what exploration produces, so they must not orphan checkpoints.
+        base, _, _ = run_identity(
+            PIPELINE, "crash-freedom", make_config(tmp_path))
+        same, _, _ = run_identity(
+            PIPELINE, "crash-freedom",
+            make_config(tmp_path, time_budget=5.0, workers=4))
+        assert same == base
+
+    def test_disabled_or_unfingerprintable_runs_get_no_manager(self, tmp_path):
+        config = make_config(tmp_path, checkpoint_enabled=False)
+        assert CheckpointManager.for_run(PIPELINE, "crash-freedom", config) is None
+
+        class Opaque:
+            name = "opaque"
+
+            def fingerprint(self):
+                return None
+
+        assert CheckpointManager.for_run(
+            Opaque(), "crash-freedom", make_config(tmp_path)) is None
+        assert run_identity(Opaque(), "crash-freedom", make_config(tmp_path)) is None
+
+
+class TestRoundTrip:
+    def _summary(self, name="chk"):
+        return summarize_element(CheckIPHeader(name=name), VerifierConfig(), Solver())
+
+    def test_record_save_load_seed(self, tmp_path):
+        manager = make_manager(tmp_path)
+        clean = self._summary()
+        progress = SimpleNamespace(summaries={"chk": clean}, loop_analyses={})
+        manager.record_step1(progress)
+        manager.save(force=True)
+        assert manager.writes >= 1
+
+        fresh = make_manager(tmp_path)
+        seeded = fresh.seed()
+        assert seeded is not None
+        summaries, loop_analyses = seeded
+        assert set(summaries) == {"chk"}
+        assert loop_analyses == {}
+        assert summaries["chk"].segments  # real summary survived the round trip
+
+    def test_dirty_summaries_are_not_checkpointed(self, tmp_path):
+        manager = make_manager(tmp_path)
+        truncated = dataclasses.replace(self._summary(), timed_out=True)
+        progress = SimpleNamespace(
+            summaries={"chk": self._summary(), "ttl": truncated},
+            loop_analyses={},
+        )
+        manager.record_step1(progress)
+        manager.save(force=True)
+        reloaded = make_manager(tmp_path).load()
+        assert set(reloaded.summaries) == {"chk"}  # the truncated one is retried
+
+    def test_frontier_round_trips(self, tmp_path):
+        manager = make_manager(tmp_path)
+        key = CheckpointManager.suspect_key("chk", SimpleNamespace(index=3))
+        assert key == "chk#3"
+        assert not manager.is_discharged(key)
+        manager.begin_step2()
+        manager.mark_discharged(key, paths_composed=7)
+        manager.save(force=True)
+
+        fresh = make_manager(tmp_path)
+        fresh.seed()
+        assert fresh.is_discharged(key)
+        assert fresh.state.phase == "step2"
+        assert fresh.state.paths_composed == 7
+
+    def test_saves_are_throttled_but_forceable(self, tmp_path):
+        manager = make_manager(tmp_path)
+        manager.mark_discharged("chk#0")
+        writes = manager.writes
+        manager.mark_discharged("chk#1")  # within SAVE_INTERVAL: no new write
+        assert manager.writes == writes
+        manager.save(force=True)
+        assert manager.writes == writes + 1
+
+    def test_discard_removes_the_file(self, tmp_path):
+        manager = make_manager(tmp_path)
+        manager.mark_discharged("chk#0")
+        manager.save(force=True)
+        assert manager.path.is_file()
+        manager.discard()
+        assert not manager.path.is_file()
+        assert make_manager(tmp_path).seed() is None
+
+
+class TestCorruptionAndMismatch:
+    def _saved_manager(self, tmp_path) -> CheckpointManager:
+        manager = make_manager(tmp_path)
+        manager.mark_discharged("chk#0")
+        manager.save(force=True)
+        return manager
+
+    def test_missing_checkpoint(self, tmp_path):
+        manager = make_manager(tmp_path)
+        assert manager.load() is None
+        with pytest.raises(CheckpointError, match="no checkpoint found"):
+            manager.load(strict=True)
+
+    def test_corrupt_checkpoint_lenient_vs_strict(self, tmp_path):
+        path = self._saved_manager(tmp_path).path
+        path.write_bytes(b"\xde\xad" * 40)
+        with pytest.raises(CheckpointError, match="corrupt"):
+            make_manager(tmp_path).load(strict=True)
+        # Lenient load discards the corrupt file and starts fresh.
+        assert make_manager(tmp_path).load() is None
+        assert not path.exists()
+
+    def test_version_skew_is_rejected(self, tmp_path):
+        manager = self._saved_manager(tmp_path)
+        from repro.verifier.cache import frame_payload
+
+        body = pickle.dumps((CHECKPOINT_VERSION + 1, manager.state))
+        manager.path.write_bytes(frame_payload(body))
+        with pytest.raises(CheckpointError, match="incompatible"):
+            make_manager(tmp_path).load(strict=True)
+        assert make_manager(tmp_path).load() is None
+
+    def test_identity_mismatch_never_seeds(self, tmp_path):
+        manager = self._saved_manager(tmp_path)
+        # Same file on disk, but a manager for a different property; pretend a
+        # run-id collision happened by pointing it at the existing path.
+        other = CheckpointManager(
+            manager.run_id, manager.state.pipeline_fingerprint,
+            "bounded", manager.state.config_token, manager.path)
+        assert other.load() is None
+        with pytest.raises(CheckpointError, match="does not match"):
+            other.load(strict=True)
+
+
+class TestRunListing:
+    def test_list_and_find(self, tmp_path):
+        manager = make_manager(tmp_path)
+        manager.begin_step2()
+        manager.mark_discharged("chk#0")
+        manager.save(force=True)
+        runs = list_runs(str(tmp_path))
+        assert [run["run_id"] for run in runs] == [manager.run_id]
+        assert runs[0]["pipeline"] == "ckpt-unit"
+        assert runs[0]["phase"] == "step2"
+        assert runs[0]["discharged"] == 1
+        assert find_run(manager.run_id, str(tmp_path)) == manager.path
+
+    def test_unreadable_entries_are_reported_not_fatal(self, tmp_path):
+        (runs_dir(str(tmp_path))).mkdir(parents=True)
+        (runs_dir(str(tmp_path)) / "deadbeef0000.ckpt").write_bytes(b"junk")
+        runs = list_runs(str(tmp_path))
+        assert runs[0]["run_id"] == "deadbeef0000"
+        assert "error" in runs[0]
+
+    def test_find_unknown_run_names_the_known_ones(self, tmp_path):
+        manager = make_manager(tmp_path)
+        manager.mark_discharged("chk#0")
+        manager.save(force=True)
+        with pytest.raises(CheckpointError, match=manager.run_id):
+            find_run("nope", str(tmp_path))
+        with pytest.raises(CheckpointError, match="<none>"):
+            find_run("nope", str(tmp_path / "empty"))

@@ -1,0 +1,146 @@
+"""Unit tests for the fault-injection plans of :mod:`repro.verifier.faults`."""
+
+import pickle
+
+import pytest
+
+from repro.symex.solver import Solver
+from repro.verifier import faults
+from repro.verifier.cache import SummaryCache
+from repro.verifier.config import VerifierConfig
+from repro.verifier.faults import FaultPlan, FaultPlanError
+
+
+KEY = "ab" * 32  # any hex-ish name works as a cache entry key
+
+
+class TestParse:
+    def test_full_directive_string(self):
+        plan = FaultPlan.parse(
+            "worker-kill:2,cache-corrupt:ipoptions,cache-truncate:ttl,"
+            "element-error:chk:memory,solver-latency:0.25")
+        assert plan.kill_worker_task == 2
+        assert plan.corrupt_cache_entries == ("ipoptions",)
+        assert plan.truncate_cache_entries == ("ttl",)
+        assert plan.element_errors == {"chk": "memory"}
+        assert plan.solver_latency == 0.25
+        assert plan.active
+
+    def test_empty_and_whitespace_directives_are_ignored(self):
+        plan = FaultPlan.parse(" , ,worker-kill:1, ")
+        assert plan.kill_worker_task == 1
+
+    def test_empty_plan_is_inactive(self):
+        assert not FaultPlan.parse("").active
+        assert not FaultPlan().active
+
+    @pytest.mark.parametrize("text", [
+        "worker-kill:0",            # task index is 1-based
+        "worker-kill:banana",
+        "element-error:chk:sigsegv",  # unknown kind
+        "element-error:chk",          # missing kind
+        "solver-latency:-1",
+        "flip-bits:everywhere",
+    ])
+    def test_malformed_directives_raise(self, text):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(text)
+
+    def test_plan_round_trips_through_pickle_with_counters(self):
+        plan = FaultPlan.parse("element-error:chk:os")
+        with pytest.raises(OSError):
+            plan.maybe_element_error("chk")
+        clone = pickle.loads(pickle.dumps(plan))
+        # One-shot state travels along: the clone records the hit but does not
+        # raise again.
+        clone.maybe_element_error("chk")
+        assert clone.injections()["element-error:chk"] == 2
+
+
+class TestInjectionPoints:
+    def test_element_error_fires_once_per_process(self):
+        plan = FaultPlan.parse("element-error:chk:memory")
+        with pytest.raises(MemoryError):
+            plan.maybe_element_error("chk")
+        plan.maybe_element_error("chk")  # second call: no raise
+        plan.maybe_element_error("other")  # untargeted element: never raises
+        assert plan.injections() == {"element-error:chk": 2}
+
+    def test_interrupt_kind_raises_keyboard_interrupt(self):
+        plan = FaultPlan.parse("element-error:chk:interrupt")
+        with pytest.raises(KeyboardInterrupt):
+            plan.maybe_element_error("chk")
+
+    def test_cache_corruption_is_detected_and_quarantined(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        cache.put(KEY, {"payload": 42})
+        plan = FaultPlan.parse("cache-corrupt:chk")
+        plan.maybe_break_cache(cache, "chk", KEY)
+        assert cache.get(KEY) is None          # corrupt entry refuses to load
+        assert cache.stats.quarantined == 1
+        assert cache.quarantine_dir.is_dir()
+        # Self-heal: re-store and the entry serves again; the one-shot plan
+        # does not re-corrupt it.
+        cache.put(KEY, {"payload": 42})
+        plan.maybe_break_cache(cache, "chk", KEY)
+        assert cache.get(KEY) == {"payload": 42}
+
+    def test_cache_truncation_is_detected(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        cache.put(KEY, list(range(100)))
+        plan = FaultPlan.parse("cache-truncate:chk")
+        plan.maybe_break_cache(cache, "chk", KEY)
+        assert cache.get(KEY) is None
+        assert cache.stats.quarantined == 1
+
+    def test_break_cache_ignores_missing_entries_and_other_elements(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        plan = FaultPlan.parse("cache-corrupt:chk")
+        plan.maybe_break_cache(cache, "chk", KEY)     # no entry on disk: no-op
+        plan.maybe_break_cache(None, "chk", KEY)      # no cache: no-op
+        plan.maybe_break_cache(cache, "chk", None)    # uncacheable: no-op
+        cache.put(KEY, 1)
+        plan.maybe_break_cache(cache, "other", KEY)   # untargeted element
+        assert cache.get(KEY) == 1
+
+    def test_solver_latency_hook_installation(self):
+        plan = FaultPlan.parse("solver-latency:0.001")
+        faults.install_solver_hook(plan)
+        try:
+            assert Solver.query_hook is not None
+            Solver().check([])
+            assert plan.injections().get("solver-latency", 0) >= 1
+        finally:
+            faults.install_solver_hook(None)
+        assert Solver.query_hook is None
+
+    def test_latency_free_plan_clears_hook(self):
+        faults.install_solver_hook(FaultPlan.parse("worker-kill:3"))
+        assert Solver.query_hook is None
+
+
+class TestResolution:
+    def test_config_plan_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker-kill:5")
+        config_plan = FaultPlan.parse("element-error:chk:os")
+        config = VerifierConfig(fault_plan=config_plan)
+        assert faults.resolve_plan(config) is config_plan
+
+    def test_inactive_config_plan_resolves_to_none(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        config = VerifierConfig(fault_plan=FaultPlan())
+        assert faults.resolve_plan(config) is None
+        assert faults.resolve_plan(VerifierConfig()) is None
+
+    def test_env_plan_is_memoised_with_its_counters(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "element-error:chk:memory")
+        first = faults.plan_from_env()
+        with pytest.raises(MemoryError):
+            first.maybe_element_error("chk")
+        again = faults.plan_from_env()
+        assert again is first  # same object: one-shot counters persist
+        monkeypatch.setenv(faults.ENV_VAR, "element-error:chk:os")
+        changed = faults.plan_from_env()
+        assert changed is not first
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.plan_from_env() is None
