@@ -34,7 +34,7 @@ from repro.dataplane.pipelines import (
     build_loop_microbenchmark,
     build_network_gateway,
 )
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, solver_for_config
 from repro.verifier.api import (
     find_longest_paths,
     summarize_once,
@@ -59,9 +59,12 @@ _FILTER_CRITERIA = (
 )
 
 
-def _fresh(budget: Optional[float]) -> Tuple[VerifierConfig, Solver]:
-    config = VerifierConfig(cache_enabled=False, time_budget=budget)
-    return config, Solver(max_nodes=config.solver_max_nodes)
+def _fresh(budget: Optional[float], backend: str = "native",
+           parallelism: int = 1) -> Tuple[VerifierConfig, Solver]:
+    config = VerifierConfig(cache_enabled=False, time_budget=budget,
+                            solver_backend=backend,
+                            solver_parallelism=parallelism)
+    return config, solver_for_config(config)
 
 
 def _solver_metrics(solver: Solver) -> Dict[str, object]:
@@ -91,10 +94,17 @@ def _finish(metrics: Dict[str, object], solver: Solver, wall: float,
     metrics.update(_solver_metrics(solver))
     metrics["wall_s"] = round(wall, 3)
     metrics["paths_per_s"] = round(work_units / wall, 2) if wall > 0 else 0.0
+    backend = getattr(solver, "backend", None)
+    if backend is not None:
+        metrics["backend"] = backend.name
+        if len(getattr(backend, "backends", ())) > 1:
+            # Portfolio: the per-member win/loss ledger explains the wall time.
+            metrics["backend_stats"] = solver.backend_snapshot()
     return metrics
 
 
-def _scenario_filter_chain(budget: Optional[float]) -> Dict[str, object]:
+def _scenario_filter_chain(budget: Optional[float], backend: str = "native",
+                           parallelism: int = 1) -> Dict[str, object]:
     """Fig. 4(c): the growing filter chain, specific *and* generic tools.
 
     Mirrors ``benchmarks/test_fig4c_filter_chain.py``: the dataplane-specific
@@ -104,7 +114,7 @@ def _scenario_filter_chain(budget: Optional[float]) -> Dict[str, object]:
     """
     from repro.verifier.generic import GenericVerifier
 
-    config, solver = _fresh(budget)
+    config, solver = _fresh(budget, backend, parallelism)
     verdicts: List[str] = []
     states = 0
     paths = 0
@@ -129,8 +139,9 @@ def _scenario_filter_chain(budget: Optional[float]) -> Dict[str, object]:
 
 
 def _scenario_router(stages, budget: Optional[float],
-                     bounded: bool = True) -> Dict[str, object]:
-    config, solver = _fresh(budget)
+                     bounded: bool = True, backend: str = "native",
+                     parallelism: int = 1) -> Dict[str, object]:
+    config, solver = _fresh(budget, backend, parallelism)
     pipeline = build_ip_router("edge", stages=stages)
     started = time.monotonic()
     summary = summarize_once(pipeline, config=config, solver=solver)
@@ -149,9 +160,10 @@ def _scenario_router(stages, budget: Optional[float],
                    summary.total_states + paths)
 
 
-def _scenario_gateway(budget: Optional[float]) -> Dict[str, object]:
+def _scenario_gateway(budget: Optional[float], backend: str = "native",
+                      parallelism: int = 1) -> Dict[str, object]:
     """Fig. 4(b): the stateful network gateway (crash + bounded execution)."""
-    config, solver = _fresh(budget)
+    config, solver = _fresh(budget, backend, parallelism)
     pipeline = build_network_gateway()
     started = time.monotonic()
     summary = summarize_once(pipeline, config=config, solver=solver)
@@ -166,9 +178,10 @@ def _scenario_gateway(budget: Optional[float]) -> Dict[str, object]:
                    solver, wall, summary.total_states + paths)
 
 
-def _scenario_loop(budget: Optional[float]) -> Dict[str, object]:
+def _scenario_loop(budget: Optional[float], backend: str = "native",
+                   parallelism: int = 1) -> Dict[str, object]:
     """Fig. 4(d): the loop micro-benchmark at 1..3 data-dependent iterations."""
-    config, solver = _fresh(budget)
+    config, solver = _fresh(budget, backend, parallelism)
     verdicts: List[str] = []
     states = 0
     paths = 0
@@ -186,7 +199,9 @@ def _scenario_loop(budget: Optional[float]) -> Dict[str, object]:
                     "paths_composed": paths}, solver, wall, states + paths)
 
 
-def _scenario_click(path: str, pipeline, budget: Optional[float]) -> Dict[str, object]:
+def _scenario_click(path: str, pipeline, budget: Optional[float],
+                    backend: str = "native",
+                    parallelism: int = 1) -> Dict[str, object]:
     """A user-supplied ``.click`` configuration as a cold perf scenario.
 
     ``python -m repro bench --click my.click`` elaborates the file through
@@ -195,7 +210,7 @@ def _scenario_click(path: str, pipeline, budget: Optional[float]) -> Dict[str, o
     Absent from the committed trajectory, such scenarios are informational:
     ``--check`` skips them.
     """
-    config, solver = _fresh(budget)
+    config, solver = _fresh(budget, backend, parallelism)
     started = time.monotonic()
     summary = summarize_once(pipeline, config=config, solver=solver)
     crash = verify_crash_freedom(pipeline, config=config, summary=summary,
@@ -210,9 +225,10 @@ def _scenario_click(path: str, pipeline, budget: Optional[float]) -> Dict[str, o
                    solver, wall, summary.total_states + paths)
 
 
-def _scenario_longest_paths(budget: Optional[float]) -> Dict[str, object]:
+def _scenario_longest_paths(budget: Optional[float], backend: str = "native",
+                            parallelism: int = 1) -> Dict[str, object]:
     """Section 5.3: the ten longest paths of the IP router."""
-    config, solver = _fresh(budget)
+    config, solver = _fresh(budget, backend, parallelism)
     pipeline = build_ip_router("edge", stages=FIG4A_SCENARIO_STAGES)
     started = time.monotonic()
     report = find_longest_paths(pipeline, k=10, config=config, solver=solver)
@@ -235,32 +251,39 @@ SCENARIOS: Dict[str, Tuple[float, bool, Callable[[Optional[float]], Dict[str, ob
     # large enough that the solver dominates, small enough that a cold run
     # *completes* -- a budget-truncated scenario measures only its budget.
     "fig4a-ip-router": (600.0, False,
-                        lambda budget: _scenario_router(FIG4A_SCENARIO_STAGES,
-                                                        budget)),
+                        lambda budget, **kw: _scenario_router(
+                            FIG4A_SCENARIO_STAGES, budget, **kw)),
     "longest-paths": (300.0, True, _scenario_longest_paths),
 }
 
 
 def run_suite(quick: bool = False, label: str = "",
+              backend: str = "native", parallelism: int = 1,
               stream=sys.stderr) -> Dict[str, object]:
     """Run the scenario suite and return a metrics section."""
     scenarios: Dict[str, object] = {}
     for name, (budget, in_quick, runner) in SCENARIOS.items():
         if quick and not in_quick:
             continue
-        print(f"[bench] running {name} (budget {budget:.0f}s)...",
+        print(f"[bench] running {name} (budget {budget:.0f}s, "
+              f"backend {backend}, jobs {parallelism})...",
               file=stream, flush=True)
-        metrics = runner(budget)
+        metrics = runner(budget, backend=backend, parallelism=parallelism)
         scenarios[name] = metrics
         print(f"[bench]   {name}: {metrics['wall_s']}s wall, "
               f"{metrics['solver_queries']} solver queries, "
               f"hit rate {metrics['solver_cache_hit_rate']}",
               file=stream, flush=True)
+    import os
+
     return {
         "label": label,
         "quick": quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "backend": backend,
+        "solver_jobs": parallelism,
         "scenarios": scenarios,
     }
 
@@ -326,6 +349,70 @@ def check_regression(document: Dict[str, object], fresh: Dict[str, object],
     return ok
 
 
+def compare_runs(reference: Dict[str, object], fresh: Dict[str, object],
+                 stream=sys.stderr) -> None:
+    """Print per-scenario speedup/regression of ``fresh`` vs a committed doc.
+
+    ``reference`` is a whole BENCH document (its ``current`` section -- or
+    ``fresh``/root for ``--check`` outputs) or a bare metrics section.
+    Informational only: unlike ``--check`` this never gates, it answers "what
+    did my change buy, scenario by scenario".
+    """
+    section = reference.get("current") or reference.get("fresh") or reference
+    committed = section.get("scenarios", {})
+    for name, metrics in fresh.get("scenarios", {}).items():
+        ref = committed.get(name)
+        if not ref or not ref.get("wall_s") or not metrics.get("wall_s"):
+            print(f"[compare] {name}: no committed reference", file=stream)
+            continue
+        ratio = ref["wall_s"] / metrics["wall_s"]
+        # Wall clocks on a busy box jitter a few percent run to run; only
+        # call a real difference a speedup or regression.
+        if ratio >= 1.05:
+            word = "speedup"
+        elif ratio <= 0.95:
+            word = "REGRESSION"
+        else:
+            word = "on par"
+        nodes_ref = ref.get("solver_nodes") or 0
+        nodes_new = metrics.get("solver_nodes") or 0
+        print(f"[compare] {name}: {metrics['wall_s']}s vs {ref['wall_s']}s "
+              f"committed -- {ratio:.2f}x {word} "
+              f"({nodes_new} vs {nodes_ref} solver nodes)", file=stream)
+
+
+#: the backend-matrix columns committed as BENCH_pr9.json: the serial native
+#: engine, the racing portfolio, and process-parallel suspect discharge
+MATRIX_COLUMNS = (
+    ("native", "native", 1),
+    ("portfolio", "portfolio", 1),
+    ("parallel", "native", 0),  # native engine, one step-2 worker per core
+)
+
+
+def run_backend_matrix(quick: bool = False, label: str = "",
+                       stream=sys.stderr) -> Dict[str, object]:
+    """Run the suite once per backend column (the BENCH_pr9.json document)."""
+    import os
+
+    columns: Dict[str, object] = {}
+    for column, backend, jobs in MATRIX_COLUMNS:
+        print(f"[bench] === column {column} ===", file=stream, flush=True)
+        columns[column] = run_suite(quick=quick, label=label, backend=backend,
+                                    parallelism=jobs, stream=stream)
+    native = columns.get("native", {})
+    speedup = {column: speedups(native, section)
+               for column, section in columns.items() if column != "native"}
+    return {
+        "schema": SCHEMA,
+        "matrix": True,
+        "label": label,
+        "cpu_count": os.cpu_count(),
+        "columns": columns,
+        "speedup_vs_native": speedup,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
@@ -346,6 +433,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--check", default=None, metavar="BENCH_JSON",
                         help="compare against a committed BENCH_*.json and "
                              "exit 1 on a >2x wall-time regression")
+    parser.add_argument("--compare", default=None, metavar="BENCH_JSON",
+                        help="run fresh and print per-scenario speedup/"
+                             "regression against a committed trajectory "
+                             "(informational; never gates)")
+    parser.add_argument("--backend", default="native",
+                        choices=("native", "z3", "portfolio", "auto"),
+                        help="solver backend for the run (default native)")
+    parser.add_argument("--solver-jobs", type=int, default=1,
+                        help="step-2 suspect-discharge worker processes "
+                             "(<=0 = one per core; default 1)")
+    parser.add_argument("--backend-matrix", action="store_true",
+                        help="run the whole suite once per backend column "
+                             "(native / portfolio / parallel) and write the "
+                             "BENCH_pr9.json matrix document")
     parser.add_argument("--click", action="append", default=[],
                         metavar="CONFIG",
                         help="also run this .click configuration as a "
@@ -375,14 +476,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         taken.add(name)
         click_runs.append((name, config_path, pipeline))
 
-    fresh = run_suite(quick=args.quick, label=args.label)
+    if args.backend_matrix:
+        document = run_backend_matrix(quick=args.quick, label=args.label)
+        output = args.output or "BENCH_pr9.json"
+        save(document, output)
+        print(f"[bench] wrote {output}", file=sys.stderr)
+        print(f"[bench] speedup vs native: {document['speedup_vs_native']}",
+              file=sys.stderr)
+        return 0
+
+    fresh = run_suite(quick=args.quick, label=args.label,
+                      backend=args.backend, parallelism=args.solver_jobs)
     for name, config_path, pipeline in click_runs:
         print(f"[bench] running {name}...", file=sys.stderr, flush=True)
-        metrics = _scenario_click(config_path, pipeline, budget=120.0)
+        metrics = _scenario_click(config_path, pipeline, budget=120.0,
+                                  backend=args.backend,
+                                  parallelism=args.solver_jobs)
         fresh["scenarios"][name] = metrics
         print(f"[bench]   {name}: {metrics['wall_s']}s wall, "
               f"{metrics['solver_queries']} solver queries",
               file=sys.stderr, flush=True)
+
+    if args.compare:
+        compare_runs(load(args.compare), fresh)
+        if args.output:
+            save({"schema": SCHEMA, "fresh": fresh}, args.output)
+        return 0
 
     if args.check:
         document = load(args.check)

@@ -68,7 +68,9 @@ from repro.verifier.api import (
     verify_crash_freedom,
     verify_filtering,
 )
+from repro.symex.backends import BACKEND_CHOICES, resolve_backend_name
 from repro.verifier.cache import DEFAULT_CACHE_DIR, SummaryCache
+from repro.verifier.results import STATS_SCHEMA
 
 def _build_preproc_router() -> Pipeline:
     pipeline = pipeline_builders.build_ip_router(
@@ -164,7 +166,16 @@ def _build_config(args: argparse.Namespace) -> VerifierConfig:
         checkpoint_enabled=not getattr(args, "no_checkpoint", False),
         resume=getattr(args, "resume", None) is not None,
         escalate_inconclusive=getattr(args, "escalate", False),
+        solver_backend=getattr(args, "backend", "native"),
+        solver_parallelism=getattr(args, "solver_jobs", 1),
     )
+    try:
+        resolved = resolve_backend_name(config.solver_backend)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if resolved != config.solver_backend:
+        print(f"[backend] {config.solver_backend} resolves to {resolved} "
+              "on this machine", file=sys.stderr)
     if args.time_budget is not None:
         config = config.copy(time_budget=args.time_budget)
     return config
@@ -201,6 +212,17 @@ def _print_solver_stats(result: VerificationResult) -> None:
         for elapsed, natoms, description in stats.slowest_queries:
             print(f"[solver]   {elapsed * 1000.0:8.2f} ms  {natoms:4d} atom(s)  "
                   f"{description}", file=sys.stderr)
+    for name, counters in stats.solver_backends.items():
+        line = (f"[backends] {name:10s} {int(counters.get('queries', 0)):6d} "
+                f"quer(ies), {counters.get('wall_s', 0.0):7.3f}s wall")
+        if counters.get("wins", 0) or counters.get("losses", 0):
+            line += (f", {int(counters.get('wins', 0))} win(s) / "
+                     f"{int(counters.get('losses', 0))} loss(es)")
+        if counters.get("cancelled", 0):
+            line += f", {int(counters.get('cancelled', 0))} cancelled"
+        if counters.get("failures", 0):
+            line += f", {int(counters.get('failures', 0))} failure(s)"
+        print(line, file=sys.stderr)
 
 
 def _print_resilience_stats(result: VerificationResult) -> None:
@@ -222,6 +244,7 @@ def _print_resilience_stats(result: VerificationResult) -> None:
 def _print_result(result: VerificationResult, as_json: bool) -> int:
     if as_json:
         payload = {
+            "schema": STATS_SCHEMA,
             "property": result.property_name,
             "pipeline": result.pipeline_name,
             "verdict": str(result.verdict),
@@ -242,6 +265,7 @@ def _print_result(result: VerificationResult, as_json: bool) -> int:
                 "solver_cache_misses": result.stats.solver_cache_misses,
                 "solver_components": result.stats.solver_components,
                 "solver_model_reuse": result.stats.solver_model_reuse,
+                "solver_backends": result.stats.solver_backends,
                 "intern_table_size": result.stats.intern_table_size,
                 "slowest_queries": [
                     {"seconds": s, "atoms": n, "query": q}
@@ -450,6 +474,15 @@ def build_parser() -> argparse.ArgumentParser:
                               " alternative to the positional target")
         sub.add_argument("--workers", type=int, default=1,
                          help="step-1 worker processes (<=0 = one per core; default 1)")
+        sub.add_argument("--backend", default="native",
+                         choices=BACKEND_CHOICES,
+                         help="solver backend: native (default), z3 (needs "
+                              "the optional z3-solver package), portfolio "
+                              "(races native against z3; degrades to native "
+                              "without z3), or auto")
+        sub.add_argument("--solver-jobs", type=int, default=1,
+                         help="worker processes for independent step-2 "
+                              "suspect checks (<=0 = one per core; default 1)")
         sub.add_argument("--no-cache", action="store_true",
                          help="disable the persistent summary cache")
         sub.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,

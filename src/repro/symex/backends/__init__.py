@@ -1,0 +1,104 @@
+"""Pluggable solver backends (the PR-9 subsystem).
+
+``repro.symex.solver.Solver`` is the orchestration layer -- preprocessing,
+connected-component decomposition, per-component caching, incremental
+contexts; deciding one component is delegated to a :class:`SolverBackend`:
+
+* :class:`NativeBackend` -- the in-tree interval-propagation + DFS engine
+  (the default; always available, fully deterministic);
+* :class:`Z3Backend` -- the Z3 SMT solver, auto-detected via ``importlib``
+  (a soft dependency: everything works without ``z3-solver`` installed);
+* :class:`PortfolioBackend` -- races two or more backends per query with
+  first-decisive-wins cancellation and per-backend win/loss accounting.
+
+:func:`create_backend` resolves a ``VerifierConfig.solver_backend`` selector
+(``native`` / ``z3`` / ``portfolio`` / ``auto``) into an instance;
+:func:`resolve_backend_name` performs the same resolution name-only, which is
+what the summary cache keys on -- a backend that changes decisiveness must
+not replay another backend's entries, and ``auto`` must key as whatever it
+resolved to on this machine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.symex.backends.base import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    BackendStats,
+    BackendUnavailable,
+    Budget,
+    SolverBackend,
+    SolverResult,
+    combine_component_results,
+    replay_ok,
+)
+from repro.symex.backends.native import NativeBackend
+from repro.symex.backends.portfolio import PortfolioBackend
+from repro.symex.backends.z3backend import Z3Backend
+
+#: selectors accepted by ``VerifierConfig.solver_backend`` / ``--backend``
+BACKEND_CHOICES = ("native", "z3", "portfolio", "auto")
+
+
+def available_backend_names() -> List[str]:
+    """The concrete backends runnable in this environment."""
+    names = ["native"]
+    if Z3Backend.is_available():
+        names.append("z3")
+    if len(names) > 1:
+        names.append("portfolio")
+    return names
+
+
+def resolve_backend_name(name: str) -> str:
+    """Map a selector to the concrete backend it denotes here.
+
+    ``auto`` prefers the portfolio when a second engine exists and falls back
+    to the native engine otherwise; ``portfolio`` with no second engine
+    degrades to ``native`` (a one-member race is just that member).  The
+    resolved name -- not the selector -- is what cache keys embed.
+    """
+    selector = (name or "native").strip().lower()
+    if selector == "auto":
+        return "portfolio" if Z3Backend.is_available() else "native"
+    if selector == "portfolio" and not Z3Backend.is_available():
+        return "native"
+    if selector not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown solver backend {name!r} (choose from: "
+            f"{', '.join(BACKEND_CHOICES)})")
+    return selector
+
+
+def create_backend(name: str = "native") -> SolverBackend:
+    """Instantiate the backend a selector resolves to on this machine."""
+    resolved = resolve_backend_name(name)
+    if resolved == "native":
+        return NativeBackend()
+    if resolved == "z3":
+        return Z3Backend()
+    return PortfolioBackend([NativeBackend(), Z3Backend()])
+
+
+__all__ = [
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "BACKEND_CHOICES",
+    "BackendStats",
+    "BackendUnavailable",
+    "Budget",
+    "NativeBackend",
+    "PortfolioBackend",
+    "SolverBackend",
+    "SolverResult",
+    "Z3Backend",
+    "available_backend_names",
+    "combine_component_results",
+    "create_backend",
+    "replay_ok",
+    "resolve_backend_name",
+]

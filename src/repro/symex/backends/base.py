@@ -1,0 +1,249 @@
+"""The solver-backend contract: result types, budgets, and the ABC.
+
+The orchestration layer (:mod:`repro.symex.solver`) owns preprocessing,
+connected-component decomposition, the per-component LRU cache and the
+incremental :class:`SolverContext`; what remains -- deciding one connected
+component's satisfiability -- is the *backend* contract defined here.  A
+backend receives a component's atoms, a search budget and an optional
+warm-start hint, and answers SAT (with a model), UNSAT, or UNKNOWN.
+
+The contract a backend must honour (shared with the paper's use of STP/Z3
+inside S2E):
+
+* **soundness** -- a SAT answer must come with a model that satisfies every
+  atom (implementations re-check by evaluation before answering), and UNSAT
+  may only be answered when the search space was provably exhausted;
+* **incompleteness by budget** -- when the budget (or an engine-internal
+  timeout) runs out, the answer is UNKNOWN, never a guess;
+* **cancellation** -- the optional ``cancel`` callable is polled during the
+  search; once it returns True the backend must abandon the query and answer
+  UNKNOWN promptly.  This is how :class:`~repro.symex.backends.portfolio.
+  PortfolioBackend` retires the losers of a race.
+
+This module deliberately has no imports from :mod:`repro.symex.solver` (the
+solver imports the backends, not the other way around); the result types that
+used to live there are defined here and re-exported by ``solver.py`` so all
+existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.symex import exprs as E
+
+#: Possible answers from a satisfiability query.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a satisfiability query."""
+
+    status: str
+    model: Optional[Dict[str, int]] = None
+    #: number of search nodes explored (for benchmarking / evaluation counters)
+    nodes: int = 0
+    #: for UNKNOWN results: the node budget the deciding search actually had
+    #: (less than requested when a failed warm-start residual attempt consumed
+    #: part of it) -- the component cache must tag the entry with this, not
+    #: the requested budget, or an equal-budget hint-free query would replay
+    #: a verdict starved below its own budget
+    effective_budget: Optional[int] = None
+    #: True when the answer came from re-evaluating a warm-start hint instead
+    #: of a search (lets the orchestration layer keep its model-reuse counter
+    #: without reaching into backend internals)
+    via_hint: bool = False
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == UNKNOWN
+
+
+class Budget:
+    """Mutable search-node budget shared across a recursive search.
+
+    ``cancel`` is an optional zero-argument callable polled every
+    :data:`CANCEL_POLL_INTERVAL` spends; once it returns True the budget
+    zeroes itself, which makes the search wind down through its ordinary
+    budget-exhausted (UNKNOWN) exit -- no special cancellation paths inside
+    the search itself.
+    """
+
+    __slots__ = ("remaining", "cancel", "cancelled", "_poll")
+
+    #: how many ``spend()`` calls happen between two cancellation polls
+    CANCEL_POLL_INTERVAL = 64
+
+    def __init__(self, limit: int, cancel: Optional[Callable[[], bool]] = None):
+        self.remaining = limit
+        self.cancel = cancel
+        self.cancelled = False
+        self._poll = self.CANCEL_POLL_INTERVAL
+
+    def spend(self) -> bool:
+        if self.cancel is not None:
+            self._poll -= 1
+            if self._poll <= 0:
+                self._poll = self.CANCEL_POLL_INTERVAL
+                if self.cancel():
+                    self.cancelled = True
+                    self.remaining = 0
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def combine_component_results(results: "Iterable[SolverResult]") -> SolverResult:
+    """Fold per-component verdicts into one query verdict.
+
+    UNSAT dominates (an unsatisfiable component makes the conjunction
+    unsatisfiable, so the fold short-circuits without consuming -- and thus
+    without solving -- the remaining components); any UNKNOWN degrades SAT to
+    UNKNOWN and discards the model; otherwise models merge, which is
+    well-defined because components share no symbols.  Shared by
+    ``Solver.check`` and ``SolverContext.check_extension`` so the combine rule
+    cannot drift between them.
+    """
+    status = SAT
+    model: Optional[Dict[str, int]] = {}
+    nodes = 0
+    for result in results:
+        nodes += result.nodes
+        if result.is_unsat:
+            return SolverResult(UNSAT, nodes=nodes)
+        if result.is_unknown:
+            status = UNKNOWN
+            model = None
+        elif model is not None and result.model:
+            model.update(result.model)
+    if status == SAT:
+        return SolverResult(SAT, model=model, nodes=nodes)
+    return SolverResult(UNKNOWN, nodes=nodes)
+
+
+def replay_ok(result: SolverResult, solved_with: int, budget: int) -> bool:
+    """Whether a cached component result answers a query with ``budget``.
+
+    SAT and UNSAT are budget-independent facts and satisfy any later query;
+    a budget-starved UNKNOWN only answers queries with an equal or smaller
+    budget -- a larger-budget query must re-search instead of replaying the
+    starved verdict.  Shared by the solver's LRU and ``SolverContext``'s
+    per-path result memo so the rule cannot drift between them.
+    """
+    return result.status != UNKNOWN or budget <= solved_with
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested backend's engine is not importable in this environment."""
+
+
+@dataclass
+class BackendStats:
+    """Per-backend counters (surfaced by ``verify --stats`` as [backends])."""
+
+    #: component queries this backend was asked to decide
+    queries: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    #: wall-clock seconds spent inside ``check_component``
+    wall: float = 0.0
+    #: races this backend won (decisive answer first; portfolio only)
+    wins: int = 0
+    #: races another backend won while this one was still working
+    losses: int = 0
+    #: queries abandoned after a cancellation request
+    cancelled: int = 0
+    #: queries that raised instead of answering (treated as UNKNOWN)
+    failures: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries": self.queries,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "wall_s": round(self.wall, 6),
+            "wins": self.wins,
+            "losses": self.losses,
+            "cancelled": self.cancelled,
+            "failures": self.failures,
+        }
+
+
+class SolverBackend(abc.ABC):
+    """Decide satisfiability of one connected constraint component."""
+
+    #: default display/accounting name; instances may override (e.g. the
+    #: hanging-backend tests race two native engines under distinct names)
+    name: str = "backend"
+
+    #: optional callable invoked (with this backend's name) at the start of
+    #: every ``check_component`` in this process; used by the fault-injection
+    #: harness (:mod:`repro.verifier.faults`) to add latency to a *specific*
+    #: backend under test.  Class-wide on purpose, like ``Solver.query_hook``:
+    #: worker processes build their own backends and the hook must apply to
+    #: all of them without threading extra state through every call.
+    query_hook: Optional[Callable[[str], None]] = None
+
+    def __init__(self, name: Optional[str] = None):
+        if name is not None:
+            self.name = name
+        self.stats = BackendStats()
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's engine can run in this environment."""
+        return True
+
+    def check_component(self, atoms: Sequence[E.BoolExpr], budget: int,
+                        hint: Optional[Dict[str, int]] = None,
+                        cancel: Optional[Callable[[], bool]] = None) -> SolverResult:
+        """Decide one component (already preprocessed and partitioned).
+
+        Template method: fires the fault-injection hook, times the solve and
+        tallies the per-backend counters around :meth:`_solve_component`.
+        """
+        hook = SolverBackend.query_hook
+        started = time.perf_counter()
+        self.stats.queries += 1
+        try:
+            if hook is not None:
+                hook(self.name)
+            result = self._solve_component(list(atoms), budget, hint, cancel)
+        finally:
+            self.stats.wall += time.perf_counter() - started
+        if result.is_sat:
+            self.stats.sat += 1
+        elif result.is_unsat:
+            self.stats.unsat += 1
+        else:
+            self.stats.unknown += 1
+            if cancel is not None and cancel():
+                self.stats.cancelled += 1
+        return result
+
+    @abc.abstractmethod
+    def _solve_component(self, atoms: List[E.BoolExpr], budget: int,
+                         hint: Optional[Dict[str, int]],
+                         cancel: Optional[Callable[[], bool]]) -> SolverResult:
+        """Engine-specific solve of one component (see class docstring)."""
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Counters keyed by backend name (portfolios add their children)."""
+        return {self.name: self.stats.as_dict()}

@@ -1,0 +1,379 @@
+"""The homegrown search engine, refactored behind the backend contract.
+
+This is the solver the reproduction has shipped since PR 4, specialised for
+the constraints packet processing actually produces: per component, interval
+propagation followed by depth-first search over the constrained symbols with
+forward checking.  Candidate values are drawn from the constants mentioned in
+the constraints (and their byte decompositions), interval endpoints,
+warm-start hints (the model of the parent path), and finally interval
+bisection, so equality-heavy dataplane constraints are usually solved after a
+handful of probes.
+
+The engine's soundness properties are unchanged by the move:
+
+* a SAT answer always comes with a model re-checked by evaluation;
+* UNSAT is only answered when the search provably exhausted the space --
+  including the wide-domain case, where an unprovably-exhausted probe sweep
+  zeroes the budget to force UNKNOWN instead of an unsound UNSAT;
+* a cancelled search (portfolio race lost) winds down through the same
+  budget-exhausted exit and answers UNKNOWN.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.symex import exprs as E
+from repro.symex.backends.base import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Budget,
+    SolverBackend,
+    SolverResult,
+)
+from repro.symex.intervals import Interval, IntervalContext
+
+
+class NativeBackend(SolverBackend):
+    """Interval propagation + DFS with forward checking (the PR-4 engine)."""
+
+    name = "native"
+
+    def _solve_component(self, atoms: List[E.BoolExpr], budget: int,
+                         hint: Optional[Dict[str, int]],
+                         cancel: Optional[Callable[[], bool]]) -> SolverResult:
+        return self._solve(atoms, budget, hint, cancel)
+
+    # -- search ----------------------------------------------------------------
+
+    def _solve(self, constraints: List[E.BoolExpr], max_nodes: int,
+               hint: Optional[Dict[str, int]] = None,
+               cancel: Optional[Callable[[], bool]] = None) -> SolverResult:
+        symbols = sorted(E.free_symbols_of(constraints), key=lambda s: s.name)
+
+        # Warm start: if the hint (typically the parent path's model) already
+        # satisfies every constraint, adopt it without searching.
+        residual_nodes = 0
+        if hint:
+            model = self._model_from_hint(constraints, symbols, hint)
+            if model is not None:
+                return SolverResult(SAT, model=model, via_hint=True)
+            # Second chance: keep the hint for the atoms it satisfies and
+            # search only the residual (typically the handful of atoms a newly
+            # appended segment added on top of an already-solved prefix).
+            result, residual_nodes = self._solve_residual(
+                constraints, symbols, hint, max_nodes, cancel)
+            if result is not None:
+                return result
+            # A failed residual attempt spent real search nodes: charge them
+            # against this query's budget so one check never costs 2x, and
+            # fold them into the node accounting below.
+            max_nodes = max(1, max_nodes - residual_nodes)
+
+        env: Dict[str, Interval] = {s.name: Interval.full(s.width) for s in symbols}
+
+        # Initial propagation: refine intervals until a fixed point (bounded).
+        context = IntervalContext(env)
+        if not context.propagate(constraints, max_rounds=8):
+            return SolverResult(UNSAT)
+
+        status = self._status_all(constraints, context)
+        if status is False:
+            return SolverResult(UNSAT)
+        if status is True:
+            model = {name: iv.lo for name, iv in env.items()}
+            return SolverResult(SAT, model=model)
+
+        candidates = self._candidate_values(constraints, symbols)
+        if hint:
+            for sym in symbols:
+                value = hint.get(sym.name)
+                if value is not None and 0 <= value <= E.mask_for(sym.width):
+                    values = candidates.get(sym.name)
+                    if values is not None and (not values or values[0] != value):
+                        values.insert(0, value)
+        budget = Budget(max_nodes, cancel)
+        order = self._variable_order(constraints, symbols)
+        satisfied = {
+            index for index, constraint in enumerate(constraints)
+            if context.status(constraint) is True
+        }
+        constraint_vars = [
+            {s.name for s in E.free_symbols(constraint)} for constraint in constraints
+        ]
+        model = self._search({}, order, constraints, constraint_vars, env,
+                             candidates, budget, satisfied)
+        nodes = max_nodes - budget.remaining + residual_nodes
+        if model is not None:
+            # Soundness check: the model must actually satisfy every constraint.
+            assert all(E.evaluate(c, model) for c in constraints), "solver returned bad model"
+            return SolverResult(SAT, model=model, nodes=nodes)
+        if budget.remaining <= 0:
+            # max_nodes is the budget the main search really had (already
+            # reduced by any failed residual attempt above).
+            return SolverResult(UNKNOWN, nodes=nodes, effective_budget=max_nodes)
+        return SolverResult(UNSAT, nodes=nodes)
+
+    def _model_from_hint(self, constraints: Sequence[E.BoolExpr],
+                         symbols: Sequence[E.BVSym],
+                         hint: Dict[str, int]) -> Optional[Dict[str, int]]:
+        """A complete component model built from ``hint``, or None if it fails.
+
+        Symbols the hint does not cover (typically the fresh symbols a newly
+        appended segment introduced) read as zero; the assembled model is only
+        adopted after re-evaluating every constraint under it, so a wrong
+        guess costs one evaluation pass and never unsoundness.
+        """
+        model: Dict[str, int] = {}
+        for sym in symbols:
+            model[sym.name] = hint.get(sym.name, 0) & E.mask_for(sym.width)
+        try:
+            if all(E.evaluate(c, model) for c in constraints):
+                return model
+        except KeyError:
+            pass
+        return None
+
+    def _solve_residual(self, constraints: List[E.BoolExpr],
+                        symbols: Sequence[E.BVSym], hint: Dict[str, int],
+                        max_nodes: int,
+                        cancel: Optional[Callable[[], bool]] = None,
+                        ) -> Tuple[Optional[SolverResult], int]:
+        """Search only the atoms the hint fails to satisfy.
+
+        The residual's solution is grafted onto the hint and the combined
+        model re-checked against *every* atom, so a clash between the residual
+        assignment and a hint-satisfied atom simply falls back to the full
+        search.  An UNSAT residual is an UNSAT conjunction outright -- the
+        residual is a subset of the constraints.
+
+        Returns ``(result, nodes_spent)``; ``result`` is None when the caller
+        must fall back to the full search, and ``nodes_spent`` lets it charge
+        the failed attempt against its own budget.
+        """
+        residual: List[E.BoolExpr] = []
+        for constraint in constraints:
+            try:
+                if not E.evaluate(constraint, hint):
+                    residual.append(constraint)
+            except KeyError:
+                residual.append(constraint)
+        if not residual or len(residual) == len(constraints):
+            return None, 0  # nothing gained over the full search
+        # Only worthwhile when the residual is over symbols the hint does not
+        # assign (fresh symbols of a newly appended segment): then the graft
+        # cannot disturb any hint-satisfied atom and is guaranteed consistent.
+        # A residual sharing symbols with the hint means the new atoms
+        # genuinely conflict with the parent assignment -- attempting the
+        # residual there just runs two searches instead of one.
+        for constraint in residual:
+            for sym in E.free_symbols(constraint):
+                if sym.name in hint:
+                    return None, 0
+        sub = self._solve(residual, max_nodes, cancel=cancel)
+        if sub.is_unsat:
+            return SolverResult(UNSAT, nodes=sub.nodes), sub.nodes
+        if not sub.is_sat:
+            return None, sub.nodes
+        model = {s.name: hint.get(s.name, 0) & E.mask_for(s.width) for s in symbols}
+        model.update(sub.model)
+        try:
+            if all(E.evaluate(c, model) for c in constraints):
+                # Deliberately not flagged via_hint: a real (residual) search
+                # ran, and the model-reuse counter means "no search".
+                return SolverResult(SAT, model=model, nodes=sub.nodes), sub.nodes
+        except KeyError:
+            pass
+        return None, sub.nodes
+
+    def _status_all(self, constraints: Sequence[E.BoolExpr], context: IntervalContext):
+        decided_true = True
+        for constraint in constraints:
+            result = context.status(constraint)
+            if result is False:
+                return False
+            if result is None:
+                decided_true = False
+        return True if decided_true else None
+
+    def _variable_order(self, constraints: Sequence[E.BoolExpr],
+                        symbols: Sequence[E.BVSym]) -> List[E.BVSym]:
+        """Assign most-referenced symbols first (cheap fail-first heuristic)."""
+        counts: Dict[str, int] = {s.name: 0 for s in symbols}
+        for c in constraints:
+            for s in E.free_symbols(c):
+                counts[s.name] = counts.get(s.name, 0) + 1
+        return sorted(symbols, key=lambda s: (-counts.get(s.name, 0), s.name))
+
+    def _candidate_values(self, constraints: Sequence[E.BoolExpr],
+                          symbols: Sequence[E.BVSym]) -> Dict[str, List[int]]:
+        """Per-symbol candidate values derived from constraint constants.
+
+        Every constant mentioned anywhere in the constraints is decomposed into
+        its bytes and 16-bit halves; each symbol's candidate list keeps the
+        values that fit its width.  This makes equalities against multi-byte
+        header constants (ethertype, IP addresses, ports) solvable in a few
+        probes even though the constraints are expressed over individual bytes.
+        """
+        raw: Set[int] = set()
+        for c in constraints:
+            raw |= E.constants_in(c)
+        derived: Set[int] = set()
+        for value in raw:
+            derived.add(value)
+            derived.add(value + 1)
+            if value > 0:
+                derived.add(value - 1)
+            for shift in (8, 16, 24, 32, 40, 48, 56):
+                derived.add((value >> shift) & 0xFF)
+                derived.add((value >> shift) & 0xFFFF)
+            derived.add(value & 0xFF)
+            derived.add(value & 0xFFFF)
+        out: Dict[str, List[int]] = {}
+        for sym in symbols:
+            mask = E.mask_for(sym.width)
+            values = {v for v in derived if 0 <= v <= mask}
+            values |= {0, 1, mask}
+            out[sym.name] = sorted(values)
+        return out
+
+    def _search(self, assignment: Dict[str, int], order: List[E.BVSym],
+                constraints: Sequence[E.BoolExpr], constraint_vars: List[Set[str]],
+                env: Dict[str, Interval],
+                candidates: Dict[str, List[int]], budget: Budget,
+                satisfied: Set[int]) -> Optional[Dict[str, int]]:
+        """Depth-first search with forward checking over intervals.
+
+        ``satisfied`` holds the indices of constraints already decided *true*
+        on the path from the root of the search tree; interval environments
+        only ever narrow as the search descends, so such constraints stay true
+        and need not be re-examined -- this is what keeps forward checking
+        affordable when path constraints contain large shared expressions.
+        """
+        if not budget.spend():
+            return None
+        # Re-derive the interval environment from the current assignment.
+        local_env = dict(env)
+        for name, value in assignment.items():
+            local_env[name] = Interval.point(value)
+        context = IntervalContext(local_env)
+        pending = [
+            (index, constraint) for index, constraint in enumerate(constraints)
+            if index not in satisfied
+        ]
+        if not context.propagate([c for _, c in pending], max_rounds=2):
+            return None
+        now_satisfied = set(satisfied)
+        undecided_indices = []
+        for index, constraint in pending:
+            result = context.status(constraint)
+            if result is False:
+                return None
+            if result is True:
+                now_satisfied.add(index)
+            else:
+                undecided_indices.append(index)
+
+        if len(assignment) == len(order):
+            model = dict(assignment)
+            if all(E.evaluate(c, model) for c in constraints):
+                return model
+            return None
+        if not undecided_indices:
+            # Remaining symbols are unconstrained within their intervals.
+            model = dict(assignment)
+            for sym in order:
+                if sym.name not in model:
+                    model[sym.name] = local_env.get(sym.name, Interval.full(sym.width)).lo
+            if all(E.evaluate(c, model) for c in constraints):
+                return model
+            # Fall through to explicit search if the cheap completion failed.
+
+        # Prefer assigning a variable that can actually decide an undecided
+        # constraint; assigning unrelated variables only multiplies the search.
+        relevant: Set[str] = set()
+        for index in undecided_indices:
+            relevant |= constraint_vars[index]
+        sym = None
+        for candidate_sym in order:
+            if candidate_sym.name in assignment:
+                continue
+            if candidate_sym.name in relevant:
+                sym = candidate_sym
+                break
+            if sym is None:
+                sym = candidate_sym
+        if sym is None or (relevant and sym.name not in relevant):
+            for candidate_sym in order:
+                if candidate_sym.name not in assignment:
+                    sym = candidate_sym
+                    break
+        interval = local_env.get(sym.name, Interval.full(sym.width))
+        if interval.is_empty():
+            return None
+
+        def descend(value: int) -> Optional[Dict[str, int]]:
+            assignment[sym.name] = value
+            result = self._search(assignment, order, constraints, constraint_vars,
+                                  local_env, candidates, budget, now_satisfied)
+            del assignment[sym.name]
+            return result
+
+        tried: Set[int] = set()
+        for value in candidates.get(sym.name, []):
+            if budget.remaining <= 0:
+                return None
+            if not interval.contains(value) or value in tried:
+                continue
+            tried.add(value)
+            result = descend(value)
+            if result is not None:
+                return result
+
+        # Exhaustive sweep for small domains; bisection probing for large ones.
+        if interval.size() <= 256:
+            for value in range(interval.lo, interval.hi + 1):
+                if budget.remaining <= 0:
+                    return None
+                if value in tried:
+                    continue
+                result = descend(value)
+                if result is not None:
+                    return result
+            return None
+
+        for value in self._bisection_probes(interval, tried):
+            if budget.remaining <= 0:
+                return None
+            tried.add(value)
+            result = descend(value)
+            if result is not None:
+                return result
+        # Could not find a value with the probing strategy.  For very wide
+        # domains this is where incompleteness can creep in: unless the tried
+        # values provably covered the whole interval (in which case this
+        # branch genuinely is exhausted), exhaust the budget to force an
+        # UNKNOWN answer instead of an unsound UNSAT.
+        if len(tried) < interval.size():
+            budget.remaining = 0
+        return None
+
+    def _bisection_probes(self, interval: Interval, tried: Set[int],
+                          count: int = 33) -> List[int]:
+        """A spread of probe values across a wide interval (endpoints first).
+
+        Probes are clamped to the interval and deduplicated -- both against
+        each other and against the values the caller already tried -- in one
+        pass, so the search never re-descends on a value it has seen.
+        """
+        lo, hi = interval.lo, interval.hi
+        step = max(1, (hi - lo) // (count - 1))
+        seen: Set[int] = set()
+        out: List[int] = []
+        for p in itertools.chain((lo, hi), range(lo, hi, step)):
+            if lo <= p <= hi and p not in seen and p not in tried:
+                seen.add(p)
+                out.append(p)
+        return out

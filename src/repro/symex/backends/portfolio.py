@@ -1,0 +1,146 @@
+"""A racing portfolio of backends: first decisive answer wins.
+
+Every component query is submitted to all member backends concurrently (on a
+persistent thread pool); the first SAT or UNSAT answer retires the race and
+the losers are *cancelled*, not joined -- each member's search polls a shared
+cancellation event (through :class:`~repro.symex.backends.base.Budget`) and
+winds down to UNKNOWN on its own, so a hung or fault-injected member can
+never delay the portfolio's answer beyond the fastest decisive backend.
+
+Decisiveness properties:
+
+* SAT and UNSAT answers are budget-independent facts (each member is
+  individually sound), so taking whichever arrives first cannot change any
+  verdict -- only wall time.  When members disagree decisively (one says SAT,
+  another UNSAT) one of them is unsound; the portfolio cannot detect this
+  race-free and simply returns the first answer, which is why member
+  soundness (model re-checking) is part of the backend contract.
+* When no member is decisive, the portfolio answers UNKNOWN like any budget-
+  starved backend (preferring a member UNKNOWN that carries effective-budget
+  information so the component cache tags the entry correctly).
+
+Accounting: the winner's ``wins`` counter and every other member's ``losses``
+counter increment per race; the per-member counters surface in ``verify
+--stats`` as the ``[backends]`` block and in the JSON payload.
+
+Thread-safety note: member backends run on pool threads, but each receives
+already-preprocessed, hash-consed atoms and neither the native engine nor the
+Z3 translation constructs new interned expression nodes during a solve, so
+the intern table is only read concurrently.  Each race uses every member at
+most once, so a member backend is never asked to solve two queries at the
+same time.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.symex import exprs as E
+from repro.symex.backends.base import (
+    UNKNOWN,
+    SolverBackend,
+    SolverResult,
+)
+
+
+class PortfolioBackend(SolverBackend):
+    """Race two or more backends per query; first decisive answer wins."""
+
+    name = "portfolio"
+
+    def __init__(self, backends: Sequence[SolverBackend],
+                 name: Optional[str] = None):
+        if not backends:
+            raise ValueError("a portfolio needs at least one member backend")
+        super().__init__(name)
+        self.backends: List[SolverBackend] = list(backends)
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        # Persistent pool (thread churn per query would dwarf small solves),
+        # oversized 2x so a cancelled-but-still-sleeping loser cannot starve
+        # the next race of its worker slot.
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(2, 2 * len(self.backends)),
+                thread_name_prefix="solver-portfolio")
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the race pool down (tests; production pools die with the process)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- racing ----------------------------------------------------------------
+
+    def _solve_component(self, atoms: List[E.BoolExpr], budget: int,
+                         hint: Optional[Dict[str, int]],
+                         cancel: Optional[Callable[[], bool]]) -> SolverResult:
+        if len(self.backends) == 1:
+            # Degenerate portfolio (e.g. z3 absent): no race to run.
+            return self.backends[0].check_component(atoms, budget, hint, cancel)
+
+        race_over = threading.Event()
+        if cancel is None:
+            child_cancel = race_over.is_set
+        else:
+            def child_cancel() -> bool:
+                return race_over.is_set() or cancel()
+
+        executor = self._ensure_executor()
+        frozen = tuple(atoms)
+        futures = {
+            executor.submit(member.check_component, frozen, budget, hint,
+                            child_cancel): member
+            for member in self.backends
+        }
+        decisive: Optional[SolverResult] = None
+        winner: Optional[SolverBackend] = None
+        fallback: Optional[SolverResult] = None
+        pending = set(futures)
+        try:
+            while pending and decisive is None:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    member = futures[future]
+                    try:
+                        result = future.result()
+                    except Exception:
+                        with self._lock:
+                            member.stats.failures += 1
+                        continue
+                    if result.status != UNKNOWN:
+                        decisive, winner = result, member
+                        break
+                    if fallback is None or (fallback.effective_budget is None
+                                            and result.effective_budget is not None):
+                        fallback = result
+        finally:
+            # Retire the losers: they observe the event at their next budget
+            # poll and wind down to UNKNOWN; nobody waits for them.
+            race_over.set()
+            for future in pending:
+                future.cancel()
+        with self._lock:
+            if winner is not None:
+                winner.stats.wins += 1
+                for member in self.backends:
+                    if member is not winner:
+                        member.stats.losses += 1
+        if decisive is not None:
+            return decisive
+        if fallback is not None:
+            return fallback
+        return SolverResult(UNKNOWN, effective_budget=budget)
+
+    # -- stats -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        out = {self.name: self.stats.as_dict()}
+        for member in self.backends:
+            out.update(member.snapshot())
+        return out

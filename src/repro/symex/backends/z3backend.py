@@ -1,0 +1,197 @@
+"""Optional Z3 backend (soft dependency, auto-detected via importlib).
+
+The paper's tool leans on the STP/Z3 solver embedded in S2E; this backend
+closes the loop by translating the reproduction's hash-consed expression AST
+into Z3 bit-vector terms.  ``z3-solver`` is deliberately a *soft* dependency:
+nothing in the package imports it at module level, :meth:`Z3Backend.
+is_available` probes for it with ``importlib.util.find_spec``, and every
+test and CLI path must work (and CI lanes stay green) without it installed.
+
+Semantics alignment -- the translation leans on SMT-LIB fixing the same
+corner cases our evaluator picked:
+
+* ``bvudiv x 0`` is all-ones and ``bvurem x 0`` is ``x``, exactly our
+  ``udiv``/``urem`` conventions;
+* ``bvshl``/``bvlshr`` with a shift amount >= width yield 0, matching the
+  evaluator's explicit width guard;
+* all comparisons are unsigned (``ULT``/``ULE``/...), as in our ``Cmp``.
+
+Soundness net: a Z3 SAT model is re-evaluated against every atom with the
+in-tree evaluator (:func:`repro.symex.exprs.evaluate`) before being returned,
+the same belt-and-braces check the native engine applies to its own models.
+A model that fails the re-check (which would mean a translation bug) degrades
+to UNKNOWN -- never to a wrong verdict.  Z3's ``unknown`` and timeouts map to
+UNKNOWN likewise.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+from typing import Callable, Dict, List, Optional
+
+from repro.symex import exprs as E
+from repro.symex.backends.base import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    BackendUnavailable,
+    SolverBackend,
+    SolverResult,
+)
+
+
+def _load_z3():
+    """Import the z3 module, or None when the soft dependency is absent."""
+    if importlib.util.find_spec("z3") is None:
+        return None
+    try:
+        return importlib.import_module("z3")
+    except ImportError:
+        return None
+
+
+class Z3Backend(SolverBackend):
+    """Decide components with the Z3 SMT solver (when ``z3-solver`` exists)."""
+
+    name = "z3"
+
+    #: milliseconds of Z3 time granted per 1000 search nodes of budget; the
+    #: native engine's node budgets and Z3's wall-clock timeout measure
+    #: different things, so the mapping is deliberately coarse -- it only has
+    #: to ensure a starved query answers UNKNOWN instead of hanging
+    MS_PER_KILONODE = 100
+
+    def __init__(self, name: Optional[str] = None):
+        z3 = _load_z3()
+        if z3 is None:
+            raise BackendUnavailable(
+                "the z3 backend needs the optional 'z3-solver' package "
+                "(pip install z3-solver)")
+        self._z3 = z3
+        super().__init__(name)
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("z3") is not None
+
+    # -- solving ---------------------------------------------------------------
+
+    def _solve_component(self, atoms: List[E.BoolExpr], budget: int,
+                         hint: Optional[Dict[str, int]],
+                         cancel: Optional[Callable[[], bool]]) -> SolverResult:
+        z3 = self._z3
+        if cancel is not None and cancel():
+            return SolverResult(UNKNOWN, effective_budget=0)
+        solver = z3.Solver()
+        timeout_ms = max(10, (budget * self.MS_PER_KILONODE) // 1000)
+        solver.set("timeout", timeout_ms)
+        memo: Dict[E.Expr, object] = {}
+        try:
+            for atom in atoms:
+                solver.add(self._translate(atom, memo))
+        except _Untranslatable:
+            # A node kind this translation does not cover (should not happen
+            # for the in-tree AST; defensive for future node types).
+            return SolverResult(UNKNOWN, effective_budget=budget)
+        status = solver.check()
+        if status == z3.unsat:
+            return SolverResult(UNSAT)
+        if status != z3.sat:
+            return SolverResult(UNKNOWN, effective_budget=budget)
+        z3_model = solver.model()
+        model: Dict[str, int] = {}
+        for sym in E.free_symbols_of(atoms):
+            value = z3_model.eval(z3.BitVec(sym.name, sym.width),
+                                  model_completion=True)
+            model[sym.name] = value.as_long()
+        try:
+            if all(E.evaluate(atom, model) for atom in atoms):
+                return SolverResult(SAT, model=model)
+        except (KeyError, TypeError):
+            pass
+        return SolverResult(UNKNOWN, effective_budget=budget)
+
+    # -- AST translation -------------------------------------------------------
+
+    def _translate(self, expr: E.Expr, memo: Dict[E.Expr, object]):
+        """Rewrite one (hash-consed) expression into a Z3 term, memoised."""
+        cached = memo.get(expr)
+        if cached is not None:
+            return cached
+        term = self._translate_uncached(expr, memo)
+        memo[expr] = term
+        return term
+
+    def _translate_uncached(self, expr: E.Expr, memo: Dict[E.Expr, object]):
+        z3 = self._z3
+        if isinstance(expr, E.BVConst):
+            return z3.BitVecVal(expr.value, expr.width)
+        if isinstance(expr, E.BVSym):
+            return z3.BitVec(expr.name, expr.width)
+        if isinstance(expr, E.BVBinOp):
+            left = self._translate(expr.left, memo)
+            right = self._translate(expr.right, memo)
+            op = expr.op
+            if op == "add":
+                return left + right
+            if op == "sub":
+                return left - right
+            if op == "mul":
+                return left * right
+            if op == "udiv":
+                return z3.UDiv(left, right)  # bvudiv x 0 = all-ones, as ours
+            if op == "urem":
+                return z3.URem(left, right)  # bvurem x 0 = x, as ours
+            if op == "and":
+                return left & right
+            if op == "or":
+                return left | right
+            if op == "xor":
+                return left ^ right
+            if op == "shl":
+                return left << right  # shift >= width yields 0, as ours
+            if op == "lshr":
+                return z3.LShR(left, right)
+            raise _Untranslatable(op)
+        if isinstance(expr, E.BVNot):
+            return ~self._translate(expr.arg, memo)
+        if isinstance(expr, E.BVIte):
+            return z3.If(self._translate(expr.cond, memo),
+                         self._translate(expr.then, memo),
+                         self._translate(expr.orelse, memo))
+        if isinstance(expr, E.BVZeroExt):
+            arg = expr.arg
+            return z3.ZeroExt(expr.width - arg.width, self._translate(arg, memo))
+        if isinstance(expr, E.BVTrunc):
+            return z3.Extract(expr.width - 1, 0, self._translate(expr.arg, memo))
+        if isinstance(expr, E.BoolConst):
+            return z3.BoolVal(expr.value)
+        if isinstance(expr, E.Cmp):
+            left = self._translate(expr.left, memo)
+            right = self._translate(expr.right, memo)
+            op = expr.op
+            if op == "eq":
+                return left == right
+            if op == "ne":
+                return left != right
+            if op == "ult":
+                return z3.ULT(left, right)
+            if op == "ule":
+                return z3.ULE(left, right)
+            if op == "ugt":
+                return z3.UGT(left, right)
+            if op == "uge":
+                return z3.UGE(left, right)
+            raise _Untranslatable(op)
+        if isinstance(expr, E.BoolAnd):
+            return z3.And(*(self._translate(a, memo) for a in expr.args))
+        if isinstance(expr, E.BoolOr):
+            return z3.Or(*(self._translate(a, memo) for a in expr.args))
+        if isinstance(expr, E.BoolNot):
+            return z3.Not(self._translate(expr.arg, memo))
+        raise _Untranslatable(type(expr).__name__)
+
+
+class _Untranslatable(Exception):
+    """An AST node this translation does not cover (degrades to UNKNOWN)."""

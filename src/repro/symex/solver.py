@@ -1,81 +1,67 @@
-"""A self-contained constraint solver for dataplane path constraints.
+"""Constraint-solving orchestration over pluggable backends.
 
 The paper relies on the constraint solver embedded in S2E/KLEE (STP/Z3).  This
-reproduction ships its own solver, specialised for the constraints that packet
-processing actually produces: comparisons of (combinations of) packet bytes
+reproduction ships its own engine, specialised for the constraints that packet
+processing actually produces -- comparisons of (combinations of) packet bytes
 against constants, equalities between header fields, small sums (checksums),
-and bounded counters.  The solver is:
+and bounded counters -- and, since PR 9, a backend subsystem that can swap or
+*race* engines per query (:mod:`repro.symex.backends`).
+
+This module is the orchestration layer.  :class:`Solver` owns everything
+engine-independent:
+
+* simplification and flattening (:meth:`Solver._preprocess`), including the
+  per-byte splitting of multi-byte field equalities;
+* **connected-component decomposition** (:func:`_partition`) -- dataplane
+  constraints are overwhelmingly independent per header field (the same
+  structural insight the paper exploits at pipeline granularity), so a query
+  usually splits into many tiny components;
+* the bounded per-component LRU cache with its budget-replay rule, which
+  makes sibling-path queries issued during path exploration near-free;
+* the incremental per-path :class:`SolverContext`.
+
+Deciding one component is delegated to the configured
+:class:`~repro.symex.backends.base.SolverBackend` (the native interval-
+propagation + DFS engine by default; optionally Z3 or a racing portfolio).
+The solver-level soundness contract is backend-independent:
 
 * **sound** -- a SAT answer always comes with a model that satisfies every
-  constraint (the model is re-checked by evaluation before being returned),
+  constraint (backends re-check models by evaluation before returning them),
   and an UNSAT answer is only produced when the search provably exhausted the
   space;
 * **incomplete by budget** -- when the search budget is exhausted the solver
   answers UNKNOWN, which the verifier propagates as an INCONCLUSIVE verdict
   ("when we fail, we know it").
-
-Algorithm: simplification, then **connected-component decomposition**, then --
-per component -- interval propagation and depth-first search over the
-constrained symbols with forward checking.  Dataplane constraints are
-overwhelmingly independent per header field (the same structural insight the
-paper exploits at pipeline granularity), so a query usually splits into many
-tiny components; each component's verdict is memoised in a bounded LRU keyed
-by the component's atoms, which makes the sibling-path queries issued during
-path exploration near-free: a branch feasibility check re-solves only the one
-component the branch condition touches.
-
-Candidate values are drawn from the constants mentioned in the constraints
-(and their byte decompositions), interval endpoints, warm-start hints (the
-model of the parent path), and finally interval bisection, so that
-equality-heavy dataplane constraints are usually solved after a handful of
-probes.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.symex import exprs as E
-from repro.symex.intervals import Interval, IntervalContext
+from repro.symex.backends import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    NativeBackend,
+    SolverBackend,
+    SolverResult,
+    combine_component_results,
+    create_backend,
+    replay_ok,
+)
+from repro.symex.backends.base import Budget
 from repro.symex.simplify import simplify, substitute
 
-#: Possible answers from :meth:`Solver.check`.
-SAT = "sat"
-UNSAT = "unsat"
-UNKNOWN = "unknown"
-
-
-@dataclass
-class SolverResult:
-    """Outcome of a satisfiability query."""
-
-    status: str
-    model: Optional[Dict[str, int]] = None
-    #: number of search nodes explored (for benchmarking / evaluation counters)
-    nodes: int = 0
-    #: for UNKNOWN results: the node budget the deciding search actually had
-    #: (less than requested when a failed warm-start residual attempt consumed
-    #: part of it) -- the component cache must tag the entry with this, not
-    #: the requested budget, or an equal-budget hint-free query would replay
-    #: a verdict starved below its own budget
-    effective_budget: Optional[int] = None
-
-    @property
-    def is_sat(self) -> bool:
-        return self.status == SAT
-
-    @property
-    def is_unsat(self) -> bool:
-        return self.status == UNSAT
-
-    @property
-    def is_unknown(self) -> bool:
-        return self.status == UNKNOWN
+# Backwards-compatible aliases: these names lived here before the backend
+# refactor and are imported across the verifier and the test suite.
+_Budget = Budget
+_combine_component_results = combine_component_results
+_replay_ok = replay_ok
 
 
 @dataclass
@@ -146,63 +132,6 @@ def _describe_atoms(atoms: Sequence[E.BoolExpr], limit: int = 120) -> str:
     return text[:limit]
 
 
-class _Budget:
-    """Mutable search-node budget shared across a recursive search."""
-
-    __slots__ = ("remaining",)
-
-    def __init__(self, limit: int):
-        self.remaining = limit
-
-    def spend(self) -> bool:
-        if self.remaining <= 0:
-            return False
-        self.remaining -= 1
-        return True
-
-
-
-
-def _combine_component_results(results: "Iterable[SolverResult]") -> SolverResult:
-    """Fold per-component verdicts into one query verdict.
-
-    UNSAT dominates (an unsatisfiable component makes the conjunction
-    unsatisfiable, so the fold short-circuits without consuming -- and thus
-    without solving -- the remaining components); any UNKNOWN degrades SAT to
-    UNKNOWN and discards the model; otherwise models merge, which is
-    well-defined because components share no symbols.  Shared by
-    :meth:`Solver.check` and :meth:`SolverContext.check_extension` so the
-    combine rule cannot drift between them.
-    """
-    status = SAT
-    model: Optional[Dict[str, int]] = {}
-    nodes = 0
-    for result in results:
-        nodes += result.nodes
-        if result.is_unsat:
-            return SolverResult(UNSAT, nodes=nodes)
-        if result.is_unknown:
-            status = UNKNOWN
-            model = None
-        elif model is not None and result.model:
-            model.update(result.model)
-    if status == SAT:
-        return SolverResult(SAT, model=model, nodes=nodes)
-    return SolverResult(UNKNOWN, nodes=nodes)
-
-
-def _replay_ok(result: SolverResult, solved_with: int, budget: int) -> bool:
-    """Whether a cached component result answers a query with ``budget``.
-
-    SAT and UNSAT are budget-independent facts and satisfy any later query;
-    a budget-starved UNKNOWN only answers queries with an equal or smaller
-    budget -- a larger-budget query must re-search instead of replaying the
-    starved verdict.  Shared by the solver's LRU and ``SolverContext``'s
-    per-path result memo so the rule cannot drift between them.
-    """
-    return result.status != UNKNOWN or budget <= solved_with
-
-
 class Solver:
     """Decide satisfiability of conjunctions of boolean constraints."""
 
@@ -211,12 +140,17 @@ class Solver:
     #: (:mod:`repro.verifier.faults`) to add latency under test.  Class-wide
     #: on purpose: worker processes build their own solvers, and the hook must
     #: apply to all of them without threading extra state through every call.
+    #: (Per-*backend* latency hangs off ``SolverBackend.query_hook`` instead.)
     query_hook = None
 
     def __init__(self, max_nodes: int = 20000, cache_size: int = 4096,
-                 decompose: bool = True):
+                 decompose: bool = True,
+                 backend: Optional[SolverBackend] = None):
         self.max_nodes = max_nodes
         self.stats = SolverStats()
+        #: the engine deciding cache-miss components (native DFS by default)
+        self.backend: SolverBackend = backend if backend is not None \
+            else NativeBackend()
         #: bounded LRU of per-component results:
         #: ``frozenset(atoms) -> (SolverResult, node budget it was solved with)``
         self._cache: "OrderedDict[frozenset, Tuple[SolverResult, int]]" = OrderedDict()
@@ -265,7 +199,7 @@ class Solver:
 
         # The generator keeps the fold lazy: an UNSAT component stops the
         # remaining components from being solved at all.
-        combined = _combine_component_results(
+        combined = combine_component_results(
             self._check_component(tuple(atoms), budget, hint)
             for atoms in components
         )
@@ -294,6 +228,10 @@ class Solver:
         """A fresh incremental per-path solving context (see SolverContext)."""
         return SolverContext(self, max_nodes=max_nodes)
 
+    def backend_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-backend counters keyed by backend name (portfolio: members too)."""
+        return self.backend.snapshot()
+
     # -- per-component solving and caching ------------------------------------
 
     def _check_component(self, atoms: Tuple[E.BoolExpr, ...], budget: int,
@@ -311,15 +249,17 @@ class Solver:
         entry = self._cache.get(key)
         if entry is not None:
             result, solved_with = entry
-            if _replay_ok(result, solved_with, budget):
+            if replay_ok(result, solved_with, budget):
                 self._cache.move_to_end(key)
                 self.stats.cache_hits += 1
                 return result
         self.stats.cache_misses += 1
         started = time.perf_counter()
-        result = self._solve(list(atoms), budget, hint)
+        result = self.backend.check_component(atoms, budget, hint)
         self.stats.note_solve(time.perf_counter() - started, atoms)
         self.stats.nodes += result.nodes
+        if result.via_hint:
+            self.stats.model_reuse_hits += 1
         solved_with = budget
         if result.is_unknown and result.effective_budget is not None:
             solved_with = min(budget, result.effective_budget)
@@ -355,335 +295,19 @@ class Solver:
         out.reverse()
         return out
 
-    # -- search ----------------------------------------------------------------
 
-    def _solve(self, constraints: List[E.BoolExpr], max_nodes: int,
-               hint: Optional[Dict[str, int]] = None) -> SolverResult:
-        symbols = sorted(E.free_symbols_of(constraints), key=lambda s: s.name)
+def solver_for_config(config) -> Solver:
+    """Build a :class:`Solver` honouring a ``VerifierConfig``'s solver knobs.
 
-        # Warm start: if the hint (typically the parent path's model) already
-        # satisfies every constraint, adopt it without searching.
-        residual_nodes = 0
-        if hint:
-            model = self._model_from_hint(constraints, symbols, hint)
-            if model is not None:
-                self.stats.model_reuse_hits += 1
-                return SolverResult(SAT, model=model)
-            # Second chance: keep the hint for the atoms it satisfies and
-            # search only the residual (typically the handful of atoms a newly
-            # appended segment added on top of an already-solved prefix).
-            result, residual_nodes = self._solve_residual(
-                constraints, symbols, hint, max_nodes)
-            if result is not None:
-                return result
-            # A failed residual attempt spent real search nodes: charge them
-            # against this query's budget so one check never costs 2x, and
-            # fold them into the node accounting below.
-            max_nodes = max(1, max_nodes - residual_nodes)
-
-        env: Dict[str, Interval] = {s.name: Interval.full(s.width) for s in symbols}
-
-        # Initial propagation: refine intervals until a fixed point (bounded).
-        context = IntervalContext(env)
-        if not context.propagate(constraints, max_rounds=8):
-            return SolverResult(UNSAT)
-
-        status = self._status_all(constraints, context)
-        if status is False:
-            return SolverResult(UNSAT)
-        if status is True:
-            model = {name: iv.lo for name, iv in env.items()}
-            return SolverResult(SAT, model=model)
-
-        candidates = self._candidate_values(constraints, symbols)
-        if hint:
-            for sym in symbols:
-                value = hint.get(sym.name)
-                if value is not None and 0 <= value <= E.mask_for(sym.width):
-                    values = candidates.get(sym.name)
-                    if values is not None and (not values or values[0] != value):
-                        values.insert(0, value)
-        budget = _Budget(max_nodes)
-        order = self._variable_order(constraints, symbols)
-        satisfied = {
-            index for index, constraint in enumerate(constraints)
-            if context.status(constraint) is True
-        }
-        constraint_vars = [
-            {s.name for s in E.free_symbols(constraint)} for constraint in constraints
-        ]
-        model = self._search({}, order, constraints, constraint_vars, env,
-                             candidates, budget, satisfied)
-        nodes = max_nodes - budget.remaining + residual_nodes
-        if model is not None:
-            # Soundness check: the model must actually satisfy every constraint.
-            assert all(E.evaluate(c, model) for c in constraints), "solver returned bad model"
-            return SolverResult(SAT, model=model, nodes=nodes)
-        if budget.remaining <= 0:
-            # max_nodes is the budget the main search really had (already
-            # reduced by any failed residual attempt above).
-            return SolverResult(UNKNOWN, nodes=nodes, effective_budget=max_nodes)
-        return SolverResult(UNSAT, nodes=nodes)
-
-    def _model_from_hint(self, constraints: Sequence[E.BoolExpr],
-                         symbols: Sequence[E.BVSym],
-                         hint: Dict[str, int]) -> Optional[Dict[str, int]]:
-        """A complete component model built from ``hint``, or None if it fails.
-
-        Symbols the hint does not cover (typically the fresh symbols a newly
-        appended segment introduced) read as zero; the assembled model is only
-        adopted after re-evaluating every constraint under it, so a wrong
-        guess costs one evaluation pass and never unsoundness.
-        """
-        model: Dict[str, int] = {}
-        for sym in symbols:
-            model[sym.name] = hint.get(sym.name, 0) & E.mask_for(sym.width)
-        try:
-            if all(E.evaluate(c, model) for c in constraints):
-                return model
-        except KeyError:
-            pass
-        return None
-
-    def _solve_residual(self, constraints: List[E.BoolExpr],
-                        symbols: Sequence[E.BVSym], hint: Dict[str, int],
-                        max_nodes: int) -> Tuple[Optional[SolverResult], int]:
-        """Search only the atoms the hint fails to satisfy.
-
-        The residual's solution is grafted onto the hint and the combined
-        model re-checked against *every* atom, so a clash between the residual
-        assignment and a hint-satisfied atom simply falls back to the full
-        search.  An UNSAT residual is an UNSAT conjunction outright -- the
-        residual is a subset of the constraints.
-
-        Returns ``(result, nodes_spent)``; ``result`` is None when the caller
-        must fall back to the full search, and ``nodes_spent`` lets it charge
-        the failed attempt against its own budget.
-        """
-        residual: List[E.BoolExpr] = []
-        for constraint in constraints:
-            try:
-                if not E.evaluate(constraint, hint):
-                    residual.append(constraint)
-            except KeyError:
-                residual.append(constraint)
-        if not residual or len(residual) == len(constraints):
-            return None, 0  # nothing gained over the full search
-        # Only worthwhile when the residual is over symbols the hint does not
-        # assign (fresh symbols of a newly appended segment): then the graft
-        # cannot disturb any hint-satisfied atom and is guaranteed consistent.
-        # A residual sharing symbols with the hint means the new atoms
-        # genuinely conflict with the parent assignment -- attempting the
-        # residual there just runs two searches instead of one.
-        for constraint in residual:
-            for sym in E.free_symbols(constraint):
-                if sym.name in hint:
-                    return None, 0
-        sub = self._solve(residual, max_nodes)
-        if sub.is_unsat:
-            return SolverResult(UNSAT, nodes=sub.nodes), sub.nodes
-        if not sub.is_sat:
-            return None, sub.nodes
-        model = {s.name: hint.get(s.name, 0) & E.mask_for(s.width) for s in symbols}
-        model.update(sub.model)
-        try:
-            if all(E.evaluate(c, model) for c in constraints):
-                # Deliberately not counted as a model-reuse hit: a real
-                # (residual) search ran, and that counter means "no search".
-                return SolverResult(SAT, model=model, nodes=sub.nodes), sub.nodes
-        except KeyError:
-            pass
-        return None, sub.nodes
-
-    def _status_all(self, constraints: Sequence[E.BoolExpr], context: IntervalContext):
-        decided_true = True
-        for constraint in constraints:
-            result = context.status(constraint)
-            if result is False:
-                return False
-            if result is None:
-                decided_true = False
-        return True if decided_true else None
-
-    def _variable_order(self, constraints: Sequence[E.BoolExpr],
-                        symbols: Sequence[E.BVSym]) -> List[E.BVSym]:
-        """Assign most-referenced symbols first (cheap fail-first heuristic)."""
-        counts: Dict[str, int] = {s.name: 0 for s in symbols}
-        for c in constraints:
-            for s in E.free_symbols(c):
-                counts[s.name] = counts.get(s.name, 0) + 1
-        return sorted(symbols, key=lambda s: (-counts.get(s.name, 0), s.name))
-
-    def _candidate_values(self, constraints: Sequence[E.BoolExpr],
-                          symbols: Sequence[E.BVSym]) -> Dict[str, List[int]]:
-        """Per-symbol candidate values derived from constraint constants.
-
-        Every constant mentioned anywhere in the constraints is decomposed into
-        its bytes and 16-bit halves; each symbol's candidate list keeps the
-        values that fit its width.  This makes equalities against multi-byte
-        header constants (ethertype, IP addresses, ports) solvable in a few
-        probes even though the constraints are expressed over individual bytes.
-        """
-        raw: Set[int] = set()
-        for c in constraints:
-            raw |= E.constants_in(c)
-        derived: Set[int] = set()
-        for value in raw:
-            derived.add(value)
-            derived.add(value + 1)
-            if value > 0:
-                derived.add(value - 1)
-            for shift in (8, 16, 24, 32, 40, 48, 56):
-                derived.add((value >> shift) & 0xFF)
-                derived.add((value >> shift) & 0xFFFF)
-            derived.add(value & 0xFF)
-            derived.add(value & 0xFFFF)
-        out: Dict[str, List[int]] = {}
-        for sym in symbols:
-            mask = E.mask_for(sym.width)
-            values = {v for v in derived if 0 <= v <= mask}
-            values |= {0, 1, mask}
-            out[sym.name] = sorted(values)
-        return out
-
-    def _search(self, assignment: Dict[str, int], order: List[E.BVSym],
-                constraints: Sequence[E.BoolExpr], constraint_vars: List[Set[str]],
-                env: Dict[str, Interval],
-                candidates: Dict[str, List[int]], budget: _Budget,
-                satisfied: Set[int]) -> Optional[Dict[str, int]]:
-        """Depth-first search with forward checking over intervals.
-
-        ``satisfied`` holds the indices of constraints already decided *true*
-        on the path from the root of the search tree; interval environments
-        only ever narrow as the search descends, so such constraints stay true
-        and need not be re-examined -- this is what keeps forward checking
-        affordable when path constraints contain large shared expressions.
-        """
-        if not budget.spend():
-            return None
-        # Re-derive the interval environment from the current assignment.
-        local_env = dict(env)
-        for name, value in assignment.items():
-            local_env[name] = Interval.point(value)
-        context = IntervalContext(local_env)
-        pending = [
-            (index, constraint) for index, constraint in enumerate(constraints)
-            if index not in satisfied
-        ]
-        if not context.propagate([c for _, c in pending], max_rounds=2):
-            return None
-        now_satisfied = set(satisfied)
-        undecided_indices = []
-        for index, constraint in pending:
-            result = context.status(constraint)
-            if result is False:
-                return None
-            if result is True:
-                now_satisfied.add(index)
-            else:
-                undecided_indices.append(index)
-
-        if len(assignment) == len(order):
-            model = dict(assignment)
-            if all(E.evaluate(c, model) for c in constraints):
-                return model
-            return None
-        if not undecided_indices:
-            # Remaining symbols are unconstrained within their intervals.
-            model = dict(assignment)
-            for sym in order:
-                if sym.name not in model:
-                    model[sym.name] = local_env.get(sym.name, Interval.full(sym.width)).lo
-            if all(E.evaluate(c, model) for c in constraints):
-                return model
-            # Fall through to explicit search if the cheap completion failed.
-
-        # Prefer assigning a variable that can actually decide an undecided
-        # constraint; assigning unrelated variables only multiplies the search.
-        relevant: Set[str] = set()
-        for index in undecided_indices:
-            relevant |= constraint_vars[index]
-        sym = None
-        for candidate_sym in order:
-            if candidate_sym.name in assignment:
-                continue
-            if candidate_sym.name in relevant:
-                sym = candidate_sym
-                break
-            if sym is None:
-                sym = candidate_sym
-        if sym is None or (relevant and sym.name not in relevant):
-            for candidate_sym in order:
-                if candidate_sym.name not in assignment:
-                    sym = candidate_sym
-                    break
-        interval = local_env.get(sym.name, Interval.full(sym.width))
-        if interval.is_empty():
-            return None
-
-        def descend(value: int) -> Optional[Dict[str, int]]:
-            assignment[sym.name] = value
-            result = self._search(assignment, order, constraints, constraint_vars,
-                                  local_env, candidates, budget, now_satisfied)
-            del assignment[sym.name]
-            return result
-
-        tried: Set[int] = set()
-        for value in candidates.get(sym.name, []):
-            if budget.remaining <= 0:
-                return None
-            if not interval.contains(value) or value in tried:
-                continue
-            tried.add(value)
-            result = descend(value)
-            if result is not None:
-                return result
-
-        # Exhaustive sweep for small domains; bisection probing for large ones.
-        if interval.size() <= 256:
-            for value in range(interval.lo, interval.hi + 1):
-                if budget.remaining <= 0:
-                    return None
-                if value in tried:
-                    continue
-                result = descend(value)
-                if result is not None:
-                    return result
-            return None
-
-        for value in self._bisection_probes(interval, tried):
-            if budget.remaining <= 0:
-                return None
-            tried.add(value)
-            result = descend(value)
-            if result is not None:
-                return result
-        # Could not find a value with the probing strategy.  For very wide
-        # domains this is where incompleteness can creep in: unless the tried
-        # values provably covered the whole interval (in which case this
-        # branch genuinely is exhausted), exhaust the budget to force an
-        # UNKNOWN answer instead of an unsound UNSAT.
-        if len(tried) < interval.size():
-            budget.remaining = 0
-        return None
-
-    def _bisection_probes(self, interval: Interval, tried: Set[int],
-                          count: int = 33) -> List[int]:
-        """A spread of probe values across a wide interval (endpoints first).
-
-        Probes are clamped to the interval and deduplicated -- both against
-        each other and against the values the caller already tried -- in one
-        pass, so the search never re-descends on a value it has seen.
-        """
-        lo, hi = interval.lo, interval.hi
-        step = max(1, (hi - lo) // (count - 1))
-        seen: Set[int] = set()
-        out: List[int] = []
-        for p in itertools.chain((lo, hi), range(lo, hi, step)):
-            if lo <= p <= hi and p not in seen and p not in tried:
-                seen.add(p)
-                out.append(p)
-        return out
+    Duck-typed on purpose (``solver_max_nodes`` and ``solver_backend``
+    attributes) so this module stays free of verifier imports.  The verifier
+    stack funnels its solver construction through here, which is what threads
+    ``--backend`` selection down to step-1 workers and step-2 composers.
+    """
+    return Solver(
+        max_nodes=getattr(config, "solver_max_nodes", 20000),
+        backend=create_backend(getattr(config, "solver_backend", "native")),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -817,7 +441,7 @@ class SolverContext:
         entry = self._results.get(cid)
         if entry is not None:
             result, solved_with = entry
-            if _replay_ok(result, solved_with, max_nodes):
+            if replay_ok(result, solved_with, max_nodes):
                 return result
         result = self.solver._check_component(self._components[cid],
                                               max_nodes, hint)
@@ -912,7 +536,7 @@ class SolverContext:
                 if cid not in touched:
                     yield self._component_result(cid, budget, hint)
 
-        combined = _combine_component_results(component_results())
+        combined = combine_component_results(component_results())
         if combined.is_sat:
             self.solver.stats.sat += 1
         elif combined.is_unsat:

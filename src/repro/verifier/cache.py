@@ -113,6 +113,31 @@ _KEYED_CONFIG_FIELDS = (
 )
 
 
+def _backend_key_part(config: VerifierConfig) -> Optional[str]:
+    """The cache-key token for the *resolved* solver backend, if non-native.
+
+    A backend that changes decisiveness (Z3 deciding a component the native
+    engine gave up on, or vice versa) must not replay another backend's
+    entries, so non-native summaries key on the backend name.  Two
+    deliberate properties:
+
+    * the token embeds what the selector *resolves to* on this machine, not
+      the selector -- ``--backend portfolio`` without z3 installed runs the
+      native engine and must share the native cache;
+    * the native resolution contributes no token at all, so every cache
+      populated before backends existed stays warm.
+    """
+    from repro.symex.backends import resolve_backend_name
+
+    try:
+        resolved = resolve_backend_name(getattr(config, "solver_backend", "native"))
+    except ValueError:
+        resolved = getattr(config, "solver_backend", "native")
+    if resolved == "native":
+        return None
+    return f"cfg:solver_backend={resolved}"
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting for one :class:`SummaryCache` instance."""
@@ -295,6 +320,9 @@ class SummaryCache:
             parts.append(f"state:{binding.attribute}={binding.kind}:{store_token}")
         for field_name in _KEYED_CONFIG_FIELDS:
             parts.append(f"cfg:{field_name}={getattr(config, field_name)!r}")
+        backend_part = _backend_key_part(config)
+        if backend_part is not None:
+            parts.append(backend_part)
         return digest(parts)
 
     def pipeline_key(self, pipeline, config: VerifierConfig) -> Optional[str]:
@@ -326,6 +354,9 @@ class SummaryCache:
         ]
         for field_name in _KEYED_CONFIG_FIELDS:
             parts.append(f"cfg:{field_name}={getattr(config, field_name)!r}")
+        backend_part = _backend_key_part(config)
+        if backend_part is not None:
+            parts.append(backend_part)
         return digest(parts)
 
     # -- store / load ---------------------------------------------------------

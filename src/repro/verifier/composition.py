@@ -29,7 +29,7 @@ from repro.dataplane.element import Element
 from repro.dataplane.pipeline import Pipeline
 from repro.symex import exprs as E
 from repro.symex.simplify import substitute
-from repro.symex.solver import Solver, SolverResult
+from repro.symex.solver import Solver, SolverResult, solver_for_config
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
 from repro.verifier.summaries import (
     ElementSummary,
@@ -98,7 +98,7 @@ class PathComposer:
 
     def __init__(self, solver: Optional[Solver] = None,
                  config: VerifierConfig = DEFAULT_CONFIG):
-        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+        self.solver = solver or solver_for_config(config)
         self.config = config
         self.stats = CompositionStats()
         self._instances = 0

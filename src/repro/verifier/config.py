@@ -62,6 +62,18 @@ class VerifierConfig:
     #: aborts the analysis with an INCONCLUSIVE verdict
     time_budget: Optional[float] = None
 
+    # -- solver backend (PR 9) ---------------------------------------------------------
+    #: which solver backend decides constraint components: ``native`` (the
+    #: in-tree engine), ``z3`` (requires the optional ``z3-solver`` package),
+    #: ``portfolio`` (races native against z3; degrades to native when z3 is
+    #: absent), or ``auto`` (portfolio when z3 exists, else native).  All
+    #: backends are sound, so the choice affects wall time, never verdicts.
+    solver_backend: str = "native"
+    #: number of worker processes used to discharge independent step-2 path
+    #: suspects concurrently; ``1`` keeps the serial loop, values ``<= 0``
+    #: mean "one per CPU core"
+    solver_parallelism: int = 1
+
     # -- bounded execution -----------------------------------------------------------------
     #: the Imax bound proved/disproved by the bounded-execution property
     instruction_bound: int = 4000

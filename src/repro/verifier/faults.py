@@ -90,6 +90,12 @@ class FaultPlan:
     element_errors: Dict[str, str] = field(default_factory=dict)
     #: seconds of latency added to every solver query
     solver_latency: float = 0.0
+    #: restrict the latency to one named solver *backend* (``solver-latency:
+    #: 0.3:z3``); ``None`` keeps the historical per-query behaviour.  With a
+    #: filter set the latency hangs off ``SolverBackend.query_hook`` (fires
+    #: per component solve on the named backend only), which is how tests
+    #: simulate a hung portfolio member without slowing the other members.
+    solver_latency_backend: Optional[str] = None
     #: one-shot bookkeeping: ``"<fault>:<target>" -> times fired``
     injected: Dict[str, int] = field(default_factory=dict)
 
@@ -121,11 +127,13 @@ class FaultPlan:
                             f"unknown element-error kind {parts[2]!r} "
                             f"(known: {', '.join(sorted(_ERROR_KINDS))})")
                     plan.element_errors[parts[1]] = parts[2]
-                elif kind == "solver-latency" and len(parts) == 2:
+                elif kind == "solver-latency" and len(parts) in (2, 3):
                     plan.solver_latency = float(parts[1])
                     if plan.solver_latency < 0:
                         raise FaultPlanError(
                             f"solver latency must be >= 0: {directive!r}")
+                    if len(parts) == 3:
+                        plan.solver_latency_backend = parts[2]
                 else:
                     raise FaultPlanError(f"unknown fault directive {directive!r}")
             except ValueError as exc:
@@ -222,6 +230,22 @@ class FaultPlan:
                 self.injected.get("solver-latency", 0) + 1
             time.sleep(self.solver_latency)
 
+    def on_backend_query(self, backend_name: str) -> None:
+        """Inject the configured latency into one backend component solve.
+
+        Only used when :attr:`solver_latency_backend` names a backend; other
+        backends in the same portfolio race stay fast, which is what makes the
+        "hung member is cancelled, fast member's answer wins" test possible.
+        """
+        if self.solver_latency <= 0:
+            return
+        if self.solver_latency_backend is not None \
+                and backend_name != self.solver_latency_backend:
+            return
+        key = f"solver-latency:{backend_name}"
+        self.injected[key] = self.injected.get(key, 0) + 1
+        time.sleep(self.solver_latency)
+
 
 # ---------------------------------------------------------------------------
 # plan resolution and activation
@@ -265,10 +289,23 @@ def install_solver_hook(plan: Optional[FaultPlan]) -> None:
     it does not need to know anything about fault plans; the hook is installed
     by :func:`repro.verifier.pipeline_summary.summarize_pipeline` for the
     duration of a run and cleared afterwards.
+
+    Also installs (or clears) the per-backend latency hook
+    (``SolverBackend.query_hook``).  The two hooks are exclusive: a plan with
+    a backend filter only slows the named backend's component solves, a plan
+    without one keeps the historical per-``check()`` latency -- installing
+    both would double-charge every query.
     """
+    from repro.symex.backends.base import SolverBackend
     from repro.symex.solver import Solver
 
-    if plan is not None and plan.solver_latency > 0:
+    wants_latency = plan is not None and plan.solver_latency > 0
+    if wants_latency and plan.solver_latency_backend is None:
         Solver.query_hook = plan.on_solver_query
+        SolverBackend.query_hook = None
+    elif wants_latency:
+        Solver.query_hook = None
+        SolverBackend.query_hook = plan.on_backend_query
     else:
         Solver.query_hook = None
+        SolverBackend.query_hook = None

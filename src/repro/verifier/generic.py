@@ -28,7 +28,7 @@ from typing import List, Optional
 from repro.dataplane.element import Element
 from repro.dataplane.pipeline import Pipeline
 from repro.symex.explorer import PathExplorer
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, solver_for_config
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
 from repro.verifier.results import Counterexample, Verdict
 from repro.verifier.summaries import make_symbolic_packet
@@ -69,7 +69,7 @@ class GenericVerifier:
                  time_budget: float = 60.0,
                  max_paths: int = 20000):
         self.config = config
-        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+        self.solver = solver or solver_for_config(config)
         self.time_budget = time_budget
         self.max_paths = max_paths
 

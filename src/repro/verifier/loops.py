@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dataplane.element import Element
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, solver_for_config
 from repro.verifier.composition import ComposedPath, PathComposer
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
 from repro.verifier.summaries import (
@@ -77,7 +77,7 @@ def expand_loop_element(element: Element, config: VerifierConfig = DEFAULT_CONFI
     ``budget_exceeded`` -- the conservative "this may loop longer than we can
     prove" outcome.
     """
-    solver = solver or Solver(max_nodes=config.solver_max_nodes)
+    solver = solver or solver_for_config(config)
     if deadline is None and config.time_budget is not None:
         deadline = time.monotonic() + config.time_budget
     setup_summary = summarize_loop_setup(element, config, solver, deadline)

@@ -1,0 +1,273 @@
+"""Process-parallel discharge of independent step-2 path suspects (PR 9).
+
+The PR-4 insight -- dataplane constraints decompose into independent
+components -- applies at step-2 granularity too: the feasibility searches for
+distinct *suspects* (a crashing or possibly-unbounded segment each) share no
+mutable state, only the read-only pipeline and step-1 summaries.  This module
+fans those searches out over worker processes, mirroring the step-1
+parallel driver (:func:`repro.verifier.pipeline_summary._summarize_parallel`)
+including its whole recovery ladder:
+
+1. a future lost to a dying worker (``BrokenProcessPool``) re-queues its
+   suspect; the pool is rebuilt (at most ``MAX_POOL_RESTARTS`` times);
+2. a suspect whose search killed workers ``QUARANTINE_KILL_COUNT`` times is
+   quarantined onto the in-parent serial path -- which is the plain
+   :func:`~repro.verifier.composition.search_paths_to_segment` call the
+   serial checkers have always made, so a crashing or hanging *backend*
+   degrades to the serial native path instead of sinking the run;
+3. a worker that returns an exception sends its suspect to the same serial
+   path;
+4. a missed deadline leaves the remaining suspects undischarged, reported as
+   non-exhaustive outcomes -- the same downgrade the serial loop's deadline
+   produces.
+
+Verdict parity: each worker runs the identical search the serial loop would
+run, with a fresh solver and composer.  Fresh state costs cache warmth
+(sibling suspects no longer share the per-component LRU), never answers --
+cache entries only memoise results, and the budget-replay rule keeps UNKNOWN
+replays conservative.  Per-suspect node/path budgets are the same as serial;
+budgets only decide how much gets explored, so the parallel path can only
+move outcomes between "discharged" and "inconclusive", never between PROVED
+and VIOLATED on a completed search.
+
+Workers inherit the fault plan through the pickled config / environment,
+which re-arms ``worker-kill`` and ``solver-latency`` injections per process
+-- the chaos lane exercises this path exactly like step 1's.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.pipeline import Pipeline
+from repro.symex.solver import solver_for_config
+from repro.verifier import faults as fault_injection
+from repro.verifier.composition import PathComposer, search_paths_to_segment
+from repro.verifier.config import VerifierConfig
+from repro.verifier.pipeline_summary import (
+    MAX_POOL_RESTARTS,
+    QUARANTINE_KILL_COUNT,
+)
+from repro.verifier.summaries import ElementSummary
+
+
+@dataclass
+class SuspectOutcome:
+    """The picklable result of one suspect's feasibility search.
+
+    A stripped-down :class:`~repro.verifier.composition.PathSearchResult`:
+    composed paths carry whole constraint systems the parent never needs, so
+    the worker ships back only what the checkers consume -- the first feasible
+    path's step labels and model (enough to rebuild the counter-example packet
+    via ``composer.counterexample_bytes``), the exhaustiveness flags, and the
+    composition effort for the parent's accounting.
+    """
+
+    #: position in the caller's suspect list (outcomes return in any order)
+    index: int
+    element_name: str
+    #: ``(path step labels, solver model)`` of the first feasible path, or
+    #: ``None`` when every candidate path was infeasible/unknown
+    feasible: Optional[Tuple[List[str], Dict[str, int]]] = None
+    exhaustive: bool = True
+    any_unknown: bool = False
+    #: candidate paths composed by this suspect's search
+    paths_composed: int = 0
+
+
+def resolved_parallelism(config: VerifierConfig) -> int:
+    """The worker count ``config.solver_parallelism`` denotes (<=0: per core)."""
+    jobs = getattr(config, "solver_parallelism", 1)
+    if jobs is None or jobs == 1:
+        return 1
+    if jobs <= 0:
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def discharge_one(pipeline: Pipeline, summaries: Dict[str, ElementSummary],
+                  index: int, element_name: str, segment,
+                  config: VerifierConfig,
+                  deadline: Optional[float]) -> SuspectOutcome:
+    """Run one suspect's search with a fresh solver/composer, strip the result."""
+    composer = PathComposer(solver=solver_for_config(config), config=config)
+    search = search_paths_to_segment(
+        pipeline, summaries, composer, element_name, segment,
+        config=config, stop_on_first_feasible=True, deadline=deadline,
+    )
+    feasible = None
+    if search.feasible_paths:
+        path, model = search.feasible_paths[0]
+        feasible = ([f"{name}#{seg.index}" for name, seg in path.steps],
+                    dict(model))
+    return SuspectOutcome(
+        index=index,
+        element_name=element_name,
+        feasible=feasible,
+        exhaustive=search.exhaustive,
+        any_unknown=search.any_unknown,
+        paths_composed=composer.stats.paths_composed,
+    )
+
+
+def _worker_discharge(pipeline: Pipeline, summaries: Dict[str, ElementSummary],
+                      index: int, element_name: str, segment,
+                      config: VerifierConfig,
+                      deadline: Optional[float]) -> SuspectOutcome:
+    """Process-pool entry point: arm the fault plan, then search."""
+    plan = fault_injection.resolve_plan(config)
+    if plan is not None:
+        plan.on_worker_task()
+        fault_injection.install_solver_hook(plan)
+    return discharge_one(pipeline, summaries, index, element_name, segment,
+                         config, deadline)
+
+
+@dataclass
+class DischargeReport:
+    """Aggregate of a parallel discharge round, for the resilience counters."""
+
+    outcomes: List[SuspectOutcome]
+    worker_failures: int = 0
+    retries: int = 0
+    quarantined: List[str] = None  # type: ignore[assignment]
+    timed_out: bool = False
+
+    def __post_init__(self):
+        if self.quarantined is None:
+            self.quarantined = []
+
+
+def discharge_suspects_parallel(
+        pipeline: Pipeline, summaries: Dict[str, ElementSummary],
+        suspects: List[Tuple[int, str, object]], config: VerifierConfig,
+        deadline: Optional[float] = None) -> DischargeReport:
+    """Discharge ``suspects`` (``(index, element_name, segment)``) on a pool.
+
+    Every suspect gets exactly one outcome.  Suspects the pool could not
+    finish (deadline, exhausted restarts after repeated worker deaths *and* a
+    failing serial re-run) come back as non-exhaustive outcomes, which the
+    checkers already translate into INCONCLUSIVE -- never into a verdict.
+    ``KeyboardInterrupt`` propagates with the pool shut down, matching the
+    serial loop's interrupt contract.
+    """
+    report = DischargeReport(outcomes=[])
+    queue: List[Tuple[int, str, object]] = list(suspects)
+    inproc: List[Tuple[int, str, object]] = []
+    kill_counts: Dict[int, int] = {}
+    restarts = 0
+
+    while queue and not report.timed_out:
+        pool_items = []
+        for item in queue:
+            if kill_counts.get(item[0], 0) >= QUARANTINE_KILL_COUNT:
+                label = f"{item[1]}#{getattr(item[2], 'index', '?')}"
+                if label not in report.quarantined:
+                    report.quarantined.append(label)
+                inproc.append(item)
+            else:
+                pool_items.append(item)
+        queue = []
+        if not pool_items:
+            break
+        if restarts > MAX_POOL_RESTARTS:
+            inproc.extend(pool_items)
+            break
+
+        workers = min(resolved_parallelism(config), len(pool_items))
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError):
+            # No process support on this platform: serial semantics, no
+            # concurrency.
+            inproc.extend(pool_items)
+            break
+
+        pool_broke = False
+        try:
+            futures = {}
+            by_index = {item[0]: item for item in pool_items}
+            for index, element_name, segment in pool_items:
+                if deadline is not None and time.monotonic() >= deadline:
+                    report.timed_out = True
+                    break
+                try:
+                    future = executor.submit(
+                        _worker_discharge, pipeline, summaries, index,
+                        element_name, segment, config, deadline)
+                except Exception:
+                    inproc.append((index, element_name, segment))
+                    continue
+                futures[future] = index
+
+            remaining = set(futures)
+            while remaining:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - time.monotonic())
+                done, remaining = wait(remaining, timeout=timeout,
+                                       return_when=FIRST_COMPLETED)
+                if not done:
+                    report.timed_out = True
+                    for future in remaining:
+                        future.cancel()
+                    break
+                for future in done:
+                    index = futures[future]
+                    item = by_index[index]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        # Blame every lost future (the parent cannot tell
+                        # which task sat on the dying worker's desk); an
+                        # innocent suspect merely earns an affordable strike.
+                        report.worker_failures += 1
+                        report.retries += 1
+                        kill_counts[index] = kill_counts.get(index, 0) + 1
+                        queue.append(item)
+                        pool_broke = True
+                        continue
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception:
+                        report.worker_failures += 1
+                        inproc.append(item)
+                        continue
+                    report.outcomes.append(outcome)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        if pool_broke:
+            restarts += 1
+
+    # Serial fallback in the parent: quarantined suspects, worker-side
+    # infrastructure failures, exhausted pool restarts.
+    leftovers = inproc + queue
+    for index, element_name, segment in leftovers:
+        if report.timed_out or (deadline is not None
+                                and time.monotonic() >= deadline):
+            report.timed_out = True
+            report.outcomes.append(SuspectOutcome(
+                index=index, element_name=element_name, exhaustive=False))
+            continue
+        if kill_counts.get(index, 0) > 0:
+            report.retries += 1
+        report.outcomes.append(discharge_one(
+            pipeline, summaries, index, element_name, segment, config,
+            deadline))
+
+    # Anything still unaccounted for (deadline hit mid-pool with futures
+    # cancelled before completion): report as undischarged.
+    covered = {outcome.index for outcome in report.outcomes}
+    for index, element_name, _ in suspects:
+        if index not in covered:
+            report.outcomes.append(SuspectOutcome(
+                index=index, element_name=element_name, exhaustive=False))
+
+    report.outcomes.sort(key=lambda outcome: outcome.index)
+    return report

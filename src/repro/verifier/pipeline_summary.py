@@ -49,7 +49,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.dataplane.element import Element
 from repro.dataplane.pipeline import Pipeline
 from repro.errors import DataplaneCrash, ExecutionBudgetExceeded
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, solver_for_config
 from repro.verifier import faults as fault_injection
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
 from repro.verifier.loops import LoopAnalysis, expand_loop_element
@@ -281,7 +281,7 @@ def _worker_summarize(element: Element, config: VerifierConfig,
     if plan is not None:
         plan.on_worker_task()
         fault_injection.install_solver_hook(plan)
-    solver = Solver(max_nodes=config.solver_max_nodes)
+    solver = solver_for_config(config)
     started = time.monotonic()
     computed = _compute_element(element, config, solver, deadline)
     return time.monotonic() - started, computed
@@ -318,7 +318,7 @@ def summarize_pipeline(pipeline: Pipeline, config: VerifierConfig = DEFAULT_CONF
     """
     from repro.verifier.cache import resolve_cache
 
-    solver = solver or Solver(max_nodes=config.solver_max_nodes)
+    solver = solver or solver_for_config(config)
     cache = resolve_cache(config, cache)
     plan = fault_injection.resolve_plan(config)
     fault_injection.install_solver_hook(plan)
@@ -542,7 +542,7 @@ def _summarize_parallel(pipeline: Pipeline,
     4. a missed deadline simply leaves the remaining elements unsummarised --
        exactly what the serial driver's early ``break`` does.
     """
-    serial_solver = lambda: Solver(max_nodes=config.solver_max_nodes)  # noqa: E731
+    serial_solver = lambda: solver_for_config(config)  # noqa: E731
     queue: List[Tuple[Element, Optional[str]]] = list(pending)
     inproc: List[Tuple[Element, Optional[str]]] = []
     kill_counts: Dict[str, int] = {}

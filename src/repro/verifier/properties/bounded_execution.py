@@ -25,10 +25,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.dataplane.pipeline import Pipeline
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, solver_for_config
 from repro.verifier.checkpoint import CheckpointManager
 from repro.verifier.composition import ComposedPath, PathComposer, search_paths_to_segment
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.parallel import (
+    discharge_suspects_parallel,
+    resolved_parallelism,
+)
 from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
 from repro.verifier.results import (
     Counterexample,
@@ -178,7 +182,7 @@ class BoundedExecutionChecker:
     def __init__(self, config: VerifierConfig = DEFAULT_CONFIG,
                  solver: Optional[Solver] = None):
         self.config = config
-        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+        self.solver = solver or solver_for_config(config)
 
     def check(self, pipeline: Pipeline, instruction_bound: Optional[int] = None,
               summary: Optional[PipelineSummary] = None) -> VerificationResult:
@@ -241,32 +245,74 @@ class BoundedExecutionChecker:
         longest = []
         search = _BestFirstSearch(pipeline, summary.summaries, composer, self.config, deadline)
         try:
-            for element_name, segment in summary.suspect_unbounded_segments():
+            pending = []
+            for index, (element_name, segment) in enumerate(
+                    summary.suspect_unbounded_segments()):
                 suspect_key = CheckpointManager.suspect_key(element_name, segment)
                 if manager is not None and manager.is_discharged(suspect_key):
                     continue
-                reach = search_paths_to_segment(
-                    pipeline, summary.summaries, composer, element_name, segment,
-                    config=self.config, stop_on_first_feasible=True, deadline=deadline,
-                )
-                if reach.feasible_paths:
-                    unbounded_reachable = True
-                    path, model = reach.feasible_paths[0]
-                    result.counterexamples.append(
-                        Counterexample(
-                            packet_bytes=composer.counterexample_bytes(model),
-                            path=[f"{name}#{seg.index}" for name, seg in path.steps],
-                            detail={
-                                "kind": "possible infinite loop",
-                                "ops_at_cutoff": segment.ops,
-                            },
-                            model=model,
+                pending.append((index, element_name, segment))
+
+            if resolved_parallelism(self.config) > 1 and len(pending) > 1:
+                # PR 9: independent unbounded-suspect searches fan out over
+                # worker processes (see repro.verifier.parallel).
+                report = discharge_suspects_parallel(
+                    pipeline, summary.summaries, pending, self.config, deadline)
+                stats.worker_failures += report.worker_failures
+                stats.retries += report.retries
+                stats.quarantined_elements.extend(report.quarantined)
+                segment_by_index = {index: segment
+                                    for index, _, segment in pending}
+                for outcome in report.outcomes:
+                    segment = segment_by_index[outcome.index]
+                    composer.stats.paths_composed += outcome.paths_composed
+                    if outcome.feasible is not None:
+                        unbounded_reachable = True
+                        path_steps, model = outcome.feasible
+                        result.counterexamples.append(
+                            Counterexample(
+                                packet_bytes=composer.counterexample_bytes(model),
+                                path=path_steps,
+                                detail={
+                                    "kind": "possible infinite loop",
+                                    "ops_at_cutoff": segment.ops,
+                                },
+                                model=model,
+                            )
                         )
+                    elif not outcome.exhaustive or outcome.any_unknown:
+                        unbounded_inconclusive = True
+                    elif manager is not None:
+                        manager.mark_discharged(
+                            CheckpointManager.suspect_key(
+                                outcome.element_name, segment),
+                            composer.stats.paths_composed)
+            else:
+                for _, element_name, segment in pending:
+                    reach = search_paths_to_segment(
+                        pipeline, summary.summaries, composer, element_name, segment,
+                        config=self.config, stop_on_first_feasible=True, deadline=deadline,
                     )
-                elif not reach.exhaustive or reach.any_unknown:
-                    unbounded_inconclusive = True
-                elif manager is not None:
-                    manager.mark_discharged(suspect_key, composer.stats.paths_composed)
+                    if reach.feasible_paths:
+                        unbounded_reachable = True
+                        path, model = reach.feasible_paths[0]
+                        result.counterexamples.append(
+                            Counterexample(
+                                packet_bytes=composer.counterexample_bytes(model),
+                                path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                                detail={
+                                    "kind": "possible infinite loop",
+                                    "ops_at_cutoff": segment.ops,
+                                },
+                                model=model,
+                            )
+                        )
+                    elif not reach.exhaustive or reach.any_unknown:
+                        unbounded_inconclusive = True
+                    elif manager is not None:
+                        manager.mark_discharged(
+                            CheckpointManager.suspect_key(element_name, segment),
+                            composer.stats.paths_composed)
 
             # Second: the longest feasible path among ordinary segments.
             longest = search.run(k=1)
@@ -349,7 +395,7 @@ def find_longest_paths(pipeline: Pipeline, k: int = 10,
     the packet), so callers can reproduce the paper's ~2.5x amplification
     observation.
     """
-    solver = solver or Solver(max_nodes=config.solver_max_nodes)
+    solver = solver or solver_for_config(config)
     deadline = None
     if config.time_budget is not None:
         deadline = time.monotonic() + config.time_budget

@@ -28,10 +28,14 @@ import time
 from typing import Optional
 
 from repro.dataplane.pipeline import Pipeline
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, solver_for_config
 from repro.verifier.checkpoint import CheckpointManager
 from repro.verifier.composition import PathComposer, search_paths_to_segment
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
+from repro.verifier.parallel import (
+    discharge_suspects_parallel,
+    resolved_parallelism,
+)
 from repro.verifier.pipeline_summary import PipelineSummary, summarize_pipeline
 from repro.verifier.results import (
     Counterexample,
@@ -50,7 +54,7 @@ class CrashFreedomChecker:
     def __init__(self, config: VerifierConfig = DEFAULT_CONFIG,
                  solver: Optional[Solver] = None):
         self.config = config
-        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+        self.solver = solver or solver_for_config(config)
 
     def check(self, pipeline: Pipeline,
               summary: Optional[PipelineSummary] = None) -> VerificationResult:
@@ -128,39 +132,82 @@ class CrashFreedomChecker:
         exhaustive = True
         discharged = 0
         try:
-            for element_name, segment in suspects:
+            # Split off suspects an earlier (aborted) run already proved
+            # infeasible exhaustively; the proof carries over because the run
+            # id pins pipeline, property and configuration.
+            pending = []
+            for index, (element_name, segment) in enumerate(suspects):
                 suspect_key = CheckpointManager.suspect_key(element_name, segment)
                 if manager is not None and manager.is_discharged(suspect_key):
-                    # An earlier (aborted) run already proved this suspect
-                    # infeasible exhaustively; the proof carries over because
-                    # the run id pins pipeline, property and configuration.
                     discharged += 1
-                    continue
-                search = search_paths_to_segment(
-                    pipeline, summary.summaries, composer, element_name, segment,
-                    config=self.config, stop_on_first_feasible=True, deadline=deadline,
-                )
-                exhaustive &= search.exhaustive
-                any_unknown |= search.any_unknown
-                if search.feasible_paths:
-                    all_infeasible = False
-                    path, model = search.feasible_paths[0]
-                    result.counterexamples.append(
-                        Counterexample(
-                            packet_bytes=composer.counterexample_bytes(model),
-                            path=[f"{name}#{seg.index}" for name, seg in path.steps],
-                            detail={
-                                "crash": str(segment.crash),
-                                "crash_kind": segment.crash.kind if segment.crash else None,
-                            },
-                            model=model,
+                else:
+                    pending.append((index, element_name, segment))
+
+            if resolved_parallelism(self.config) > 1 and len(pending) > 1:
+                # PR 9: independent suspects fan out over worker processes
+                # (same searches, fresh per-worker solvers; see
+                # repro.verifier.parallel for the verdict-parity argument).
+                report = discharge_suspects_parallel(
+                    pipeline, summary.summaries, pending, self.config, deadline)
+                stats.worker_failures += report.worker_failures
+                stats.retries += report.retries
+                stats.quarantined_elements.extend(report.quarantined)
+                segment_by_index = {index: segment
+                                    for index, _, segment in pending}
+                for outcome in report.outcomes:
+                    segment = segment_by_index[outcome.index]
+                    composer.stats.paths_composed += outcome.paths_composed
+                    exhaustive &= outcome.exhaustive
+                    any_unknown |= outcome.any_unknown
+                    if outcome.feasible is not None:
+                        all_infeasible = False
+                        path_steps, model = outcome.feasible
+                        result.counterexamples.append(
+                            Counterexample(
+                                packet_bytes=composer.counterexample_bytes(model),
+                                path=path_steps,
+                                detail={
+                                    "crash": str(segment.crash),
+                                    "crash_kind": segment.crash.kind if segment.crash else None,
+                                },
+                                model=model,
+                            )
                         )
+                    elif outcome.exhaustive and not outcome.any_unknown:
+                        discharged += 1
+                        if manager is not None:
+                            manager.mark_discharged(
+                                CheckpointManager.suspect_key(
+                                    outcome.element_name, segment),
+                                composer.stats.paths_composed)
+            else:
+                for _, element_name, segment in pending:
+                    search = search_paths_to_segment(
+                        pipeline, summary.summaries, composer, element_name, segment,
+                        config=self.config, stop_on_first_feasible=True, deadline=deadline,
                     )
-                elif search.exhaustive and not search.any_unknown:
-                    discharged += 1
-                    if manager is not None:
-                        manager.mark_discharged(
-                            suspect_key, composer.stats.paths_composed)
+                    exhaustive &= search.exhaustive
+                    any_unknown |= search.any_unknown
+                    if search.feasible_paths:
+                        all_infeasible = False
+                        path, model = search.feasible_paths[0]
+                        result.counterexamples.append(
+                            Counterexample(
+                                packet_bytes=composer.counterexample_bytes(model),
+                                path=[f"{name}#{seg.index}" for name, seg in path.steps],
+                                detail={
+                                    "crash": str(segment.crash),
+                                    "crash_kind": segment.crash.kind if segment.crash else None,
+                                },
+                                model=model,
+                            )
+                        )
+                    elif search.exhaustive and not search.any_unknown:
+                        discharged += 1
+                        if manager is not None:
+                            manager.mark_discharged(
+                                CheckpointManager.suspect_key(element_name, segment),
+                                composer.stats.paths_composed)
         except KeyboardInterrupt:
             summary.interrupted = True
             any_unknown = True

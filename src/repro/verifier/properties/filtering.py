@@ -26,7 +26,7 @@ from repro.dataplane.pipeline import Pipeline
 from repro.net.addresses import ip_to_int
 from repro.structures.lpm import parse_prefix
 from repro.symex import exprs as E
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, solver_for_config
 from repro.verifier.checkpoint import CheckpointManager
 from repro.verifier.composition import PathComposer, iterate_pipeline_paths
 from repro.verifier.config import DEFAULT_CONFIG, VerifierConfig
@@ -132,7 +132,7 @@ class FilteringChecker:
         # Filtering proofs are about the installed configuration, so static
         # state must not be abstracted away.
         self.config = config.without_abstraction()
-        self.solver = solver or Solver(max_nodes=config.solver_max_nodes)
+        self.solver = solver or solver_for_config(config)
 
     def check(self, pipeline: Pipeline, prop: FilteringProperty,
               summary: Optional[PipelineSummary] = None) -> VerificationResult:

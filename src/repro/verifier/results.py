@@ -16,6 +16,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 
+#: version of the stats/JSON payload schema emitted by ``repro verify --json``
+#: and embedded in :meth:`EffortStats.as_dict`.  Bump when a field is renamed
+#: or its meaning changes (adding fields is backwards-compatible and does not
+#: require a bump); consumers should check it before parsing.
+STATS_SCHEMA = 1
+
+
 class Verdict(enum.Enum):
     """Outcome of a verification run."""
 
@@ -77,6 +84,10 @@ class EffortStats:
     solver_components: int = 0
     #: queries answered by re-evaluating a warm-start model (no search)
     solver_model_reuse: int = 0
+    #: per-backend counters keyed by backend name (queries, sat/unsat/unknown,
+    #: wall_s, wins/losses under a portfolio); covers the solver's lifetime,
+    #: which equals the run for the per-run solvers the CLI and bench build
+    solver_backends: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: live entries in the expression intern table when the run finished
     intern_table_size: int = 0
     #: the slowest component solves: ``(seconds, #atoms, description)``
@@ -137,6 +148,37 @@ class EffortStats:
                                    - base.get("model_reuse_hits", 0))
         self.intern_table_size = intern_table_size()
         self.slowest_queries = stats.slowest_queries()
+        backend_snapshot = getattr(solver, "backend_snapshot", None)
+        if backend_snapshot is not None:
+            self.solver_backends = backend_snapshot()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The counters as a JSON-ready dict, tagged with :data:`STATS_SCHEMA`."""
+        return {
+            "schema": STATS_SCHEMA,
+            "elapsed_s": round(self.elapsed, 3),
+            "step1_elapsed_s": round(self.step1_elapsed, 3),
+            "step2_elapsed_s": round(self.step2_elapsed, 3),
+            "states": self.states,
+            "segments": self.segments,
+            "paths_composed": self.paths_composed,
+            "solver_queries": self.solver_queries,
+            "solver_nodes": self.solver_nodes,
+            "solver_cache_hits": self.solver_cache_hits,
+            "solver_cache_misses": self.solver_cache_misses,
+            "solver_components": self.solver_components,
+            "solver_model_reuse": self.solver_model_reuse,
+            "solver_backends": self.solver_backends,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "worker_failures": self.worker_failures,
+            "retries": self.retries,
+            "quarantined_elements": list(self.quarantined_elements),
+            "cache_quarantined": self.cache_quarantined,
+            "escalations": self.escalations,
+            "checkpoint_hits": self.checkpoint_hits,
+            "checkpoint_writes": self.checkpoint_writes,
+        }
 
 
 @dataclass

@@ -35,7 +35,7 @@ from repro.net.packet import Packet
 from repro.symex import exprs as E
 from repro.symex.explorer import ExplorationResult, PathExplorer, PathResult
 from repro.symex.runtime import JournalEntry
-from repro.symex.solver import Solver
+from repro.symex.solver import Solver, solver_for_config
 from repro.symex.sym_buffer import SymbolicBuffer
 from repro.symex.values import SymVal, is_symbolic, unwrap
 from repro.verifier.abstraction import abstracted_state
@@ -254,7 +254,7 @@ def _make_explorer(config: VerifierConfig, solver: Optional[Solver],
     if deadline is not None:
         time_budget = max(0.05, deadline - time.monotonic())
     return PathExplorer(
-        solver=solver or Solver(max_nodes=config.solver_max_nodes),
+        solver=solver or solver_for_config(config),
         max_paths=config.max_segments_per_element,
         max_ops_per_path=config.max_ops_per_segment,
         branch_check_nodes=config.branch_check_nodes,

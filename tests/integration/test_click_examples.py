@@ -135,6 +135,22 @@ def test_cli_verify_click_file(tmp_path, capsys):
     assert "[click]" in captured.err
 
 
+def test_cli_verify_json_payload_is_versioned(tmp_path, capsys):
+    # PR 9: the JSON payload carries the stats schema version and the
+    # per-backend counters, and --backend portfolio stays sound without z3
+    # (it resolves to the native engine on machines without the soft dep).
+    from repro.verifier.results import STATS_SCHEMA
+
+    status = cli.main(["verify", str(CLICK_DIR / "fig4c.click"),
+                       "--cache-dir", str(tmp_path / "cache"), "--json",
+                       "--backend", "portfolio"])
+    captured = capsys.readouterr()
+    assert status == 0
+    payload = json.loads(captured.out)
+    assert payload["schema"] == STATS_SCHEMA
+    assert "native" in payload["stats"]["solver_backends"]
+
+
 def test_cli_verify_click_diagnostic_exit_code(tmp_path, capsys):
     bad = tmp_path / "bad.click"
     bad.write_text("f :: IPFliter(allow all);\n")

@@ -1,0 +1,106 @@
+"""Verdict parity of process-parallel step-2 suspect discharge (PR 9).
+
+``solver_parallelism > 1`` fans the independent suspect feasibility searches
+out over worker processes (``repro.verifier.parallel``).  Workers run the
+identical searches with fresh per-worker solvers, so the parallel path may
+only change wall time and cache warmth -- never verdicts.  These tests pin
+that against the serial loop on the paper's Fig. 1 shape (a divider whose
+safety depends on an upstream TTL guarantee), with enough suspects that the
+pool path actually engages (a single suspect short-circuits to serial).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.element import Element
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.elements import DecIPTTL, PassThrough
+from repro.verifier import Verdict, VerifierConfig, verify_crash_freedom
+from repro.verifier.calibration import calibrated_budget
+from repro.verifier.parallel import resolved_parallelism
+
+CONFIG = VerifierConfig(time_budget=calibrated_budget(90))
+
+
+class TTLDivider(Element):
+    """Divides by the TTL: a suspect in isolation, safe after DecIPTTL."""
+
+    def process(self, packet):
+        ttl = packet.ip().ttl
+        packet.set_meta("budget", 255 // ttl)
+        return packet
+
+
+class TTLModDivider(Element):
+    """A second, distinct division suspect over the same guarantee."""
+
+    def process(self, packet):
+        ttl = packet.ip().ttl
+        packet.set_meta("slot", 200 % ttl)
+        return packet
+
+
+def guarded_pipeline():
+    # Two suspects so the parallel branch (len(pending) > 1) engages.
+    return Pipeline.linear(
+        [DecIPTTL(name="ttl"), TTLDivider(name="div"), TTLModDivider(name="mod")],
+        name="guarded-pair",
+    )
+
+
+def unguarded_pipeline():
+    return Pipeline.linear(
+        [PassThrough(name="pass"), TTLDivider(name="div"),
+         TTLModDivider(name="mod")],
+        name="unguarded-pair",
+    )
+
+
+class TestResolvedParallelism:
+    def test_default_is_serial(self):
+        assert resolved_parallelism(CONFIG) == 1
+
+    def test_explicit_worker_count(self):
+        assert resolved_parallelism(CONFIG.copy(solver_parallelism=3)) == 3
+
+    def test_nonpositive_means_per_core(self):
+        assert resolved_parallelism(CONFIG.copy(solver_parallelism=0)) >= 1
+
+
+class TestParallelDischargeParity:
+    def test_infeasible_suspects_proved_in_parallel(self):
+        pipeline = guarded_pipeline()
+        serial = verify_crash_freedom(pipeline, config=CONFIG)
+        parallel = verify_crash_freedom(
+            guarded_pipeline(), config=CONFIG.copy(solver_parallelism=2))
+
+        assert serial.verdict is Verdict.PROVED
+        assert parallel.verdict is Verdict.PROVED
+        assert len(serial.detail["suspects"]) == 2
+        assert parallel.detail["suspects"] == serial.detail["suspects"]
+        assert parallel.detail["suspects_discharged"] == 2
+        assert parallel.stats.paths_composed > 0  # step 2 really ran
+
+    def test_feasible_crash_reported_identically_in_parallel(self):
+        serial = verify_crash_freedom(unguarded_pipeline(), config=CONFIG)
+        parallel = verify_crash_freedom(
+            unguarded_pipeline(), config=CONFIG.copy(solver_parallelism=2))
+
+        assert serial.verdict is Verdict.VIOLATED
+        assert parallel.verdict is Verdict.VIOLATED
+        # Both attach concrete crash-triggering packets: ttl == 0 is the only
+        # value that makes the division crash reachable.
+        assert parallel.counterexamples
+        for result in (serial, parallel):
+            from repro.net.packet import Packet
+
+            packet = Packet.from_bytes(result.counterexamples[0].packet_bytes)
+            assert packet.ip().ttl == 0
+
+    def test_parallel_run_records_backend_stats(self):
+        result = verify_crash_freedom(
+            guarded_pipeline(), config=CONFIG.copy(solver_parallelism=2))
+        # The parent's solver still answers step 1 / serial work, so the
+        # per-backend block is present for --stats and the JSON payload.
+        assert "native" in result.stats.solver_backends

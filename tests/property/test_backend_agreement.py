@@ -1,0 +1,119 @@
+"""Property tests: every solver backend agrees on verdicts (PR 9).
+
+The backend contract says backends may differ only in wall time, never in
+answers: SAT and UNSAT are facts, UNKNOWN is an admission.  These tests pin
+that over random constraint sets for the native engine, the portfolio (raced
+native engines -- plus z3 when installed), and the z3 backend directly when
+the optional ``z3-solver`` package exists (auto-skipped otherwise, so the
+suite stays green on machines without it).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symex import exprs as E
+from repro.symex.backends import NativeBackend, PortfolioBackend, Z3Backend
+from repro.symex.solver import SAT, UNKNOWN, UNSAT, Solver
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+SYMBOLS = ("a", "b", "c", "d", "e")
+BUDGET = 5000
+
+values_st = st.integers(min_value=0, max_value=MASK)
+cmp_ops = st.sampled_from(["eq", "ne", "ult", "ule", "ugt", "uge"])
+bin_ops = st.sampled_from(["add", "sub", "and", "or", "xor"])
+
+
+def build_operand(spec):
+    kind = spec[0]
+    if kind == "sym":
+        return E.bv_sym(spec[1], WIDTH)
+    if kind == "const":
+        return E.bv_const(spec[1], WIDTH)
+    _, op, left, right = spec
+    return E.bv_binop(op, build_operand(left), build_operand(right))
+
+
+operand_st = st.recursive(
+    st.one_of(
+        st.tuples(st.just("sym"), st.sampled_from(SYMBOLS)),
+        st.tuples(st.just("const"), values_st),
+    ),
+    lambda children: st.tuples(st.just("bin"), bin_ops, children, children),
+    max_leaves=4,
+)
+
+atom_st = st.tuples(cmp_ops, operand_st, operand_st)
+constraints_st = st.lists(atom_st, min_size=1, max_size=8)
+
+
+def build_constraints(specs):
+    return [E.cmp(op, build_operand(left), build_operand(right))
+            for op, left, right in specs]
+
+
+def assert_model_sound(result, constraints):
+    if result.is_sat:
+        model = dict(result.model)
+        for constraint in constraints:
+            for sym in E.free_symbols(constraint):
+                model.setdefault(sym.name, 0)
+        assert all(E.evaluate(c, model) for c in constraints)
+
+
+def assert_agree(results, constraints):
+    """No SAT/UNSAT contradiction; decisive answers agree; models check out."""
+    statuses = {result.status for result in results}
+    assert not ({SAT, UNSAT} <= statuses), \
+        f"backends contradict each other: {statuses}"
+    decisive = statuses - {UNKNOWN}
+    assert len(decisive) <= 1
+    for result in results:
+        assert_model_sound(result, constraints)
+
+
+@settings(max_examples=50, deadline=None)
+@given(constraints_st)
+def test_native_and_portfolio_agree(specs):
+    constraints = build_constraints(specs)
+    native = Solver(max_nodes=BUDGET, backend=NativeBackend()).check(constraints)
+    portfolio_backend = PortfolioBackend(
+        [NativeBackend(), NativeBackend(name="native-b")])
+    try:
+        portfolio = Solver(max_nodes=BUDGET,
+                           backend=portfolio_backend).check(constraints)
+    finally:
+        portfolio_backend.close()
+    assert_agree([native, portfolio], constraints)
+
+
+@pytest.mark.skipif(not Z3Backend.is_available(),
+                    reason="needs the optional z3-solver package")
+@settings(max_examples=50, deadline=None)
+@given(constraints_st)
+def test_all_backends_agree_with_z3(specs):
+    constraints = build_constraints(specs)
+    native = Solver(max_nodes=BUDGET, backend=NativeBackend()).check(constraints)
+    z3 = Solver(max_nodes=BUDGET, backend=Z3Backend()).check(constraints)
+    portfolio_backend = PortfolioBackend([NativeBackend(), Z3Backend()])
+    try:
+        portfolio = Solver(max_nodes=BUDGET,
+                           backend=portfolio_backend).check(constraints)
+    finally:
+        portfolio_backend.close()
+    assert_agree([native, z3, portfolio], constraints)
+
+
+@pytest.mark.skipif(not Z3Backend.is_available(),
+                    reason="needs the optional z3-solver package")
+@settings(max_examples=50, deadline=None)
+@given(constraints_st)
+def test_z3_components_agree_with_native(specs):
+    # Backend-level (no orchestration): the raw component answers agree too.
+    constraints = build_constraints(specs)
+    native = NativeBackend().check_component(constraints, BUDGET)
+    z3 = Z3Backend().check_component(constraints, BUDGET)
+    assert_agree([native, z3], constraints)

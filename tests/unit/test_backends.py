@@ -1,0 +1,271 @@
+"""Unit tests for the solver-backend subsystem (PR 9).
+
+Covers the backend contract pieces the verifier leans on: cancel-aware
+budgets, selector resolution (``auto``/``portfolio`` degradation without
+z3), per-backend accounting, and -- the headline -- that a fault-injected
+*hanging* portfolio member is cancelled while the fast member's decisive
+answer is returned promptly with win/loss accounting.
+
+The hanging-member test needs two backends with different speeds but does
+not need z3: it races two *native* engines under distinct names and uses the
+``solver-latency:<seconds>:<backend-name>`` fault directive to slow exactly
+one of them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.symex import exprs as E
+from repro.symex.backends import (
+    BACKEND_CHOICES,
+    BackendUnavailable,
+    Budget,
+    NativeBackend,
+    PortfolioBackend,
+    SolverBackend,
+    SolverResult,
+    Z3Backend,
+    available_backend_names,
+    combine_component_results,
+    create_backend,
+    replay_ok,
+    resolve_backend_name,
+)
+from repro.symex.backends.base import SAT, UNKNOWN, UNSAT
+from repro.verifier.faults import FaultPlan, install_solver_hook
+
+HAS_Z3 = Z3Backend.is_available()
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks():
+    yield
+    install_solver_hook(None)
+
+
+def atoms_sat():
+    a = E.bv_sym("a", 8)
+    return [E.cmp("eq", a, E.bv_const(5, 8))]
+
+
+def atoms_unsat():
+    a = E.bv_sym("a", 8)
+    return [E.cmp("eq", a, E.bv_const(5, 8)),
+            E.cmp("eq", a, E.bv_const(6, 8))]
+
+
+class TestBudget:
+    def test_plain_countdown(self):
+        budget = Budget(3)
+        assert [budget.spend() for _ in range(4)] == [True, True, True, False]
+        assert budget.remaining == 0
+        assert not budget.cancelled
+
+    def test_cancel_is_polled_and_zeroes_the_budget(self):
+        budget = Budget(10_000, cancel=lambda: True)
+        spends = 0
+        while budget.spend():
+            spends += 1
+        # The first poll (after CANCEL_POLL_INTERVAL spends) sees the cancel
+        # and zeroes the rest of the budget.
+        assert spends == Budget.CANCEL_POLL_INTERVAL - 1
+        assert budget.cancelled
+        assert budget.remaining == 0
+
+    def test_cancel_that_stays_false_never_interferes(self):
+        budget = Budget(200, cancel=lambda: False)
+        spends = 0
+        while budget.spend():
+            spends += 1
+        assert spends == 200
+        assert not budget.cancelled
+
+
+class TestCombineAndReplay:
+    def test_unsat_short_circuits_the_fold(self):
+        consumed = []
+
+        def results():
+            consumed.append("unsat")
+            yield SolverResult(UNSAT)
+            consumed.append("never")
+            yield SolverResult(SAT, model={"a": 1})
+
+        combined = combine_component_results(results())
+        assert combined.is_unsat
+        assert consumed == ["unsat"]
+
+    def test_models_merge_and_unknown_degrades(self):
+        sat = combine_component_results(
+            [SolverResult(SAT, model={"a": 1}), SolverResult(SAT, model={"b": 2})])
+        assert sat.is_sat and sat.model == {"a": 1, "b": 2}
+        degraded = combine_component_results(
+            [SolverResult(SAT, model={"a": 1}), SolverResult(UNKNOWN)])
+        assert degraded.is_unknown and degraded.model is None
+
+    def test_replay_rule(self):
+        assert replay_ok(SolverResult(SAT, model={}), solved_with=10, budget=10**9)
+        assert replay_ok(SolverResult(UNSAT), solved_with=10, budget=10**9)
+        starved = SolverResult(UNKNOWN, effective_budget=100)
+        assert replay_ok(starved, solved_with=100, budget=100)
+        assert replay_ok(starved, solved_with=100, budget=50)
+        assert not replay_ok(starved, solved_with=100, budget=200)
+
+
+class TestResolutionAndCreation:
+    def test_native_resolves_to_itself(self):
+        assert resolve_backend_name("native") == "native"
+        assert isinstance(create_backend("native"), NativeBackend)
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            resolve_backend_name("cvc5")
+
+    def test_native_is_always_available(self):
+        names = available_backend_names()
+        assert "native" in names
+        assert all(name in BACKEND_CHOICES for name in names)
+
+    @pytest.mark.skipif(HAS_Z3, reason="z3 installed: portfolio is real here")
+    def test_without_z3_everything_degrades_to_native(self):
+        assert resolve_backend_name("auto") == "native"
+        assert resolve_backend_name("portfolio") == "native"
+        assert isinstance(create_backend("portfolio"), NativeBackend)
+        with pytest.raises(BackendUnavailable):
+            Z3Backend()
+
+    @pytest.mark.skipif(not HAS_Z3, reason="needs the optional z3-solver")
+    def test_with_z3_auto_prefers_the_portfolio(self):
+        assert resolve_backend_name("auto") == "portfolio"
+        backend = create_backend("auto")
+        assert isinstance(backend, PortfolioBackend)
+        assert {member.name for member in backend.backends} == {"native", "z3"}
+
+    @pytest.mark.skipif(not HAS_Z3, reason="needs the optional z3-solver")
+    def test_z3_decides_trivial_components(self):
+        backend = Z3Backend()
+        assert backend.check_component(atoms_sat(), 1000).is_sat
+        assert backend.check_component(atoms_unsat(), 1000).is_unsat
+
+
+class TestAccounting:
+    def test_native_counters_and_snapshot(self):
+        backend = NativeBackend()
+        assert backend.check_component(atoms_sat(), 1000).is_sat
+        assert backend.check_component(atoms_unsat(), 1000).is_unsat
+        snapshot = backend.snapshot()
+        assert set(snapshot) == {"native"}
+        stats = snapshot["native"]
+        assert stats["queries"] == 2
+        assert stats["sat"] == 1 and stats["unsat"] == 1
+        assert stats["wall_s"] >= 0.0
+
+    def test_portfolio_snapshot_includes_members(self):
+        portfolio = PortfolioBackend(
+            [NativeBackend(), NativeBackend(name="native-b")])
+        try:
+            assert portfolio.check_component(atoms_sat(), 1000).is_sat
+        finally:
+            portfolio.close()
+        snapshot = portfolio.snapshot()
+        assert {"portfolio", "native", "native-b"} <= set(snapshot)
+        assert snapshot["portfolio"]["queries"] == 1
+
+    def test_single_member_portfolio_is_a_passthrough(self):
+        member = NativeBackend()
+        portfolio = PortfolioBackend([member])
+        assert portfolio.check_component(atoms_unsat(), 1000).is_unsat
+        assert member.stats.queries == 1
+        # No race happened, so nobody won or lost.
+        assert member.stats.wins == 0 and member.stats.losses == 0
+
+
+class TestHangingMemberCancellation:
+    """The portfolio answers at the fast member's speed, not the slow one's."""
+
+    LATENCY = 0.4
+
+    def _race(self):
+        fast = NativeBackend()
+        slow = NativeBackend(name="native-slow")
+        portfolio = PortfolioBackend([fast, slow])
+        started = time.perf_counter()
+        try:
+            result = portfolio.check_component(atoms_sat(), 1000)
+        finally:
+            elapsed = time.perf_counter() - started
+            portfolio.close()
+        return fast, slow, result, elapsed
+
+    def test_fault_injected_hang_is_cancelled(self):
+        plan = FaultPlan.parse(f"solver-latency:{self.LATENCY}:native-slow")
+        install_solver_hook(plan)
+        fast, slow, result, elapsed = self._race()
+        assert result.is_sat
+        assert result.model == {"a": 5}
+        # The slow member is still asleep when the fast one decides; the
+        # portfolio must not wait for it.
+        assert elapsed < self.LATENCY * 0.75
+        assert fast.stats.wins == 1
+        assert slow.stats.losses == 1
+        # The loser may be cancelled before its thread even reaches the hook
+        # (that asynchrony is the point), so check the name filter
+        # synchronously: only the named backend is slowed or recorded.
+        filter_plan = FaultPlan.parse("solver-latency:0.01:native-slow")
+        filter_plan.on_backend_query("native")
+        assert not filter_plan.injected
+        filter_plan.on_backend_query("native-slow")
+        assert filter_plan.injected == {"solver-latency:native-slow": 1}
+
+    def test_env_var_route_installs_the_same_hook(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS",
+                           f"solver-latency:{self.LATENCY}:native-slow")
+        from repro.verifier.faults import plan_from_env
+
+        plan = plan_from_env()
+        assert plan is not None
+        assert plan.solver_latency == pytest.approx(self.LATENCY)
+        assert plan.solver_latency_backend == "native-slow"
+        install_solver_hook(plan)
+        _, _, result, elapsed = self._race()
+        assert result.is_sat
+        assert elapsed < self.LATENCY * 0.75
+
+    def test_backend_filtered_plan_does_not_slow_plain_solver(self):
+        # A backend-filtered latency plan must install only the backend hook:
+        # the per-check() hook staying clear is what prevents double-charging.
+        from repro.symex.solver import Solver
+
+        plan = FaultPlan.parse("solver-latency:0.2:native-slow")
+        install_solver_hook(plan)
+        assert Solver.query_hook is None
+        assert SolverBackend.query_hook is not None
+        install_solver_hook(None)
+        assert SolverBackend.query_hook is None
+
+
+class TestStatsSchema:
+    def test_effort_stats_as_dict_is_versioned(self):
+        from repro.verifier.results import STATS_SCHEMA, EffortStats
+
+        payload = EffortStats().as_dict()
+        assert payload["schema"] == STATS_SCHEMA == 1
+        # The dict is the JSON surface: every value must be JSON-encodable.
+        import json
+
+        json.dumps(payload)
+
+    def test_record_solver_captures_backend_snapshot(self):
+        from repro.symex.solver import Solver
+        from repro.verifier.results import EffortStats
+
+        solver = Solver(max_nodes=1000)
+        assert solver.check(atoms_sat()).is_sat
+        stats = EffortStats()
+        stats.record_solver(solver)
+        assert "native" in stats.solver_backends
+        assert stats.solver_backends["native"]["queries"] >= 1
+        assert stats.as_dict()["solver_backends"] == stats.solver_backends
